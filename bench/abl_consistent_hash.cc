@@ -1,0 +1,94 @@
+// Ablation: consistent hashing + virtual nodes vs in-network caching (§8).
+//
+// Virtual nodes equalize *keyspace ownership* — useful when nodes differ in
+// capacity or come and go — but a popular key still lives on one node, so
+// zipfian query load stays imbalanced. We compute saturation throughput for
+// a 128-server rack with ownership by a consistent-hash ring at increasing
+// virtual-node counts, and contrast with NetCache.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/saturation.h"
+#include "workload/consistent_hash.h"
+
+namespace netcache {
+namespace {
+
+constexpr size_t kServers = 128;
+constexpr double kServerRate = 10e6;
+constexpr uint64_t kNumKeys = 100'000'000;
+constexpr size_t kExact = 262'144;
+
+struct ChOutcome {
+  double total_qps;
+  double ownership_spread;  // max/mean keyspace share
+};
+
+ChOutcome SolveWithRing(size_t vnodes) {
+  ConsistentHashRing ring(kServers, vnodes);
+  // Zipf pmf over the exact ranks; tail spread by ownership share.
+  double h = 0.0;
+  for (uint64_t k = 1; k <= 10'000; ++k) {
+    h += std::pow(static_cast<double>(k), -0.99);
+  }
+  h += (std::pow(static_cast<double>(kNumKeys) + 0.5, 0.01) - std::pow(10'000.5, 0.01)) / 0.01;
+
+  std::vector<double> load(kServers, 0.0);
+  double exact_mass = 0.0;
+  for (size_t r = 0; r < kExact; ++r) {
+    double p = std::pow(static_cast<double>(r + 1), -0.99) / h;
+    exact_mass += p;
+    load[ring.NodeOf(Key::FromUint64(r))] += p;
+  }
+  std::vector<double> shares = ring.OwnershipShares();
+  double tail = std::max(0.0, 1.0 - exact_mass);
+  double max_load = 0.0;
+  double max_share = 0.0;
+  for (size_t n = 0; n < kServers; ++n) {
+    max_load = std::max(max_load, load[n] + tail * shares[n]);
+    max_share = std::max(max_share, shares[n]);
+  }
+  return ChOutcome{kServerRate / max_load, max_share * kServers};
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Ablation: consistent hashing + virtual nodes vs NetCache (§8; 128 "
+      "servers x 10 MQPS, zipf-0.99, read-only)");
+  std::printf("%-26s | %14s %20s\n", "scheme", "throughput", "keyspace max/mean");
+  for (size_t vnodes : {1ul, 4ul, 16ul, 64ul, 256ul}) {
+    ChOutcome o = SolveWithRing(vnodes);
+    char name[40];
+    std::snprintf(name, sizeof(name), "consistent hash, %zu vns", vnodes);
+    std::printf("%-26s | %14s %19.2fx\n", name, bench::Qps(o.total_qps).c_str(),
+                o.ownership_spread);
+  }
+
+  SaturationConfig nc;
+  nc.num_partitions = kServers;
+  nc.server_rate_qps = kServerRate;
+  nc.num_keys = kNumKeys;
+  nc.zipf_alpha = 0.99;
+  nc.cache_size = 10'000;
+  nc.exact_ranks = kExact;
+  std::printf("%-26s | %14s %20s\n", "NetCache (10K cache)",
+              bench::Qps(SolveSaturation(nc).total_qps).c_str(), "n/a");
+
+  bench::PrintNote("");
+  bench::PrintNote("Virtual nodes drive keyspace ownership toward 1.0x (their purpose) yet");
+  bench::PrintNote("throughput barely moves: the bottleneck is the single owner of the");
+  bench::PrintNote("hottest key, which no ownership shuffle can split — §8's observation");
+  bench::PrintNote("that traditional balancing falls short against popularity skew.");
+}
+
+}  // namespace
+}  // namespace netcache
+
+int main() {
+  netcache::Run();
+  return 0;
+}

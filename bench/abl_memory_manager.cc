@@ -1,0 +1,122 @@
+// Ablation: first-fit bin-packing memory manager (Algorithm 2) under
+// different value-size mixes, with and without reorganization.
+//
+// Measures: (a) achievable slot utilization when filling an empty pipe until
+// the first allocation failure; (b) sustained utilization under insert/evict
+// churn, where fragmentation accumulates; (c) how many item moves
+// reorganization needs to admit a large value into a fragmented pipe.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "dataplane/slot_allocator.h"
+
+namespace netcache {
+namespace {
+
+constexpr size_t kStages = 8;
+constexpr size_t kRows = 4096;
+
+size_t SampleUnits(Rng& rng, int mix) {
+  switch (mix) {
+    case 0:  // fixed 128 B
+      return 8;
+    case 1:  // uniform 16..128 B
+      return 1 + rng.NextBounded(8);
+    default:  // bimodal: mostly small, some full-width
+      return rng.NextBernoulli(0.8) ? 1 + rng.NextBounded(2) : 8;
+  }
+}
+
+const char* MixName(int mix) {
+  switch (mix) {
+    case 0:
+      return "fixed-128B";
+    case 1:
+      return "uniform-16..128B";
+    default:
+      return "bimodal-80/20";
+  }
+}
+
+void FillToFailure(int mix) {
+  SlotAllocator alloc(kStages, kRows);
+  Rng rng(7);
+  uint64_t id = 0;
+  while (true) {
+    size_t units = SampleUnits(rng, mix);
+    if (!alloc.Insert(Key::FromUint64(id++), units).has_value()) {
+      break;
+    }
+  }
+  std::printf("  %-18s fill-to-failure utilization: %5.1f%%  (%zu items)\n", MixName(mix),
+              100.0 * alloc.Utilization(), alloc.num_items());
+}
+
+void ChurnUtilization(int mix, bool defrag) {
+  SlotAllocator alloc(kStages, kRows);
+  Rng rng(8);
+  std::vector<std::pair<uint64_t, size_t>> live;  // (key id, units)
+  uint64_t id = 0;
+  size_t failures = 0;
+  size_t defrag_moves = 0;
+  constexpr size_t kOps = 200'000;
+  for (size_t op = 0; op < kOps; ++op) {
+    bool insert = live.empty() || rng.NextBernoulli(0.52);
+    if (insert) {
+      size_t units = SampleUnits(rng, mix);
+      Key key = Key::FromUint64(id);
+      if (!alloc.Insert(key, units).has_value()) {
+        if (defrag) {
+          for (const SlotMove& move : alloc.PlanReorganization(units)) {
+            if (alloc.Commit(move)) {
+              ++defrag_moves;
+            }
+          }
+        }
+        if (!defrag || !alloc.Insert(key, units).has_value()) {
+          ++failures;
+          continue;
+        }
+      }
+      live.emplace_back(id, units);
+      ++id;
+    } else {
+      size_t pick = rng.NextBounded(live.size());
+      alloc.Evict(Key::FromUint64(live[pick].first));
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  std::printf("  %-18s churn (%s): utilization %5.1f%%, failures %6zu, defrag moves %zu\n",
+              MixName(mix), defrag ? "with defrag" : "no defrag  ",
+              100.0 * alloc.Utilization(), failures, defrag_moves);
+}
+
+void Run() {
+  bench::PrintHeader("Ablation: Alg-2 first-fit memory manager (8 stages x 4096 rows)");
+  std::printf("\n(a) fill an empty pipe until the first failed insert\n");
+  for (int mix : {0, 1, 2}) {
+    FillToFailure(mix);
+  }
+  std::printf("\n(b) sustained insert/evict churn, 200K ops, ~52%% inserts\n");
+  for (int mix : {0, 1, 2}) {
+    ChurnUtilization(mix, false);
+    ChurnUtilization(mix, true);
+  }
+  bench::PrintNote("");
+  bench::PrintNote("Non-contiguous bitmaps make first-fit nearly fragmentation-free for");
+  bench::PrintNote("mixed sizes; the residual failures are full-width (8-unit) values that");
+  bench::PrintNote("need one whole row — exactly what §4.4.2's periodic reorganization");
+  bench::PrintNote("repairs (compare failures with and without defrag).");
+}
+
+}  // namespace
+}  // namespace netcache
+
+int main() {
+  netcache::Run();
+  return 0;
+}

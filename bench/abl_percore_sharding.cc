@@ -1,0 +1,63 @@
+// Ablation: per-core sharding amplifies skew (§1: "This degradation can be
+// further amplified when storage servers use per-core sharding").
+//
+// Same rack hardware (128 servers x 16 cores), two serving models:
+//   per-server: each server is one partition at 10 MQPS (shared-memory KV)
+//   per-core:   each core is its own partition at 10/16 MQPS (RSS sharding)
+// The theory (§2, [17]) says the cache must hold O(N log N) items for N
+// *partitions* — so per-core sharding both worsens NoCache (finer, hotter
+// bottleneck) and demands a larger cache, which the switch easily holds.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/saturation.h"
+
+namespace netcache {
+namespace {
+
+SaturationResult Solve(size_t partitions, double rate, size_t cache) {
+  SaturationConfig cfg;
+  cfg.num_partitions = partitions;
+  cfg.server_rate_qps = rate;
+  cfg.num_keys = 100'000'000;
+  cfg.zipf_alpha = 0.99;
+  cfg.cache_size = cache;
+  cfg.exact_ranks = 262'144;
+  return SolveSaturation(cfg);
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Ablation: per-core sharding (128 servers x 16 cores, zipf-0.99, read-only)");
+  std::printf("%-26s | %12s %12s %12s %12s\n", "serving model", "NoCache", "NC-1K", "NC-10K",
+              "NC-64K");
+
+  // Per-server partitions: 128 x 10 MQPS.
+  std::printf("%-26s | %12s %12s %12s %12s\n", "per-server (128 parts)",
+              bench::Qps(Solve(128, 10e6, 0).total_qps).c_str(),
+              bench::Qps(Solve(128, 10e6, 1000).total_qps).c_str(),
+              bench::Qps(Solve(128, 10e6, 10'000).total_qps).c_str(),
+              bench::Qps(Solve(128, 10e6, 64'000).total_qps).c_str());
+
+  // Per-core partitions: 2048 x 0.625 MQPS (same aggregate hardware).
+  std::printf("%-26s | %12s %12s %12s %12s\n", "per-core  (2048 parts)",
+              bench::Qps(Solve(2048, 10e6 / 16, 0).total_qps).c_str(),
+              bench::Qps(Solve(2048, 10e6 / 16, 1000).total_qps).c_str(),
+              bench::Qps(Solve(2048, 10e6 / 16, 10'000).total_qps).c_str(),
+              bench::Qps(Solve(2048, 10e6 / 16, 64'000).total_qps).c_str());
+
+  bench::PrintNote("");
+  bench::PrintNote("NoCache collapses ~16x harder with per-core sharding (one core, not one");
+  bench::PrintNote("server, absorbs the hottest key). The O(N log N) cache requirement now");
+  bench::PrintNote("counts cores: 1K items no longer balance 2048 partitions, 10K+ do —");
+  bench::PrintNote("still far below the 64K entries the switch provides (§2, §7.2).");
+}
+
+}  // namespace
+}  // namespace netcache
+
+int main() {
+  netcache::Run();
+  return 0;
+}

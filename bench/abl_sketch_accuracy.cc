@@ -1,0 +1,101 @@
+// Ablation: heavy-hitter detector accuracy vs sketch width and sample rate
+// (design choices of §4.4.3).
+//
+// Ground truth: keys whose true (unsampled) query count in one statistics
+// epoch exceeds threshold / sample_rate. We measure the detector's precision
+// (reported keys that are truly hot) and recall (truly hot keys reported),
+// plus total reports, for the prototype's dimensions and smaller ones. Shows
+// why 4 x 64K x 16 bit + sampling is enough — and what breaks when the
+// sketch is starved.
+
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "sketch/heavy_hitter.h"
+
+namespace netcache {
+namespace {
+
+struct Outcome {
+  double precision = 0;
+  double recall = 0;
+  size_t reports = 0;
+  size_t truly_hot = 0;
+};
+
+Outcome RunEpoch(size_t sketch_width, double sample_rate, uint32_t threshold) {
+  constexpr uint64_t kNumKeys = 1'000'000;
+  constexpr size_t kQueries = 2'000'000;
+
+  HeavyHitterConfig cfg;
+  cfg.sketch_width = sketch_width;
+  cfg.hot_threshold = threshold;
+  cfg.sample_rate = sample_rate;
+  HeavyHitterDetector hh(cfg);
+
+  ZipfRejectionInversion zipf(kNumKeys, 0.99);
+  Rng rng(42);
+  std::unordered_map<uint64_t, uint32_t> truth;
+  std::unordered_set<uint64_t> reported;
+  for (size_t i = 0; i < kQueries; ++i) {
+    uint64_t id = zipf.Sample(rng);
+    ++truth[id];
+    if (hh.Offer(Key::FromUint64(id))) {
+      reported.insert(id);
+    }
+  }
+
+  double hot_cutoff = static_cast<double>(threshold) / sample_rate;
+  std::unordered_set<uint64_t> truly_hot;
+  for (const auto& [id, count] : truth) {
+    if (count >= hot_cutoff) {
+      truly_hot.insert(id);
+    }
+  }
+
+  size_t true_positive = 0;
+  for (uint64_t id : reported) {
+    true_positive += truly_hot.count(id);
+  }
+  Outcome out;
+  out.reports = reported.size();
+  out.truly_hot = truly_hot.size();
+  out.precision = reported.empty()
+                      ? 1.0
+                      : static_cast<double>(true_positive) / static_cast<double>(reported.size());
+  out.recall = truly_hot.empty()
+                   ? 1.0
+                   : static_cast<double>(true_positive) / static_cast<double>(truly_hot.size());
+  return out;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Ablation: heavy-hitter precision/recall vs sketch width & sample rate "
+      "(zipf-0.99, 1M keys, 2M queries/epoch, threshold 128)");
+  std::printf("%-10s %-8s | %9s %9s %9s %9s\n", "width", "sample", "precision", "recall",
+              "reports", "true-hot");
+  for (size_t width : {1024ul, 4096ul, 16384ul, 65536ul}) {
+    for (double sample : {1.0, 0.5, 0.25}) {
+      Outcome o = RunEpoch(width, sample, 128);
+      std::printf("%-10zu %-8.2f | %9.3f %9.3f %9zu %9zu\n", width, sample, o.precision,
+                  o.recall, o.reports, o.truly_hot);
+    }
+  }
+  bench::PrintNote("");
+  bench::PrintNote("Narrow sketches inflate estimates (collisions) -> precision drops;");
+  bench::PrintNote("sampling trades a little recall near the threshold for 16-bit counters");
+  bench::PrintNote("and fewer controller reports (§4.4.3's high-pass filter).");
+}
+
+}  // namespace
+}  // namespace netcache
+
+int main() {
+  netcache::Run();
+  return 0;
+}

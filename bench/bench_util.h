@@ -1,0 +1,37 @@
+// Shared helpers for the figure-reproduction benches: table printing and
+// common configuration presets that mirror the paper's testbed (§7.1).
+
+#ifndef NETCACHE_BENCH_BENCH_UTIL_H_
+#define NETCACHE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace netcache {
+namespace bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintNote(const std::string& note) { std::printf("  %s\n", note.c_str()); }
+
+// Formats a QPS figure the way the paper labels its axes (BQPS / MQPS).
+inline std::string Qps(double qps) {
+  char buf[64];
+  if (qps >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f BQPS", qps / 1e9);
+  } else if (qps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f MQPS", qps / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f KQPS", qps / 1e3);
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace netcache
+
+#endif  // NETCACHE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,50 @@
+// Figure 10(e): throughput vs number of cached items (log-scale x in the
+// paper), for zipf-0.9 and zipf-0.99 read-only workloads. Shows that ~1000
+// items already balance 128 servers, with diminishing returns beyond.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/saturation.h"
+
+namespace netcache {
+namespace {
+
+SaturationConfig PaperRack(double alpha, size_t cache) {
+  SaturationConfig cfg;
+  cfg.num_partitions = 128;
+  cfg.server_rate_qps = 10e6;
+  cfg.num_keys = 100'000'000;
+  cfg.zipf_alpha = alpha;
+  cfg.cache_size = cache;
+  cfg.exact_ranks = 262'144;
+  return cfg;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 10(e): throughput vs cache size (128 servers x 10 MQPS, read-only)");
+  std::printf("%-8s | %12s %12s %12s | %12s %12s %12s\n", "cache", "z0.9-total",
+              "z0.9-cache", "z0.9-server", "z0.99-total", "z0.99-cache", "z0.99-server");
+  for (size_t cache : {10ul, 100ul, 1000ul, 2000ul, 5000ul, 10000ul, 20000ul, 50000ul,
+                       100000ul}) {
+    SaturationResult r90 = SolveSaturation(PaperRack(0.9, cache));
+    SaturationResult r99 = SolveSaturation(PaperRack(0.99, cache));
+    std::printf("%-8zu | %12s %12s %12s | %12s %12s %12s\n", cache,
+                bench::Qps(r90.total_qps).c_str(), bench::Qps(r90.cache_qps).c_str(),
+                bench::Qps(r90.server_qps).c_str(), bench::Qps(r99.total_qps).c_str(),
+                bench::Qps(r99.cache_qps).c_str(), bench::Qps(r99.server_qps).c_str());
+  }
+  bench::PrintNote("");
+  bench::PrintNote("Paper: 1,000 items suffice to balance 128 servers; growth beyond is the");
+  bench::PrintNote("cache absorbing more hits (diminishing, note the log-scale x axis); the");
+  bench::PrintNote("steeper skew (0.99) yields more cache throughput at large cache sizes.");
+}
+
+}  // namespace
+}  // namespace netcache
+
+int main() {
+  netcache::Run();
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Microbenchmarks of the core data structures (google-benchmark): the
+// components whose per-packet cost determines the software pipeline rate.
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "dataplane/value_store.h"
+#include "kvstore/flat_table.h"
+#include "kvstore/hash_table.h"
+#include "proto/packet.h"
+#include "sketch/bloom.h"
+#include "sketch/count_min.h"
+
+namespace netcache {
+namespace {
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  CountMinSketch cms(4, 64 * 1024, 1);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cms.Update(Key::FromUint64(rng.NextBounded(1 << 20))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CountMinUpdate);
+
+void BM_BloomTestAndSet(benchmark::State& state) {
+  BloomFilter bf(3, 256 * 1024, 2);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.TestAndSet(Key::FromUint64(rng.NextBounded(1 << 20))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BloomTestAndSet);
+
+void BM_HashDynFind(benchmark::State& state) {
+  HashDyn<Key, uint64_t, KeyHasher> table;
+  for (uint64_t i = 0; i < 64 * 1024; ++i) {
+    table.Upsert(Key::FromUint64(i), i);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Find(Key::FromUint64(rng.NextBounded(64 * 1024))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HashDynFind);
+
+void BM_FlatTableFind(benchmark::State& state) {
+  FlatTable<Key, uint64_t, KeyHasher> table;
+  for (uint64_t i = 0; i < 64 * 1024; ++i) {
+    table.Upsert(Key::FromUint64(i), i);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Find(Key::FromUint64(rng.NextBounded(64 * 1024))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlatTableFind);
+
+void BM_StdUnorderedMapFind(benchmark::State& state) {
+  std::unordered_map<Key, uint64_t, KeyHasher> table;
+  for (uint64_t i = 0; i < 64 * 1024; ++i) {
+    table[Key::FromUint64(i)] = i;
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find(Key::FromUint64(rng.NextBounded(64 * 1024))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StdUnorderedMapFind);
+
+void BM_ValueStoreRead(benchmark::State& state) {
+  ValueStore vs(8, 64 * 1024);
+  Value v = Value::Filler(1, 128);
+  for (size_t i = 0; i < 64 * 1024; ++i) {
+    vs.WriteValue(0xff, i, v);
+  }
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vs.ReadValue(0xff, rng.NextBounded(64 * 1024), 128));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ValueStoreRead);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfRejectionInversion zipf(100'000'000, 0.99);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_PacketSerializeParse(benchmark::State& state) {
+  Packet pkt = MakePut(1, 2, Key::FromUint64(3), Value::Filler(3, 128), 4);
+  for (auto _ : state) {
+    auto bytes = SerializePacket(pkt);
+    auto back = ParsePacket(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketSerializeParse);
+
+}  // namespace
+}  // namespace netcache
+
+BENCHMARK_MAIN();

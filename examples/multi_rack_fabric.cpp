@@ -1,0 +1,98 @@
+// Multi-rack deployment (§5 "Scaling to multiple racks"): a packet-level
+// leaf-spine fabric comparing no caching, ToR-only caching, and spine
+// caching with replicated hot items. Read-only traffic, as in the paper's
+// own scalability experiment.
+//
+//   $ ./examples/multi_rack_fabric
+
+#include <cstdio>
+#include <vector>
+
+#include "client/workload_driver.h"
+#include "core/fabric.h"
+
+using namespace netcache;
+
+namespace {
+
+const char* ModeName(FabricCacheMode mode) {
+  switch (mode) {
+    case FabricCacheMode::kNone:
+      return "NoCache   ";
+    case FabricCacheMode::kLeafOnly:
+      return "Leaf-Cache ";
+    case FabricCacheMode::kSpineOnly:
+      return "Spine-Cache";
+  }
+  return "?";
+}
+
+void RunMode(FabricCacheMode mode) {
+  FabricConfig cfg;
+  cfg.num_racks = 4;
+  cfg.servers_per_rack = 4;
+  cfg.num_spines = 2;
+  cfg.mode = mode;
+  for (SwitchConfig* sc : {&cfg.tor_config, &cfg.spine_config}) {
+    sc->num_pipes = 1;
+    sc->cache_capacity = 2048;
+    sc->indexes_per_pipe = 2048;
+    sc->stats.counter_slots = 2048;
+  }
+  cfg.server_template.service_rate_qps = 10e3;
+  cfg.server_template.queue_capacity = 64;
+  cfg.client_template.reply_timeout = 5 * kMillisecond;
+  cfg.controller_config.cache_capacity = 128;
+  Fabric fabric(cfg);
+
+  constexpr uint64_t kKeys = 20'000;
+  fabric.Populate(kKeys, 64);
+
+  WorkloadConfig wl;
+  wl.num_keys = kKeys;
+  wl.zipf_alpha = 0.99;
+  WorkloadGenerator gen0(wl);
+  wl.seed = 43;
+  WorkloadGenerator gen1(wl);
+
+  if (mode != FabricCacheMode::kNone) {
+    std::vector<Key> hot;
+    for (uint64_t id : gen0.popularity().TopKeys(128)) {
+      hot.push_back(Key::FromUint64(id));
+    }
+    fabric.WarmCaches(hot);
+  }
+
+  // One adaptive driver per spine-attached client, 1 s of traffic.
+  DriverConfig dc;
+  dc.rate_qps = 60e3;
+  dc.adaptive = true;
+  WorkloadDriver d0(&fabric.sim(), &fabric.client(0), &gen0, fabric.OwnerFn(), dc);
+  WorkloadDriver d1(&fabric.sim(), &fabric.client(1), &gen1, fabric.OwnerFn(), dc);
+  d0.Start();
+  d1.Start();
+  fabric.sim().RunUntil(1 * kSecond);
+  d0.Stop();
+  d1.Stop();
+
+  uint64_t completed = d0.completed() + d1.completed();
+  std::printf("%s  goodput %7.0f q/s   spine hits %7llu   tor hits %7llu   server reads %7llu\n",
+              ModeName(mode), static_cast<double>(completed),
+              static_cast<unsigned long long>(fabric.TotalSpineHits()),
+              static_cast<unsigned long long>(fabric.TotalTorHits()),
+              static_cast<unsigned long long>(fabric.TotalServerReads()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Leaf-spine fabric: 4 racks x 4 servers (10 KQPS each), 2 spines,\n");
+  std::printf("2 clients at 60 KQPS offered each, zipf-0.99 over 20K keys, 1 s.\n\n");
+  RunMode(FabricCacheMode::kNone);
+  RunMode(FabricCacheMode::kLeafOnly);
+  RunMode(FabricCacheMode::kSpineOnly);
+  std::printf("\nCaching at either tier absorbs the hot keys; spine caching does it\n");
+  std::printf("without the query ever entering the destination rack, and replicates\n");
+  std::printf("hot items across spines so client load spreads (§2, §5).\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every figure
+# and table of the paper, capturing outputs at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,190 @@
+#include "client/chunked_client.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace netcache {
+
+ChunkedClient::ChunkedClient(Client* client, std::function<IpAddress(const Key&)> owner_of)
+    : client_(client), owner_of_(std::move(owner_of)) {
+  NC_CHECK(client != nullptr);
+}
+
+Key ChunkedClient::ChunkKey(const Key& key, uint32_t index) {
+  // Chunk keys live in a separate namespace derived from (key, index), so
+  // they never collide with ordinary small-value keys.
+  Key out;
+  uint64_t h0 = key.SeededHash(0xc48c0000ull + index);
+  uint64_t h1 = key.SeededHash(0xc48c8000ull + index);
+  std::memcpy(out.bytes.data(), &h0, sizeof(h0));
+  std::memcpy(out.bytes.data() + 8, &h1, sizeof(h1));
+  return out;
+}
+
+size_t ChunkedClient::NumChunks(size_t size) {
+  if (size <= kChunk0Payload) {
+    return 1;
+  }
+  return 1 + (size - kChunk0Payload + kMaxValueSize - 1) / kMaxValueSize;
+}
+
+void ChunkedClient::PutLarge(const Key& key, std::string payload, PutCallback cb) {
+  if (payload.size() > kMaxLargeValue) {
+    cb(Status::InvalidArgument("payload exceeds kMaxLargeValue"));
+    return;
+  }
+  size_t chunks = NumChunks(payload.size());
+  struct State {
+    size_t pending;
+    bool failed = false;
+    PutCallback cb;
+  };
+  auto state = std::make_shared<State>(State{chunks, false, std::move(cb)});
+  auto on_chunk = [state](const Status& s, const Value&) {
+    if (!s.ok() && !state->failed) {
+      state->failed = true;
+      state->cb(s);
+    }
+    if (--state->pending == 0 && !state->failed) {
+      state->cb(Status::Ok());
+    }
+  };
+
+  // Chunk 0 carries the length header.
+  Value head;
+  uint32_t total = static_cast<uint32_t>(payload.size());
+  size_t head_bytes = payload.size() < kChunk0Payload ? payload.size() : kChunk0Payload;
+  head.set_size(4 + head_bytes);
+  std::memcpy(head.data(), &total, 4);
+  std::memcpy(head.data() + 4, payload.data(), head_bytes);
+  Key k0 = ChunkKey(key, 0);
+  client_->Put(owner_of_(k0), k0, head, on_chunk);
+
+  size_t offset = head_bytes;
+  for (uint32_t i = 1; i < chunks; ++i) {
+    size_t n = payload.size() - offset;
+    if (n > kMaxValueSize) {
+      n = kMaxValueSize;
+    }
+    Value piece;
+    piece.set_size(n);
+    std::memcpy(piece.data(), payload.data() + offset, n);
+    offset += n;
+    Key ki = ChunkKey(key, i);
+    client_->Put(owner_of_(ki), ki, piece, on_chunk);
+  }
+}
+
+void ChunkedClient::GetLarge(const Key& key, GetCallback cb) {
+  Key k0 = ChunkKey(key, 0);
+  client_->Get(owner_of_(k0), k0,
+               [this, key, cb = std::move(cb)](const Status& s, const Value& v) {
+                 if (!s.ok()) {
+                   cb(s, "");
+                   return;
+                 }
+                 if (v.size() < 4) {
+                   cb(Status::Internal("malformed chunk header"), "");
+                   return;
+                 }
+                 uint32_t total = 0;
+                 std::memcpy(&total, v.data(), 4);
+                 if (total > kMaxLargeValue || v.size() - 4 > total) {
+                   cb(Status::Internal("inconsistent chunk header"), "");
+                   return;
+                 }
+                 std::string first(reinterpret_cast<const char*>(v.data()) + 4, v.size() - 4);
+                 FanOutGet(key, total, std::move(first), std::move(cb));
+               });
+}
+
+void ChunkedClient::FanOutGet(const Key& key, size_t total_len, std::string first_piece,
+                              GetCallback cb) {
+  size_t chunks = NumChunks(total_len);
+  if (chunks == 1) {
+    if (first_piece.size() != total_len) {
+      cb(Status::Internal("chunk 0 length mismatch"), "");
+      return;
+    }
+    cb(Status::Ok(), std::move(first_piece));
+    return;
+  }
+
+  struct State {
+    std::vector<std::string> pieces;
+    size_t pending;
+    size_t total_len;
+    bool failed = false;
+    GetCallback cb;
+  };
+  auto state = std::make_shared<State>();
+  state->pieces.resize(chunks);
+  state->pieces[0] = std::move(first_piece);
+  state->pending = chunks - 1;
+  state->total_len = total_len;
+  state->cb = std::move(cb);
+
+  for (uint32_t i = 1; i < chunks; ++i) {
+    Key ki = ChunkKey(key, i);
+    client_->Get(owner_of_(ki), ki, [state, i](const Status& s, const Value& v) {
+      if (!s.ok() && !state->failed) {
+        state->failed = true;
+        state->cb(s, "");
+      }
+      if (s.ok()) {
+        state->pieces[i].assign(reinterpret_cast<const char*>(v.data()), v.size());
+      }
+      if (--state->pending == 0 && !state->failed) {
+        std::string out;
+        out.reserve(state->total_len);
+        for (const std::string& p : state->pieces) {
+          out += p;
+        }
+        if (out.size() != state->total_len) {
+          state->cb(Status::Internal("reassembled length mismatch"), "");
+        } else {
+          state->cb(Status::Ok(), std::move(out));
+        }
+      }
+    });
+  }
+}
+
+void ChunkedClient::DeleteLarge(const Key& key, PutCallback cb) {
+  Key k0 = ChunkKey(key, 0);
+  client_->Get(owner_of_(k0), k0,
+               [this, key, cb = std::move(cb)](const Status& s, const Value& v) {
+                 if (!s.ok()) {
+                   cb(s);
+                   return;
+                 }
+                 uint32_t total = 0;
+                 if (v.size() >= 4) {
+                   std::memcpy(&total, v.data(), 4);
+                 }
+                 size_t chunks = NumChunks(total);
+                 struct State {
+                   size_t pending;
+                   bool failed = false;
+                   PutCallback cb;
+                 };
+                 auto state = std::make_shared<State>(State{chunks, false, std::move(cb)});
+                 for (uint32_t i = 0; i < chunks; ++i) {
+                   Key ki = ChunkKey(key, i);
+                   client_->Delete(owner_of_(ki), ki, [state](const Status& ds, const Value&) {
+                     if (!ds.ok() && !state->failed) {
+                       state->failed = true;
+                       state->cb(ds);
+                     }
+                     if (--state->pending == 0 && !state->failed) {
+                       state->cb(Status::Ok());
+                     }
+                   });
+                 }
+               });
+}
+
+}  // namespace netcache

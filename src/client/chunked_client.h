@@ -1,0 +1,64 @@
+// Large-value support by chunking (§5 "Restricted key-value interface").
+//
+// The switch serves values up to kMaxValueSize (128 B). The paper notes that
+// larger items "can always be divided into smaller chunks and retrieved with
+// multiple packets" — which is also what a storage server would have to do.
+// ChunkedClient implements that division in the client library:
+//
+//   chunk 0:  [4-byte total length][first 124 bytes of payload]
+//   chunk i:  [next 128 bytes of payload]
+//
+// Each chunk lives under a key derived from the item key and the chunk index
+// (so chunks hash-partition across servers independently, and hot large
+// items can be cached chunk-by-chunk by the switch like any other item).
+
+#ifndef NETCACHE_CLIENT_CHUNKED_CLIENT_H_
+#define NETCACHE_CLIENT_CHUNKED_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "client/client.h"
+
+namespace netcache {
+
+class ChunkedClient {
+ public:
+  // Payloads above this are rejected (64 KB keeps chunk fan-out sane).
+  static constexpr size_t kMaxLargeValue = 64 * 1024;
+
+  using PutCallback = std::function<void(const Status&)>;
+  using GetCallback = std::function<void(const Status&, const std::string&)>;
+
+  ChunkedClient(Client* client, std::function<IpAddress(const Key&)> owner_of);
+
+  // Derives the key under which chunk `index` of `key` is stored.
+  static Key ChunkKey(const Key& key, uint32_t index);
+  // Number of chunks a payload of `size` bytes occupies.
+  static size_t NumChunks(size_t size);
+
+  // Stores `payload` under `key` as chunks; cb fires after every chunk is
+  // acknowledged (or with the first error).
+  void PutLarge(const Key& key, std::string payload, PutCallback cb);
+
+  // Fetches and reassembles; kNotFound if the item (chunk 0) is absent,
+  // kInternal if chunks are inconsistent (e.g. concurrent overwrite).
+  void GetLarge(const Key& key, GetCallback cb);
+
+  // Removes all chunks. Reads chunk 0 first to learn the length.
+  void DeleteLarge(const Key& key, PutCallback cb);
+
+ private:
+  static constexpr size_t kChunk0Payload = kMaxValueSize - 4;
+
+  void FanOutGet(const Key& key, size_t total_len, std::string first_piece, GetCallback cb);
+
+  Client* client_;
+  std::function<IpAddress(const Key&)> owner_of_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_CLIENT_CHUNKED_CLIENT_H_

@@ -1,0 +1,72 @@
+#include "client/client.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace netcache {
+
+Client::Client(Simulator* sim, std::string name, const ClientConfig& config)
+    : Node(std::move(name)), sim_(sim), config_(config) {
+  NC_CHECK(sim != nullptr);
+}
+
+void Client::Get(IpAddress server, const Key& key, ResponseCallback cb) {
+  ++stats_.gets_sent;
+  SendQuery(MakeGet(config_.ip, server, key, next_seq_), std::move(cb));
+}
+
+void Client::Put(IpAddress server, const Key& key, const Value& value, ResponseCallback cb) {
+  ++stats_.puts_sent;
+  SendQuery(MakePut(config_.ip, server, key, value, next_seq_), std::move(cb));
+}
+
+void Client::Delete(IpAddress server, const Key& key, ResponseCallback cb) {
+  ++stats_.deletes_sent;
+  SendQuery(MakeDelete(config_.ip, server, key, next_seq_), std::move(cb));
+}
+
+void Client::SendQuery(Packet pkt, ResponseCallback cb) {
+  uint32_t seq = next_seq_++;
+  pkt.nc.seq = seq;
+  outstanding_[seq] = Pending{std::move(cb), sim_->Now()};
+  Send(0, pkt);
+
+  sim_->Schedule(config_.reply_timeout, [this, seq] {
+    auto it = outstanding_.find(seq);
+    if (it == outstanding_.end()) {
+      return;  // answered in time
+    }
+    Pending pending = std::move(it->second);
+    outstanding_.erase(it);
+    ++stats_.timeouts;
+    if (pending.cb) {
+      pending.cb(Status::Unavailable("query timed out"), Value{});
+    }
+  });
+}
+
+void Client::HandlePacket(const Packet& pkt, uint32_t /*in_port*/) {
+  if (!pkt.is_netcache || !IsReplyOp(pkt.nc.op)) {
+    return;
+  }
+  auto it = outstanding_.find(pkt.nc.seq);
+  if (it == outstanding_.end()) {
+    return;  // late reply after timeout; drop
+  }
+  Pending pending = std::move(it->second);
+  outstanding_.erase(it);
+  ++stats_.replies;
+  latency_.Record(sim_->Now() - pending.sent_at);
+
+  Status status = Status::Ok();
+  if (pkt.nc.op == OpCode::kGetReply && !pkt.nc.has_value) {
+    ++stats_.not_found;
+    status = Status::NotFound("no such key");
+  }
+  if (pending.cb) {
+    pending.cb(status, pkt.nc.value);
+  }
+}
+
+}  // namespace netcache

@@ -1,0 +1,98 @@
+// NetCache client library (§3 "Clients"): a Get/Put/Delete interface in the
+// style of Memcached/Redis that translates calls into NetCache packets and
+// matches replies back to callbacks by sequence number.
+//
+// The client is oblivious to the cache: it addresses every query to the
+// storage server that owns the key (per the hash partitioning) and the ToR
+// switch transparently answers reads it can serve (§4.1 "without any
+// knowledge of NetCache").
+
+#ifndef NETCACHE_CLIENT_CLIENT_H_
+#define NETCACHE_CLIENT_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/histogram.h"
+#include "common/status.h"
+#include "common/time_units.h"
+#include "net/node.h"
+#include "net/simulator.h"
+#include "proto/packet.h"
+
+namespace netcache {
+
+struct ClientConfig {
+  IpAddress ip = 0;
+  // Outstanding queries older than this are reported as kUnavailable (packet
+  // loss); reads are UDP, so loss is expected under overload.
+  SimDuration reply_timeout = 2 * kMillisecond;
+};
+
+struct ClientStats {
+  uint64_t gets_sent = 0;
+  uint64_t puts_sent = 0;
+  uint64_t deletes_sent = 0;
+  uint64_t replies = 0;
+  uint64_t not_found = 0;
+  uint64_t timeouts = 0;
+};
+
+class Client : public Node {
+ public:
+  // Callback for every operation: status is Ok / NotFound / Unavailable
+  // (timeout); `value` is meaningful for successful Gets.
+  using ResponseCallback = std::function<void(const Status&, const Value&)>;
+
+  Client(Simulator* sim, std::string name, const ClientConfig& config);
+
+  void Get(IpAddress server, const Key& key, ResponseCallback cb);
+  void Put(IpAddress server, const Key& key, const Value& value, ResponseCallback cb);
+  void Delete(IpAddress server, const Key& key, ResponseCallback cb);
+
+  // String-key convenience overloads (§5: variable-length keys are hashed to
+  // fixed 16-byte keys).
+  void Get(IpAddress server, std::string_view key, ResponseCallback cb) {
+    Get(server, Key::FromString(key), std::move(cb));
+  }
+  void Put(IpAddress server, std::string_view key, std::string_view value, ResponseCallback cb) {
+    Put(server, Key::FromString(key), Value::FromString(value), std::move(cb));
+  }
+  void Delete(IpAddress server, std::string_view key, ResponseCallback cb) {
+    Delete(server, Key::FromString(key), std::move(cb));
+  }
+
+  void HandlePacket(const Packet& pkt, uint32_t in_port) override;
+
+  const ClientStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ClientStats{}; }
+  // Latency of completed queries, in nanoseconds of simulated time.
+  const Histogram& latency() const { return latency_; }
+  Histogram& latency() { return latency_; }
+  size_t Outstanding() const { return outstanding_.size(); }
+
+  const ClientConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    ResponseCallback cb;
+    SimTime sent_at = 0;
+  };
+
+  void SendQuery(Packet pkt, ResponseCallback cb);
+
+  Simulator* sim_;
+  ClientConfig config_;
+  uint32_t next_seq_ = 1;
+  std::unordered_map<uint32_t, Pending> outstanding_;
+  ClientStats stats_;
+  Histogram latency_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_CLIENT_CLIENT_H_

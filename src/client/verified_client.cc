@@ -1,0 +1,68 @@
+#include "client/verified_client.h"
+
+#include <cstring>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace netcache {
+
+VerifiedClient::VerifiedClient(Client* client, std::function<IpAddress(const Key&)> owner_of)
+    : client_(client), owner_of_(std::move(owner_of)) {
+  NC_CHECK(client != nullptr);
+}
+
+uint64_t VerifiedClient::Fingerprint(std::string_view string_key) {
+  return SeededHashBytes(string_key.data(), string_key.size(), 0xf16e42a9u);
+}
+
+void VerifiedClient::Put(std::string_view string_key, std::string_view payload, PutCallback cb) {
+  if (payload.size() > kMaxPayload) {
+    cb(Status::InvalidArgument("payload exceeds verified-value budget"));
+    return;
+  }
+  Value v;
+  v.set_size(kFingerprintSize + payload.size());
+  uint64_t fp = Fingerprint(string_key);
+  std::memcpy(v.data(), &fp, kFingerprintSize);
+  std::memcpy(v.data() + kFingerprintSize, payload.data(), payload.size());
+  Key key = Key::FromString(string_key);
+  client_->Put(owner_of_(key), key, v,
+               [cb = std::move(cb)](const Status& s, const Value&) { cb(s); });
+}
+
+void VerifiedClient::Get(std::string_view string_key, GetCallback cb) {
+  Key key = Key::FromString(string_key);
+  uint64_t expected = Fingerprint(string_key);
+  client_->Get(owner_of_(key), key,
+               [expected, cb = std::move(cb)](const Status& s, const Value& v) {
+                 if (!s.ok()) {
+                   cb(s, "");
+                   return;
+                 }
+                 if (v.size() < kFingerprintSize) {
+                   cb(Status::Internal("value missing key fingerprint"), "");
+                   return;
+                 }
+                 uint64_t fp = 0;
+                 std::memcpy(&fp, v.data(), kFingerprintSize);
+                 if (fp != expected) {
+                   // §5: hash collision — the value belongs to a different
+                   // original key that maps to the same 16-byte key.
+                   cb(Status::FailedPrecondition("key hash collision detected"), "");
+                   return;
+                 }
+                 cb(Status::Ok(),
+                    std::string(reinterpret_cast<const char*>(v.data()) + kFingerprintSize,
+                                v.size() - kFingerprintSize));
+               });
+}
+
+void VerifiedClient::Delete(std::string_view string_key, PutCallback cb) {
+  Key key = Key::FromString(string_key);
+  client_->Delete(owner_of_(key), key,
+                  [cb = std::move(cb)](const Status& s, const Value&) { cb(s); });
+}
+
+}  // namespace netcache

@@ -1,0 +1,52 @@
+// Variable-length key support with collision verification (§5 "Restricted
+// key-value interface").
+//
+// NetCache keys are fixed 16-byte values; arbitrary string keys are hashed
+// into that space. §5: "The original keys can be stored together with the
+// values in order to handle hash collisions... when a client fetches a value
+// from the switch cache, it should verify whether the value is for the
+// queried key, by comparing the original key to that stored with the value."
+//
+// VerifiedClient implements exactly that: each stored value is prefixed with
+// an 8-byte fingerprint of the original string key (a compact stand-in for
+// storing the full original key, which the 128-byte value budget cannot
+// spare). Get verifies the fingerprint and surfaces a mismatch as
+// kFailedPrecondition — the collision signal §5 says should trigger a
+// direct-to-server retry path.
+
+#ifndef NETCACHE_CLIENT_VERIFIED_CLIENT_H_
+#define NETCACHE_CLIENT_VERIFIED_CLIENT_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "client/client.h"
+
+namespace netcache {
+
+class VerifiedClient {
+ public:
+  // 8 bytes of the 128-byte value budget go to the key fingerprint.
+  static constexpr size_t kFingerprintSize = 8;
+  static constexpr size_t kMaxPayload = kMaxValueSize - kFingerprintSize;
+
+  using PutCallback = std::function<void(const Status&)>;
+  using GetCallback = std::function<void(const Status&, const std::string&)>;
+
+  VerifiedClient(Client* client, std::function<IpAddress(const Key&)> owner_of);
+
+  static uint64_t Fingerprint(std::string_view string_key);
+
+  void Put(std::string_view string_key, std::string_view payload, PutCallback cb);
+  void Get(std::string_view string_key, GetCallback cb);
+  void Delete(std::string_view string_key, PutCallback cb);
+
+ private:
+  Client* client_;
+  std::function<IpAddress(const Key&)> owner_of_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_CLIENT_VERIFIED_CLIENT_H_

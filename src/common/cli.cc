@@ -1,0 +1,68 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+namespace netcache {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+std::string ArgParser::GetString(const std::string& name, const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+int64_t ArgParser::GetInt(const std::string& name, int64_t def) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("--" + name + " expects an integer, got '" + it->second + "'");
+    return def;
+  }
+  return v;
+}
+
+double ArgParser::GetDouble(const std::string& name, double def) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return def;
+  }
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("--" + name + " expects a number, got '" + it->second + "'");
+    return def;
+  }
+  return v;
+}
+
+bool ArgParser::GetBool(const std::string& name, bool def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return def;
+  }
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace netcache

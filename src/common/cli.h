@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for the tools and benches.
+//
+// Accepts `--name=value`, `--name value`, and bare `--name` (boolean true);
+// everything else is positional. Typed getters record an error instead of
+// aborting so tools can print usage.
+
+#ifndef NETCACHE_COMMON_CLI_H_
+#define NETCACHE_COMMON_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace netcache {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  bool Has(const std::string& name) const { return flags_.count(name) != 0; }
+
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def);
+  double GetDouble(const std::string& name, double def);
+  bool GetBool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+  bool ok() const { return errors_.empty(); }
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_COMMON_CLI_H_

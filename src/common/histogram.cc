@@ -1,0 +1,93 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace netcache {
+
+Histogram::Histogram() : buckets_(kSubBuckets, 0) {}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<size_t>(value);
+  }
+  int msb = 63 - std::countl_zero(value);
+  int shift = msb - kSubBucketBits + 1;
+  uint64_t sub = value >> shift;  // in [kSubBuckets/2, kSubBuckets)
+  return kSubBuckets + static_cast<size_t>(shift - 1) * (kSubBuckets / 2) +
+         static_cast<size_t>(sub - kSubBuckets / 2);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  size_t rem = index - kSubBuckets;
+  int shift = static_cast<int>(rem / (kSubBuckets / 2)) + 1;
+  uint64_t sub = rem % (kSubBuckets / 2) + kSubBuckets / 2;
+  return ((sub + 1) << shift) - 1;
+}
+
+void Histogram::Record(uint64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(uint64_t value, uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  size_t idx = BucketIndex(value);
+  if (idx >= buckets_.size()) {
+    buckets_.resize(idx + 1, 0);
+  }
+  buckets_[idx] += count;
+  count_ += count;
+  sum_ += value * count;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  buckets_.resize(kSubBuckets);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ull;
+  max_ = 0;
+}
+
+}  // namespace netcache

@@ -1,0 +1,54 @@
+// Latency histogram with logarithmic buckets and exact low-range resolution.
+//
+// Records non-negative values (we use nanoseconds) and answers mean, quantile
+// and count queries. Buckets follow an HdrHistogram-like scheme: values up to
+// 1024 are exact; above that, each power-of-two range is split into 512
+// sub-buckets, giving <= 0.2% relative error across the full 64-bit range.
+
+#ifndef NETCACHE_COMMON_HISTOGRAM_H_
+#define NETCACHE_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace netcache {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(uint64_t value);
+  void RecordN(uint64_t value, uint64_t count);
+
+  // Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Returns the value at quantile q in [0, 1]; e.g. q=0.5 for the median,
+  // q=0.99 for p99. Returns 0 on an empty histogram.
+  uint64_t Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  static constexpr int kSubBucketBits = 9;  // 512 sub-buckets per power of two
+  static constexpr uint64_t kSubBuckets = 1ull << kSubBucketBits;
+
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketUpperBound(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~0ull;
+  uint64_t max_ = 0;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_COMMON_HISTOGRAM_H_

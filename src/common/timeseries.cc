@@ -1,0 +1,33 @@
+#include "common/timeseries.h"
+
+namespace netcache {
+
+TimeSeries::TimeSeries(uint64_t bin_width) : bin_width_(bin_width) {}
+
+void TimeSeries::Add(uint64_t time, double amount) {
+  size_t bin = static_cast<size_t>(time / bin_width_);
+  if (bin >= bins_.size()) {
+    bins_.resize(bin + 1, 0.0);
+  }
+  bins_[bin] += amount;
+}
+
+double TimeSeries::BinSum(size_t i) const { return i < bins_.size() ? bins_[i] : 0.0; }
+
+double TimeSeries::BinRate(size_t i) const {
+  return BinSum(i) / static_cast<double>(bin_width_);
+}
+
+std::vector<double> TimeSeries::Aggregate(size_t factor) const {
+  std::vector<double> out;
+  if (factor == 0) {
+    return out;
+  }
+  out.resize((bins_.size() + factor - 1) / factor, 0.0);
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    out[i / factor] += bins_[i];
+  }
+  return out;
+}
+
+}  // namespace netcache

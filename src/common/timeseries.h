@@ -1,0 +1,45 @@
+// Time-binned counter, used to report throughput over time (Fig 11).
+//
+// Values are accumulated into fixed-width bins of simulated time; the series
+// can then be read back per-bin or re-aggregated into coarser windows (the
+// paper plots both per-second and per-10-second averages).
+
+#ifndef NETCACHE_COMMON_TIMESERIES_H_
+#define NETCACHE_COMMON_TIMESERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace netcache {
+
+class TimeSeries {
+ public:
+  // bin_width: width of one bin in time units (e.g. nanoseconds).
+  explicit TimeSeries(uint64_t bin_width);
+
+  // Adds `amount` to the bin containing `time`.
+  void Add(uint64_t time, double amount);
+
+  // Number of bins observed so far (highest bin touched + 1).
+  size_t NumBins() const { return bins_.size(); }
+
+  // Sum accumulated in bin i (0 if untouched).
+  double BinSum(size_t i) const;
+
+  // Sum per time-unit rate in bin i, i.e. BinSum / bin_width.
+  double BinRate(size_t i) const;
+
+  // Aggregates `factor` consecutive bins into one; returns the coarser sums.
+  std::vector<double> Aggregate(size_t factor) const;
+
+  uint64_t bin_width() const { return bin_width_; }
+
+ private:
+  uint64_t bin_width_;
+  std::vector<double> bins_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_COMMON_TIMESERIES_H_

@@ -1,0 +1,79 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace netcache {
+
+double GeneralizedHarmonic(uint64_t n, double alpha) {
+  double sum = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    sum += std::pow(static_cast<double>(k), -alpha);
+  }
+  return sum;
+}
+
+ZipfTable::ZipfTable(uint64_t n, double alpha) : n_(n), alpha_(alpha), cdf_(n) {
+  double sum = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    sum += std::pow(static_cast<double>(k + 1), -alpha);
+    cdf_[k] = sum;
+  }
+  for (uint64_t k = 0; k < n; ++k) {
+    cdf_[k] /= sum;
+  }
+  cdf_[n - 1] = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfTable::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfTable::Pmf(uint64_t rank) const {
+  if (rank >= n_) {
+    return 0.0;
+  }
+  double prev = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - prev;
+}
+
+ZipfRejectionInversion::ZipfRejectionInversion(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  // Ranks are 1-based internally (value k in [1, n]); we return k-1.
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -alpha));
+}
+
+double ZipfRejectionInversion::H(double x) const {
+  if (alpha_ == 1.0) {
+    return std::log(x);
+  }
+  return std::pow(x, 1.0 - alpha_) / (1.0 - alpha_);
+}
+
+double ZipfRejectionInversion::HInverse(double x) const {
+  if (alpha_ == 1.0) {
+    return std::exp(x);
+  }
+  return std::pow((1.0 - alpha_) * x, 1.0 / (1.0 - alpha_));
+}
+
+uint64_t ZipfRejectionInversion::Sample(Rng& rng) const {
+  while (true) {
+    double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) {
+      k = 1.0;
+    } else if (k > static_cast<double>(n_)) {
+      k = static_cast<double>(n_);
+    }
+    if (k - x <= s_ || u >= H(k + 0.5) - std::pow(k, -alpha_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace netcache

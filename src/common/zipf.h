@@ -1,0 +1,73 @@
+// Zipf-distributed integer sampling.
+//
+// The paper's clients generate queries "according to a Zipf distribution with
+// different skewness parameters (0.9, 0.95, 0.99)" using the approximation
+// techniques of Gray et al. [18]. We provide two samplers:
+//
+//   - ZipfTable: exact inverse-CDF sampling via a precomputed table + binary
+//     search. O(n) memory, O(log n) per draw. Used when exactness matters
+//     (tests, statistics) and n is moderate.
+//   - ZipfRejectionInversion: Hormann/Derflinger rejection-inversion, O(1)
+//     memory and amortized O(1) per draw for any n. Used for large keyspaces.
+//
+// Both return a rank in [0, n), where rank 0 is the most popular item.
+
+#ifndef NETCACHE_COMMON_ZIPF_H_
+#define NETCACHE_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace netcache {
+
+// Exact Zipf sampler over ranks [0, n) with P(rank k) proportional to
+// 1 / (k+1)^alpha.
+class ZipfTable {
+ public:
+  ZipfTable(uint64_t n, double alpha);
+
+  uint64_t Sample(Rng& rng) const;
+
+  // Probability mass of a given rank.
+  double Pmf(uint64_t rank) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  uint64_t n_;
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k)
+};
+
+// Rejection-inversion sampler (W. Hormann, G. Derflinger, "Rejection-inversion
+// to generate variates from monotone discrete distributions", 1996). Supports
+// alpha > 0, alpha != 1 handled via the generalized harmonic integral.
+class ZipfRejectionInversion {
+ public:
+  ZipfRejectionInversion(uint64_t n, double alpha);
+
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  double H(double x) const;         // integral of 1/x^alpha, shifted form
+  double HInverse(double x) const;  // inverse of H
+
+  uint64_t n_;
+  double alpha_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+};
+
+// Returns the generalized harmonic number sum_{k=1}^{n} 1/k^alpha.
+double GeneralizedHarmonic(uint64_t n, double alpha);
+
+}  // namespace netcache
+
+#endif  // NETCACHE_COMMON_ZIPF_H_

@@ -1,0 +1,153 @@
+#include "core/multirack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "proto/key.h"
+#include "workload/partition.h"
+
+namespace netcache {
+
+const char* MultiRackModeName(MultiRackMode mode) {
+  switch (mode) {
+    case MultiRackMode::kNoCache:
+      return "NoCache";
+    case MultiRackMode::kLeafCache:
+      return "LeafCache";
+    case MultiRackMode::kLeafSpineCache:
+      return "LeafSpineCache";
+  }
+  return "?";
+}
+
+namespace {
+
+double ApproxHarmonic(uint64_t n, double alpha) {
+  constexpr uint64_t kExactTerms = 10'000;
+  double sum = 0.0;
+  uint64_t exact = std::min(n, kExactTerms);
+  for (uint64_t k = 1; k <= exact; ++k) {
+    sum += std::pow(static_cast<double>(k), -alpha);
+  }
+  if (n > kExactTerms) {
+    double a = static_cast<double>(kExactTerms) + 0.5;
+    double b = static_cast<double>(n) + 0.5;
+    if (alpha == 1.0) {
+      sum += std::log(b / a);
+    } else {
+      sum += (std::pow(b, 1.0 - alpha) - std::pow(a, 1.0 - alpha)) / (1.0 - alpha);
+    }
+  }
+  return sum;
+}
+
+enum class Tier : uint8_t { kServer = 0, kTor = 1, kSpine = 2 };
+
+}  // namespace
+
+MultiRackResult SolveMultiRack(const MultiRackConfig& cfg) {
+  NC_CHECK(cfg.num_racks > 0 && cfg.servers_per_rack > 0);
+  const size_t num_servers = cfg.num_racks * cfg.servers_per_rack;
+  const size_t exact =
+      static_cast<size_t>(std::min<uint64_t>(cfg.num_keys, cfg.exact_ranks));
+
+  // Popularity and placement of the exactly-tracked ranks.
+  std::vector<double> pmf(exact);
+  double h = ApproxHarmonic(cfg.num_keys, cfg.zipf_alpha);
+  double exact_mass = 0.0;
+  for (size_t r = 0; r < exact; ++r) {
+    pmf[r] = std::pow(static_cast<double>(r + 1), -cfg.zipf_alpha) / h;
+    exact_mass += pmf[r];
+  }
+  double tail_mass = std::max(0.0, 1.0 - exact_mass);
+
+  HashPartitioner part(num_servers, cfg.partition_seed);
+  std::vector<size_t> server_of(exact);
+  for (size_t r = 0; r < exact; ++r) {
+    server_of[r] = part.PartitionOf(Key::FromUint64(r));
+  }
+
+  // Which tier serves each exact rank.
+  std::vector<Tier> tier(exact, Tier::kServer);
+  size_t spine_cached = 0;
+  if (cfg.mode == MultiRackMode::kLeafSpineCache) {
+    spine_cached = std::min(exact, cfg.cache_items_per_switch);
+    for (size_t r = 0; r < spine_cached; ++r) {
+      tier[r] = Tier::kSpine;
+    }
+  }
+  if (cfg.mode != MultiRackMode::kNoCache) {
+    // Each ToR caches the hottest remaining items owned by its rack.
+    std::vector<size_t> rack_quota(cfg.num_racks, cfg.cache_items_per_switch);
+    for (size_t r = spine_cached; r < exact; ++r) {
+      size_t rack = server_of[r] / cfg.servers_per_rack;
+      if (rack_quota[rack] > 0) {
+        tier[r] = Tier::kTor;
+        --rack_quota[rack];
+      }
+    }
+  }
+
+  // Aggregate mass per consumer so Feasible() is O(#consumers).
+  std::vector<double> server_mass(num_servers, 0.0);
+  std::vector<double> tor_mass(cfg.num_racks, 0.0);
+  double spine_mass = 0.0;
+  for (size_t r = 0; r < exact; ++r) {
+    switch (tier[r]) {
+      case Tier::kServer:
+        server_mass[server_of[r]] += pmf[r];
+        break;
+      case Tier::kTor:
+        tor_mass[server_of[r] / cfg.servers_per_rack] += pmf[r];
+        break;
+      case Tier::kSpine:
+        spine_mass += pmf[r];
+        break;
+    }
+  }
+  double tail_per_server = tail_mass / static_cast<double>(num_servers);
+  double max_server_mass = 0.0;
+  for (double m : server_mass) {
+    max_server_mass = std::max(max_server_mass, m + tail_per_server);
+  }
+  double max_tor_mass = 0.0;
+  for (double m : tor_mass) {
+    max_tor_mass = std::max(max_tor_mass, m);
+  }
+  double per_spine_mass =
+      cfg.num_spines > 0 ? spine_mass / static_cast<double>(cfg.num_spines) : 0.0;
+
+  // Saturation rate: the tightest of the three capacity constraints.
+  double rate = max_server_mass > 0 ? cfg.server_rate_qps / max_server_mass : 1e18;
+  std::string limit = "server";
+  if (max_tor_mass > 0) {
+    double tor_rate = cfg.tor_capacity_qps / max_tor_mass;
+    if (tor_rate < rate) {
+      rate = tor_rate;
+      limit = "tor";
+    }
+  }
+  if (per_spine_mass > 0) {
+    double spine_rate = cfg.spine_capacity_qps / per_spine_mass;
+    if (spine_rate < rate) {
+      rate = spine_rate;
+      limit = "spine";
+    }
+  }
+
+  MultiRackResult result;
+  result.total_qps = rate;
+  result.spine_qps = spine_mass * rate;
+  double tor_total = 0.0;
+  for (double m : tor_mass) {
+    tor_total += m;
+  }
+  result.tor_qps = tor_total * rate;
+  result.server_qps = rate - result.spine_qps - result.tor_qps;
+  result.limited_by = limit;
+  return result;
+}
+
+}  // namespace netcache

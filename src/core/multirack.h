@@ -1,0 +1,56 @@
+// Multi-rack scalability model (§5 "Scaling to multiple racks", Fig 10(f)).
+//
+// Read-only capacity model over `num_racks` racks of `servers_per_rack`
+// servers, following the paper's simulation: switches are assumed to absorb
+// queries to the items they cache, and the system saturates at the first
+// component to hit its capacity.
+//
+//   NoCache        — every query goes to its key's server.
+//   LeafCache      — each ToR caches the hottest items *owned by its rack*;
+//                    ToR-served load is bounded per ToR, so the rack owning
+//                    the globally hottest keys becomes the bottleneck.
+//   LeafSpineCache — spine switches additionally cache the globally hottest
+//                    items, replicated across all spines with load spread
+//                    evenly; inter-rack imbalance disappears.
+
+#ifndef NETCACHE_CORE_MULTIRACK_H_
+#define NETCACHE_CORE_MULTIRACK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace netcache {
+
+enum class MultiRackMode { kNoCache, kLeafCache, kLeafSpineCache };
+
+const char* MultiRackModeName(MultiRackMode mode);
+
+struct MultiRackConfig {
+  size_t num_racks = 32;
+  size_t servers_per_rack = 128;
+  double server_rate_qps = 10e6;
+  double tor_capacity_qps = 2.0e9;    // cache-served bound per ToR
+  size_t num_spines = 4;
+  double spine_capacity_qps = 2.0e9;  // cache-served bound per spine switch
+  size_t cache_items_per_switch = 10'000;
+  uint64_t num_keys = 100'000'000;
+  double zipf_alpha = 0.99;
+  size_t exact_ranks = 1 << 20;  // must cover all cached ranks
+  uint64_t partition_seed = 0x70617274;
+  MultiRackMode mode = MultiRackMode::kLeafSpineCache;
+};
+
+struct MultiRackResult {
+  double total_qps = 0;
+  double spine_qps = 0;   // served by spine caches
+  double tor_qps = 0;     // served by ToR caches
+  double server_qps = 0;  // served by storage servers
+  std::string limited_by;  // "server", "tor", or "spine"
+};
+
+MultiRackResult SolveMultiRack(const MultiRackConfig& config);
+
+}  // namespace netcache
+
+#endif  // NETCACHE_CORE_MULTIRACK_H_

@@ -1,0 +1,187 @@
+#include "core/saturation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "proto/key.h"
+#include "workload/partition.h"
+
+namespace netcache {
+
+namespace {
+
+// Generalized harmonic number with an integral tail approximation: exact for
+// the first `kExactTerms` terms, Euler-Maclaurin style continuation after.
+// Relative error < 1e-8 for the alphas we use; O(1) in n beyond the prefix.
+double ApproxHarmonic(uint64_t n, double alpha) {
+  constexpr uint64_t kExactTerms = 10'000;
+  if (n <= kExactTerms) {
+    double sum = 0.0;
+    for (uint64_t k = 1; k <= n; ++k) {
+      sum += std::pow(static_cast<double>(k), -alpha);
+    }
+    return sum;
+  }
+  double sum = ApproxHarmonic(kExactTerms, alpha);
+  double a = static_cast<double>(kExactTerms) + 0.5;
+  double b = static_cast<double>(n) + 0.5;
+  if (alpha == 1.0) {
+    sum += std::log(b / a);
+  } else {
+    sum += (std::pow(b, 1.0 - alpha) - std::pow(a, 1.0 - alpha)) / (1.0 - alpha);
+  }
+  return sum;
+}
+
+struct Model {
+  const SaturationConfig& cfg;
+  std::vector<double> pmf;        // exact mass of ranks [0, K)
+  std::vector<size_t> partition;  // owning partition of rank r's key
+  double tail_mass = 0.0;         // mass of ranks >= K
+  size_t exact = 0;
+
+  explicit Model(const SaturationConfig& c) : cfg(c) {
+    exact = static_cast<size_t>(
+        std::min<uint64_t>(c.num_keys, static_cast<uint64_t>(c.exact_ranks)));
+    // The cached set must be accounted exactly.
+    NC_CHECK(c.cache_size <= exact) << "raise exact_ranks above cache_size";
+    pmf.resize(exact);
+    partition.resize(exact);
+    HashPartitioner part(c.num_partitions, c.partition_seed);
+    if (c.zipf_alpha > 0.0) {
+      double h = ApproxHarmonic(c.num_keys, c.zipf_alpha);
+      double sum = 0.0;
+      for (size_t r = 0; r < exact; ++r) {
+        pmf[r] = std::pow(static_cast<double>(r + 1), -c.zipf_alpha) / h;
+        sum += pmf[r];
+      }
+      tail_mass = std::max(0.0, 1.0 - sum);
+    } else {
+      double p = 1.0 / static_cast<double>(c.num_keys);
+      for (size_t r = 0; r < exact; ++r) {
+        pmf[r] = p;
+      }
+      tail_mass = 1.0 - p * static_cast<double>(exact);
+    }
+    for (size_t r = 0; r < exact; ++r) {
+      partition[r] = part.PartitionOf(Key::FromUint64(r));
+    }
+  }
+
+  struct Loads {
+    std::vector<double> server;  // service units/s per partition
+    double cache = 0.0;          // queries/s served by the switch
+    double completed_server = 0.0;  // queries/s completed by servers
+  };
+
+  // Offered aggregate rate R -> resulting loads.
+  Loads Evaluate(double rate) const {
+    const double w = cfg.write_ratio;
+    const double tau = ToSeconds(cfg.invalidation_window);
+    Loads out;
+    out.server.assign(cfg.num_partitions, 0.0);
+
+    // Exactly-tracked ranks.
+    double uniform_write_mass_accounted = 0.0;
+    for (size_t r = 0; r < exact; ++r) {
+      double read_qps = (1.0 - w) * pmf[r] * rate;
+      double write_share =
+          cfg.skewed_writes ? pmf[r] : 1.0 / static_cast<double>(cfg.num_keys);
+      double write_qps = w * write_share * rate;
+      if (!cfg.skewed_writes) {
+        uniform_write_mass_accounted += write_share;
+      }
+      if (r < cfg.cache_size) {
+        if (cfg.write_back) {
+          // §5 write-back: reads AND writes on cached keys are switch work;
+          // the server only sees the (amortized-away) flush traffic.
+          out.cache += read_qps + write_qps;
+        } else {
+          // Write-through: reads hit the switch except while invalidated.
+          double invalid = std::min(1.0, write_qps * tau);
+          out.cache += read_qps * (1.0 - invalid);
+          out.server[partition[r]] +=
+              read_qps * invalid + write_qps * (1.0 + cfg.cache_update_overhead);
+          out.completed_server += read_qps * invalid + write_qps;
+        }
+      } else {
+        out.server[partition[r]] += read_qps + write_qps;
+        out.completed_server += read_qps + write_qps;
+      }
+    }
+
+    // Tail: cold keys spread evenly over partitions by hashing.
+    double tail_read = (1.0 - w) * tail_mass * rate;
+    double tail_write = cfg.skewed_writes
+                            ? w * tail_mass * rate
+                            : w * rate * (1.0 - uniform_write_mass_accounted);
+    double per_server_tail =
+        (tail_read + tail_write) / static_cast<double>(cfg.num_partitions);
+    for (double& s : out.server) {
+      s += per_server_tail;
+    }
+    out.completed_server += tail_read + tail_write;
+    return out;
+  }
+
+  bool Feasible(double rate) const {
+    Loads loads = Evaluate(rate);
+    if (loads.cache > cfg.switch_capacity_qps) {
+      return false;
+    }
+    for (double s : loads.server) {
+      if (s > cfg.server_rate_qps) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+SaturationResult SolveSaturation(const SaturationConfig& config) {
+  NC_CHECK(config.num_partitions > 0);
+  NC_CHECK(config.server_rate_qps > 0);
+  Model model(config);
+
+  double lo = 0.0;
+  double hi = static_cast<double>(config.num_partitions) * config.server_rate_qps +
+              config.switch_capacity_qps;
+  for (int i = 0; i < 64; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (model.Feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+
+  Model::Loads loads = model.Evaluate(lo);
+  SaturationResult result;
+  result.total_qps = lo;
+  result.cache_qps = loads.cache;
+  result.server_qps = loads.completed_server;
+  result.cache_hit_fraction = lo > 0 ? loads.cache / lo : 0.0;
+  result.per_server_qps = loads.server;
+  size_t bottleneck = 0;
+  for (size_t i = 1; i < loads.server.size(); ++i) {
+    if (loads.server[i] > loads.server[bottleneck]) {
+      bottleneck = i;
+    }
+  }
+  result.bottleneck_server = bottleneck;
+  // Which constraint binds (within search tolerance)?
+  double server_headroom =
+      config.server_rate_qps - loads.server[bottleneck];
+  double switch_headroom = config.switch_capacity_qps - loads.cache;
+  result.limited_by =
+      server_headroom / config.server_rate_qps <
+              switch_headroom / config.switch_capacity_qps
+          ? "server"
+          : "switch";
+  return result;
+}
+
+}  // namespace netcache

@@ -1,0 +1,74 @@
+// Saturation-throughput solver: the closed-form counterpart of the paper's
+// server-rotation methodology (§7.1).
+//
+// The paper measures rack throughput by finding the offered load that
+// saturates the bottleneck partition and summing per-partition throughputs.
+// This solver does the same arithmetic directly: given the workload
+// distribution, the cached set, and per-component capacities, it binary-
+// searches the largest aggregate query rate R such that no storage server
+// exceeds its service rate and the switch stays within its capacity, then
+// reports the resulting cache/server split and the per-server loads.
+//
+// Write handling models §4.3/§7.3 semantics:
+//   - every write is served by the owning server;
+//   - a write to a cached key additionally costs the server the data-plane
+//     cache-update work (`cache_update_overhead` extra service units);
+//   - while updates are in flight the entry is invalid, so a fraction
+//     min(1, write_rate_to_key * invalidation_window) of that key's reads
+//     falls through to the server — this is what erodes NetCache's benefit
+//     under skewed write-heavy workloads (Fig 10(d)).
+
+#ifndef NETCACHE_CORE_SATURATION_H_
+#define NETCACHE_CORE_SATURATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time_units.h"
+
+namespace netcache {
+
+struct SaturationConfig {
+  size_t num_partitions = 128;
+  double server_rate_qps = 10e6;  // T: per-partition service rate
+  uint64_t num_keys = 1'000'000;
+  double zipf_alpha = 0.99;  // 0 = uniform popularity
+  size_t cache_size = 10'000;  // items cached at the ToR; 0 = NoCache
+  double write_ratio = 0.0;
+  bool skewed_writes = false;  // writes follow the read Zipf when true
+  // Experimental §5 in-switch write handling: writes to cached keys are
+  // absorbed by the switch (counted against switch capacity) instead of
+  // invalidating the entry and loading the server.
+  bool write_back = false;
+  // Extra server service units consumed per write to a cached key (the
+  // agent's switch-refresh work).
+  double cache_update_overhead = 1.0;
+  // Mean time a cached entry stays invalid after a write before the server's
+  // data-plane update re-validates it (~one server-to-switch update RTT).
+  SimDuration invalidation_window = 1 * kMicrosecond;
+  // Aggregate rate the switch cache can serve (per-pipe line rate bound;
+  // the prototype measured 2.24 BQPS fed by two servers, >4 BQPS chip max).
+  double switch_capacity_qps = 2.24e9;
+  // Ranks accounted exactly; the remaining tail mass is spread uniformly
+  // across partitions (valid because cold keys are numerous and hashed).
+  size_t exact_ranks = 262'144;
+  uint64_t partition_seed = 0x70617274;
+};
+
+struct SaturationResult {
+  double total_qps = 0;        // aggregate completed queries/s at saturation
+  double cache_qps = 0;        // portion served by the switch cache
+  double server_qps = 0;       // portion served by storage servers
+  double cache_hit_fraction = 0;  // of all queries
+  std::vector<double> per_server_qps;  // load on each server at saturation
+  size_t bottleneck_server = 0;
+  std::string limited_by;  // "server" or "switch"
+};
+
+SaturationResult SolveSaturation(const SaturationConfig& config);
+
+}  // namespace netcache
+
+#endif  // NETCACHE_CORE_SATURATION_H_

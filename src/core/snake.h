@@ -1,0 +1,68 @@
+// Snake-test harness (§7.1): "a standard practice in industry to benchmark
+// switch performance". Ports 0 and n-1 face traffic endpoints; each
+// intermediate port pair (2i-1, 2i) is looped with a cable, so one injected
+// query is processed by the NetCache pipeline n/2 times before it reaches
+// the far endpoint. The Fig 9 experiment uses this to stress the switch at
+// full load: 2 servers x 35 MQPS x 32 passes = 2.24 BQPS of query
+// processing.
+
+#ifndef NETCACHE_CORE_SNAKE_H_
+#define NETCACHE_CORE_SNAKE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "dataplane/netcache_switch.h"
+#include "net/link.h"
+#include "net/simulator.h"
+#include "workload/generator.h"
+
+namespace netcache {
+
+struct SnakeResult {
+  uint64_t sent = 0;
+  uint64_t received = 0;       // replies that reached the far endpoint
+  uint64_t value_ok = 0;       // replies whose value matched the cached item
+  uint64_t pipeline_reads = 0; // Get processings inside the switch (all passes)
+  size_t passes = 0;           // pipeline passes per injected query
+  double amplification = 0;    // pipeline_reads / sent
+};
+
+class SnakeHarness {
+ public:
+  // num_ports must be even and >= 4. The switch is configured so that a
+  // query entering port 0 exits port num_ports-1 after num_ports/2 passes.
+  SnakeHarness(const SwitchConfig& config, size_t num_ports);
+  ~SnakeHarness();
+
+  // Installs `count` items (key ids 0..count-1) with `value_size`-byte
+  // filler values into the switch cache.
+  Status CacheItems(size_t count, size_t value_size);
+
+  // Injects `queries` Get queries (round-robin over the cached items) from
+  // the near endpoint, paced `pacing` apart, and runs the simulation to
+  // completion.
+  SnakeResult Run(uint64_t queries, SimDuration pacing);
+
+  NetCacheSwitch& tor() { return *switch_; }
+  Simulator& sim() { return sim_; }
+
+ private:
+  class Endpoint;
+
+  Simulator sim_;
+  size_t num_ports_;
+  size_t cached_items_ = 0;
+  size_t value_size_ = 0;
+  std::unique_ptr<NetCacheSwitch> switch_;
+  std::unique_ptr<Endpoint> sender_;
+  std::unique_ptr<Endpoint> receiver_;
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_CORE_SNAKE_H_

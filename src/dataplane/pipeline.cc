@@ -1,0 +1,247 @@
+#include "dataplane/pipeline.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace netcache {
+
+const char* TableKindName(TableKind kind) {
+  switch (kind) {
+    case TableKind::kExact:
+      return "exact";
+    case TableKind::kTernary:
+      return "ternary";
+    case TableKind::kRegister:
+      return "register";
+  }
+  return "?";
+}
+
+size_t TableSpec::SramBits() const {
+  switch (kind) {
+    case TableKind::kExact:
+      // Exact match burns SRAM for keys + action data (+ ~10% hash overhead).
+      return entries * (key_bits + action_bits) * 11 / 10;
+    case TableKind::kTernary:
+      // Action data of TCAM tables still lives in SRAM.
+      return entries * action_bits;
+    case TableKind::kRegister:
+      return register_slots * register_slot_bits;
+  }
+  return 0;
+}
+
+size_t TableSpec::TcamBits() const {
+  if (kind != TableKind::kTernary) {
+    return 0;
+  }
+  // Ternary entries store key + mask.
+  return entries * key_bits * 2;
+}
+
+size_t PlacementResult::StagesUsed() const {
+  size_t used = 0;
+  for (size_t s = 0; s < stages.size(); ++s) {
+    if (stages[s].tables > 0) {
+      used = s + 1;
+    }
+  }
+  return used;
+}
+
+std::string PlacementResult::ToString(const std::vector<TableSpec>& tables) const {
+  std::ostringstream os;
+  if (!feasible) {
+    os << "INFEASIBLE: " << error << "\n";
+    return os.str();
+  }
+  for (size_t s = 0; s < stages.size(); ++s) {
+    if (stages[s].tables == 0) {
+      continue;
+    }
+    os << "stage " << s << ": ";
+    for (size_t t = 0; t < tables.size(); ++t) {
+      if (stage_of[t] == static_cast<int>(s)) {
+        os << tables[t].name << "(" << TableKindName(tables[t].kind) << ") ";
+      }
+    }
+    os << "[sram " << stages[s].sram_bits / 8192 << " KB, regs " << stages[s].register_arrays
+       << "]\n";
+  }
+  return os.str();
+}
+
+PlacementResult PipelineCompiler::Place(const PipeSpec& pipe,
+                                        const std::vector<TableSpec>& tables) {
+  PlacementResult result;
+  result.stage_of.assign(tables.size(), -1);
+  result.stages.assign(pipe.num_stages, StageUsage{});
+
+  std::unordered_map<std::string, size_t> index_of;
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (!index_of.emplace(tables[i].name, i).second) {
+      result.error = "duplicate table name: " + tables[i].name;
+      return result;
+    }
+  }
+
+  // Kahn's algorithm for a dependency-respecting order.
+  std::vector<size_t> indegree(tables.size(), 0);
+  std::vector<std::vector<size_t>> dependents(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    for (const std::string& dep : tables[i].after) {
+      auto it = index_of.find(dep);
+      if (it == index_of.end()) {
+        result.error = tables[i].name + " depends on unknown table " + dep;
+        return result;
+      }
+      dependents[it->second].push_back(i);
+      ++indegree[i];
+    }
+  }
+  std::vector<size_t> order;
+  order.reserve(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (indegree[i] == 0) {
+      order.push_back(i);
+    }
+  }
+  for (size_t head = 0; head < order.size(); ++head) {
+    for (size_t next : dependents[order[head]]) {
+      if (--indegree[next] == 0) {
+        order.push_back(next);
+      }
+    }
+  }
+  if (order.size() != tables.size()) {
+    result.error = "dependency cycle among tables";
+    return result;
+  }
+
+  auto fits = [&pipe](const StageUsage& usage, const TableSpec& t) {
+    if (usage.tables + 1 > pipe.stage.tables) {
+      return false;
+    }
+    if (usage.sram_bits + t.SramBits() > pipe.stage.sram_bits) {
+      return false;
+    }
+    if (usage.tcam_bits + t.TcamBits() > pipe.stage.tcam_bits) {
+      return false;
+    }
+    if (t.kind == TableKind::kRegister &&
+        usage.register_arrays + 1 > pipe.stage.register_arrays) {
+      return false;
+    }
+    return true;
+  };
+
+  auto place_one = [&](const TableSpec& t, size_t first, size_t table_index,
+                       const std::string& label) {
+    for (size_t s = first; s < pipe.num_stages; ++s) {
+      if (fits(result.stages[s], t)) {
+        if (result.stage_of[table_index] < 0) {
+          result.stage_of[table_index] = static_cast<int>(s);  // first part's stage
+        }
+        StageUsage& usage = result.stages[s];
+        usage.sram_bits += t.SramBits();
+        usage.tcam_bits += t.TcamBits();
+        usage.register_arrays += t.kind == TableKind::kRegister ? 1 : 0;
+        usage.tables += 1;
+        usage.table_names.push_back(label);
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (size_t idx : order) {
+    const TableSpec& t = tables[idx];
+    // Earliest admissible stage: strictly after every dependency.
+    size_t first = 0;
+    for (const std::string& dep : t.after) {
+      int dep_stage = result.stage_of[index_of[dep]];
+      NC_CHECK(dep_stage >= 0);
+      first = std::max(first, static_cast<size_t>(dep_stage) + 1);
+    }
+    bool placed = place_one(t, first, idx, t.name);
+    if (!placed && t.splittable && t.kind == TableKind::kExact && t.entries > 1) {
+      // Split entries across as many parts as needed, each part fitting a
+      // whole stage budget at most.
+      size_t per_part_entries =
+          std::max<size_t>(1, pipe.stage.sram_bits /
+                                  std::max<size_t>(1, (t.key_bits + t.action_bits) * 11 / 10));
+      size_t parts = (t.entries + per_part_entries - 1) / per_part_entries;
+      placed = true;
+      size_t remaining = t.entries;
+      for (size_t part = 0; part < parts && placed; ++part) {
+        TableSpec piece = t;
+        piece.entries = std::min(per_part_entries, remaining);
+        remaining -= piece.entries;
+        placed = place_one(piece, first, idx,
+                           t.name + "[" + std::to_string(part) + "/" +
+                               std::to_string(parts) + "]");
+      }
+    }
+    if (!placed) {
+      result.error = "no stage can host table " + t.name + " (needs " +
+                     std::to_string(t.SramBits() / 8192) + " KB SRAM at stage >= " +
+                     std::to_string(first) + ")";
+      return result;
+    }
+  }
+  result.feasible = true;
+  return result;
+}
+
+std::vector<TableSpec> NetCacheIngressProgram(size_t cache_entries) {
+  std::vector<TableSpec> tables;
+  // Cache lookup: exact match on the 16-byte key; action data = bitmap(8) +
+  // value index(17) + key index(17) + pipe(2) + egress port(9) (Fig 8).
+  tables.push_back(TableSpec{"cache_lookup", TableKind::kExact, cache_entries, 128, 56, 0, 0, {}});
+  // L3 routing: ternary LPM on the 32-bit destination (and source for
+  // cache-hit replies, folded into one logical table here).
+  tables.push_back(TableSpec{"ipv4_route", TableKind::kTernary, 4096, 32, 16, 0, 0,
+                             {"cache_lookup"}});
+  return tables;
+}
+
+std::vector<TableSpec> NetCacheEgressProgram(size_t cache_entries, size_t num_value_stages,
+                                             size_t slots_per_stage, size_t value_slot_bits) {
+  std::vector<TableSpec> tables;
+  // Cache status: one valid bit per cached key, written by writes and read
+  // by reads before any value processing (Fig 8).
+  tables.push_back(
+      TableSpec{"cache_status", TableKind::kRegister, 0, 0, 0, cache_entries, 1, {}});
+  // Exact value length per key (lets data-plane updates shrink values).
+  tables.push_back(
+      TableSpec{"value_size", TableKind::kRegister, 0, 0, 0, cache_entries, 8, {}});
+  // Statistics (Fig 7): per-key counters, 4 CMS rows, 3 Bloom partitions.
+  tables.push_back(TableSpec{"cache_counter", TableKind::kRegister, 0, 0, 0, cache_entries, 16,
+                             {"cache_status"}});
+  for (int i = 0; i < 4; ++i) {
+    tables.push_back(TableSpec{"cms_row" + std::to_string(i), TableKind::kRegister, 0, 0, 0,
+                               64 * 1024, 16, {"cache_status"}});
+  }
+  for (int i = 0; i < 3; ++i) {
+    // The Bloom filter checks the CMS verdict, so it sits after all rows.
+    tables.push_back(TableSpec{"bloom" + std::to_string(i), TableKind::kRegister, 0, 0, 0,
+                               256 * 1024, 1,
+                               {"cms_row0", "cms_row1", "cms_row2", "cms_row3"}});
+  }
+  // Value stages: sequential register arrays, each appending one slot to the
+  // packet's value field (Fig 6(b)).
+  for (size_t i = 0; i < num_value_stages; ++i) {
+    std::vector<std::string> deps = {"cache_status", "value_size"};
+    if (i > 0) {
+      deps.push_back("value" + std::to_string(i - 1));
+    }
+    tables.push_back(TableSpec{"value" + std::to_string(i), TableKind::kRegister, 0, 0, 0,
+                               slots_per_stage, value_slot_bits, std::move(deps)});
+  }
+  return tables;
+}
+
+}  // namespace netcache

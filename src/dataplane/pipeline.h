@@ -1,0 +1,109 @@
+// P4-style pipeline model and table-placement "compiler" (§4.4.1, Fig 5).
+//
+// A modern switch pipe is a fixed sequence of stages; each stage owns
+// dedicated SRAM (exact-match tables, register arrays), TCAM (ternary
+// tables) and a few stateful ALUs. A program is a set of match-action
+// tables with dependencies ("tables in the same stage cannot process
+// packets sequentially"); vendor compilers map tables to stages subject to
+// the per-stage resource and ordering constraints — §5 recounts how tight
+// this fitting was for NetCache.
+//
+// PipelineCompiler reproduces that mapping with greedy list scheduling:
+// place each table (in topological order) in the earliest stage that is
+// strictly after all of its dependencies' stages when a dependency is
+// sequential, and that still has room. NetCacheIngressProgram() /
+// NetCacheEgressProgram() describe the paper's tables with the prototype's
+// published dimensions so tests can verify the program fits a Tofino-like
+// stage budget — and that obvious extensions (e.g. 256-byte values without
+// wider register slots) do not.
+
+#ifndef NETCACHE_DATAPLANE_PIPELINE_H_
+#define NETCACHE_DATAPLANE_PIPELINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netcache {
+
+enum class TableKind {
+  kExact,     // SRAM exact-match table
+  kTernary,   // TCAM table (wildcard/prefix)
+  kRegister,  // stateful register array + ALU
+};
+
+const char* TableKindName(TableKind kind);
+
+struct TableSpec {
+  std::string name;
+  TableKind kind = TableKind::kExact;
+  // kExact/kTernary: number of entries and per-entry widths.
+  size_t entries = 0;
+  size_t key_bits = 0;
+  size_t action_bits = 0;
+  // kRegister: array geometry.
+  size_t register_slots = 0;
+  size_t register_slot_bits = 0;
+  // Names of tables that must be processed in a strictly earlier stage
+  // (data and control dependencies are both modeled as sequential).
+  std::vector<std::string> after;
+  // Exact-match tables may be split across several stages when no single
+  // stage can hold all entries (what vendor compilers do for big tables:
+  // each part matches a disjoint slice of the keys, and a packet consults
+  // whichever part holds its key). Register arrays are not splittable: a
+  // slot must be read and written in one stage.
+  bool splittable = false;
+
+  size_t SramBits() const;
+  size_t TcamBits() const;
+};
+
+struct StageBudget {
+  size_t sram_bits = 16ull * 1024 * 1024;  // ~2 MB SRAM per stage
+  size_t tcam_bits = 512ull * 1024;        // ~64 KB TCAM per stage
+  size_t register_arrays = 4;              // stateful ALUs per stage
+  size_t tables = 16;                      // logical tables per stage
+};
+
+struct PipeSpec {
+  size_t num_stages = 12;  // Tofino-class
+  StageBudget stage;
+};
+
+struct StageUsage {
+  size_t sram_bits = 0;
+  size_t tcam_bits = 0;
+  size_t register_arrays = 0;
+  size_t tables = 0;
+  std::vector<std::string> table_names;
+};
+
+struct PlacementResult {
+  bool feasible = false;
+  std::string error;                 // set when infeasible
+  std::vector<int> stage_of;         // index-aligned with the input tables
+  std::vector<StageUsage> stages;
+
+  size_t StagesUsed() const;
+  std::string ToString(const std::vector<TableSpec>& tables) const;
+};
+
+class PipelineCompiler {
+ public:
+  // Maps `tables` onto `pipe`. Dependencies must form a DAG over table
+  // names; unknown names in `after` or cycles yield an infeasible result
+  // with a diagnostic.
+  static PlacementResult Place(const PipeSpec& pipe, const std::vector<TableSpec>& tables);
+};
+
+// The NetCache data-plane programs with the §6 prototype dimensions.
+std::vector<TableSpec> NetCacheIngressProgram(size_t cache_entries = 64 * 1024);
+std::vector<TableSpec> NetCacheEgressProgram(size_t cache_entries = 64 * 1024,
+                                             size_t num_value_stages = 8,
+                                             size_t slots_per_stage = 64 * 1024,
+                                             size_t value_slot_bits = 128);
+
+}  // namespace netcache
+
+#endif  // NETCACHE_DATAPLANE_PIPELINE_H_

@@ -1,0 +1,173 @@
+#include "dataplane/slot_allocator.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace netcache {
+
+SlotAllocator::SlotAllocator(size_t num_stages, size_t num_indexes)
+    : num_stages_(num_stages), mem_(num_indexes, 0) {
+  NC_CHECK(num_stages > 0 && num_stages <= 32);
+  NC_CHECK(num_indexes > 0);
+  std::fill(mem_.begin(), mem_.end(), FullMask());
+}
+
+uint32_t SlotAllocator::LastNSetBits(uint32_t bitmap, size_t n) {
+  uint32_t picked = 0;
+  for (int bit = 31; bit >= 0 && n > 0; --bit) {
+    uint32_t mask = 1u << bit;
+    if (bitmap & mask) {
+      picked |= mask;
+      --n;
+    }
+  }
+  return picked;
+}
+
+std::optional<SlotAllocation> SlotAllocator::Insert(const Key& key, size_t num_units) {
+  NC_CHECK(num_units > 0 && num_units <= num_stages_);
+  if (key_map_.Contains(key)) {
+    return std::nullopt;  // Alg 2 line 9-10
+  }
+  while (scan_start_ < mem_.size() && mem_[scan_start_] == 0) {
+    ++scan_start_;
+  }
+  for (size_t index = scan_start_; index < mem_.size(); ++index) {
+    uint32_t bitmap = mem_[index];
+    if (static_cast<size_t>(std::popcount(bitmap)) >= num_units) {
+      uint32_t value_bitmap = LastNSetBits(bitmap, num_units);  // line 15
+      mem_[index] = bitmap & ~value_bitmap;                     // line 16
+      SlotAllocation alloc{index, value_bitmap};
+      key_map_.Upsert(key, alloc);  // line 17
+      return alloc;
+    }
+  }
+  return std::nullopt;  // line 19: no space
+}
+
+bool SlotAllocator::Evict(const Key& key) {
+  const SlotAllocation* alloc = key_map_.Find(key);
+  if (alloc == nullptr) {
+    return false;  // Alg 2 line 7
+  }
+  mem_[alloc->index] |= alloc->bitmap;  // line 4
+  scan_start_ = std::min(scan_start_, alloc->index);
+  key_map_.Erase(key);
+  return true;
+}
+
+std::optional<SlotAllocation> SlotAllocator::Lookup(const Key& key) const {
+  const SlotAllocation* alloc = key_map_.Find(key);
+  if (alloc == nullptr) {
+    return std::nullopt;
+  }
+  return *alloc;
+}
+
+size_t SlotAllocator::FreeUnits() const {
+  size_t free = 0;
+  for (uint32_t bitmap : mem_) {
+    free += static_cast<size_t>(std::popcount(bitmap));
+  }
+  return free;
+}
+
+size_t SlotAllocator::LargestFreeRun() const {
+  size_t best = 0;
+  for (uint32_t bitmap : mem_) {
+    best = std::max(best, static_cast<size_t>(std::popcount(bitmap)));
+  }
+  return best;
+}
+
+double SlotAllocator::Utilization() const {
+  size_t total = num_stages_ * mem_.size();
+  return static_cast<double>(total - FreeUnits()) / static_cast<double>(total);
+}
+
+std::vector<SlotMove> SlotAllocator::PlanReorganization(size_t needed_units,
+                                                        size_t max_moves) const {
+  std::vector<SlotMove> plan;
+  if (needed_units == 0 || needed_units > num_stages_) {
+    return plan;
+  }
+  if (LargestFreeRun() >= needed_units) {
+    return plan;  // nothing to do
+  }
+  if (FreeUnits() < needed_units) {
+    return plan;  // impossible without eviction
+  }
+
+  // Target: the row already closest to having needed_units free.
+  size_t target = 0;
+  int target_free = -1;
+  for (size_t i = 0; i < mem_.size(); ++i) {
+    int free = std::popcount(mem_[i]);
+    if (free > target_free) {
+      target_free = free;
+      target = i;
+    }
+  }
+
+  // Occupants of the target row, smallest first (cheapest to relocate).
+  struct Occupant {
+    Key key;
+    SlotAllocation alloc;
+  };
+  std::vector<Occupant> occupants;
+  key_map_.ForEach([&](const Key& k, const SlotAllocation& a) {
+    if (a.index == target) {
+      occupants.push_back({k, a});
+    }
+  });
+  std::sort(occupants.begin(), occupants.end(), [](const Occupant& a, const Occupant& b) {
+    return std::popcount(a.alloc.bitmap) < std::popcount(b.alloc.bitmap);
+  });
+
+  // Simulate first-fit relocation of occupants into other rows.
+  std::vector<uint32_t> shadow = mem_;
+  size_t freed = static_cast<size_t>(target_free);
+  for (const Occupant& occ : occupants) {
+    if (freed >= needed_units || plan.size() >= max_moves) {
+      break;
+    }
+    size_t units = static_cast<size_t>(std::popcount(occ.alloc.bitmap));
+    for (size_t row = 0; row < shadow.size(); ++row) {
+      if (row == target) {
+        continue;
+      }
+      if (static_cast<size_t>(std::popcount(shadow[row])) >= units) {
+        uint32_t bits = LastNSetBits(shadow[row], units);
+        shadow[row] &= ~bits;
+        shadow[target] |= occ.alloc.bitmap;
+        plan.push_back(SlotMove{occ.key, occ.alloc, SlotAllocation{row, bits}});
+        freed += units;
+        break;
+      }
+    }
+  }
+  if (freed < needed_units) {
+    plan.clear();  // couldn't reach the goal; don't thrash
+  }
+  return plan;
+}
+
+bool SlotAllocator::Commit(const SlotMove& move) {
+  SlotAllocation* current = key_map_.Find(move.key);
+  if (current == nullptr || current->index != move.from.index ||
+      current->bitmap != move.from.bitmap) {
+    return false;  // stale plan
+  }
+  if ((mem_[move.to.index] & move.to.bitmap) != move.to.bitmap) {
+    return false;  // target bits taken since planning
+  }
+  mem_[move.to.index] &= ~move.to.bitmap;
+  mem_[move.from.index] |= move.from.bitmap;
+  scan_start_ = std::min(scan_start_, move.from.index);
+  *current = move.to;
+  return true;
+}
+
+}  // namespace netcache

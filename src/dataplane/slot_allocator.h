@@ -1,0 +1,95 @@
+// Switch memory management — paper Algorithm 2 plus the periodic memory
+// reorganization §4.4.2 mentions.
+//
+// The bins are "all stage slots sharing one row index"; a value occupies
+// popcount(bitmap) slots of one row. Insertion is First Fit: scan rows in
+// order, take the first row with enough free slots, claim its *last* n free
+// bits (as Alg 2 line 15 specifies). Eviction ORs the bits back.
+//
+// Because a bitmap need not be contiguous, fragmentation only appears when
+// no single row has enough free slots even though the pipe does; Reorganize()
+// plans item moves that consolidate free slots into whole rows.
+
+#ifndef NETCACHE_DATAPLANE_SLOT_ALLOCATOR_H_
+#define NETCACHE_DATAPLANE_SLOT_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "kvstore/hash_table.h"
+#include "proto/key.h"
+
+namespace netcache {
+
+struct SlotAllocation {
+  size_t index = 0;     // shared row index across stages
+  uint32_t bitmap = 0;  // which stages hold this value's units
+};
+
+// One planned item move produced by reorganization. The controller applies
+// moves by rewriting the value store and the lookup table (see
+// controller/cache_controller.cc).
+struct SlotMove {
+  Key key{};
+  SlotAllocation from{};
+  SlotAllocation to{};
+};
+
+class SlotAllocator {
+ public:
+  // num_stages: slots per row (one per value stage); num_indexes: rows.
+  SlotAllocator(size_t num_stages, size_t num_indexes);
+
+  // Alg 2 Insert. Returns the allocation, or nullopt when the key is already
+  // present or no row has `num_units` free slots.
+  std::optional<SlotAllocation> Insert(const Key& key, size_t num_units);
+
+  // Alg 2 Evict. Returns false when the key is not allocated.
+  bool Evict(const Key& key);
+
+  std::optional<SlotAllocation> Lookup(const Key& key) const;
+  bool Contains(const Key& key) const { return key_map_.Contains(key); }
+
+  size_t num_items() const { return key_map_.size(); }
+  size_t num_stages() const { return num_stages_; }
+  size_t num_indexes() const { return mem_.size(); }
+
+  // Free slots across all rows.
+  size_t FreeUnits() const;
+  // Largest allocation currently satisfiable without reorganization.
+  size_t LargestFreeRun() const;
+  // Fraction of slots in use.
+  double Utilization() const;
+
+  // Plans up to `max_moves` item moves that consolidate free slots so that a
+  // subsequent Insert of `needed_units` can succeed. Returns an empty vector
+  // when impossible or unnecessary. Call Commit(move) for each applied move
+  // after the data has been copied.
+  std::vector<SlotMove> PlanReorganization(size_t needed_units, size_t max_moves = 64) const;
+
+  // Applies a planned move to the allocation map (data movement is the
+  // caller's job). Returns false if the plan is stale (source changed or
+  // target bits taken).
+  bool Commit(const SlotMove& move);
+
+ private:
+  uint32_t FullMask() const { return num_stages_ == 32 ? ~0u : (1u << num_stages_) - 1; }
+
+  // Picks the last n set bits of `bitmap` (Alg 2 line 15).
+  static uint32_t LastNSetBits(uint32_t bitmap, size_t n);
+
+  size_t num_stages_;
+  // mem_[i]: bitmap of FREE slots in row i (1 = free), exactly Alg 2's mem.
+  std::vector<uint32_t> mem_;
+  // Every row below this index is completely full; Insert's first-fit scan
+  // starts here. Pure optimization — the scan order (and thus the placement)
+  // is identical to Alg 2's "for index from 0".
+  size_t scan_start_ = 0;
+  HashDyn<Key, SlotAllocation, KeyHasher> key_map_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_DATAPLANE_SLOT_ALLOCATOR_H_

@@ -1,0 +1,53 @@
+#include "dataplane/stats.h"
+
+namespace netcache {
+
+namespace {
+
+HeavyHitterConfig DetectorConfig(const StatsConfig& config) {
+  // The module-level sampler replaces the detector's internal one.
+  HeavyHitterConfig hh = config.hh;
+  hh.sample_rate = 1.0;
+  return hh;
+}
+
+}  // namespace
+
+QueryStatistics::QueryStatistics(const StatsConfig& config)
+    : sample_rate_(config.sample_rate),
+      counters_(config.counter_slots),
+      hh_(DetectorConfig(config)),
+      rng_(config.seed) {}
+
+bool QueryStatistics::Sampled() {
+  if (sample_rate_ >= 1.0 || rng_.NextBernoulli(sample_rate_)) {
+    ++activity_.sampled;
+    return true;
+  }
+  ++activity_.skipped;
+  return false;
+}
+
+void QueryStatistics::OnCachedRead(size_t key_index) {
+  if (Sampled()) {
+    counters_.Increment(key_index);
+  }
+}
+
+bool QueryStatistics::OnUncachedRead(const Key& key) {
+  if (!Sampled()) {
+    return false;
+  }
+  bool report = hh_.Offer(key);
+  if (report) {
+    ++activity_.reports;
+  }
+  return report;
+}
+
+void QueryStatistics::ResetEpoch() {
+  counters_.Reset();
+  hh_.Reset();
+}
+
+}  // namespace netcache

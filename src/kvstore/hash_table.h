@@ -1,0 +1,176 @@
+// A chained dynamic hash table in the spirit of TommyDS's tommy_hashdyn,
+// which the paper's storage servers use (§6). Buckets are singly-linked
+// chains of heap nodes; the bucket array doubles when the load factor
+// exceeds 1 and halves when it drops below 1/8, keeping chains O(1) expected.
+//
+// This is the storage-server substrate: simple, allocation-per-node (like
+// TommyDS objects), single-threaded per shard (shards provide concurrency,
+// see sharded_store.h, mirroring per-core sharding with RSS).
+
+#ifndef NETCACHE_KVSTORE_HASH_TABLE_H_
+#define NETCACHE_KVSTORE_HASH_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace netcache {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class HashDyn {
+ public:
+  HashDyn() : buckets_(kMinBuckets) {}
+
+  HashDyn(const HashDyn&) = delete;
+  HashDyn& operator=(const HashDyn&) = delete;
+  HashDyn(HashDyn&&) = default;
+  HashDyn& operator=(HashDyn&&) = default;
+
+  // Inserts or overwrites. Returns true if the key was newly inserted.
+  bool Upsert(const K& key, V value) {
+    size_t h = hash_(key);
+    Node* node = FindNode(h, key);
+    if (node != nullptr) {
+      node->value = std::move(value);
+      return false;
+    }
+    size_t b = h & (buckets_.size() - 1);
+    auto fresh = std::make_unique<Node>(Node{key, std::move(value), h, std::move(buckets_[b])});
+    buckets_[b] = std::move(fresh);
+    ++size_;
+    MaybeGrow();
+    return true;
+  }
+
+  // Returns a pointer to the value, or nullptr if absent. The pointer is
+  // invalidated by any mutation of the table.
+  V* Find(const K& key) {
+    Node* node = FindNode(hash_(key), key);
+    return node != nullptr ? &node->value : nullptr;
+  }
+  const V* Find(const K& key) const {
+    const Node* node = const_cast<HashDyn*>(this)->FindNode(hash_(key), key);
+    return node != nullptr ? &node->value : nullptr;
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  // Removes the key. Returns true if it was present.
+  bool Erase(const K& key) {
+    size_t h = hash_(key);
+    size_t b = h & (buckets_.size() - 1);
+    std::unique_ptr<Node>* link = &buckets_[b];
+    while (*link != nullptr) {
+      Node* node = link->get();
+      if (node->hash == h && node->key == key) {
+        *link = std::move(node->next);
+        --size_;
+        MaybeShrink();
+        return true;
+      }
+      link = &node->next;
+    }
+    return false;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t bucket_count() const { return buckets_.size(); }
+
+  void Clear() {
+    buckets_.clear();
+    buckets_.resize(kMinBuckets);
+    size_ = 0;
+  }
+
+  // Visits every (key, value) pair; `fn(const K&, V&)`.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (auto& head : buckets_) {
+      for (Node* node = head.get(); node != nullptr; node = node->next.get()) {
+        fn(node->key, node->value);
+      }
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& head : buckets_) {
+      for (const Node* node = head.get(); node != nullptr; node = node->next.get()) {
+        fn(node->key, node->value);
+      }
+    }
+  }
+
+  // Length of the longest chain (diagnostics; tests assert it stays small).
+  size_t MaxChainLength() const {
+    size_t longest = 0;
+    for (const auto& head : buckets_) {
+      size_t len = 0;
+      for (const Node* node = head.get(); node != nullptr; node = node->next.get()) {
+        ++len;
+      }
+      longest = longest < len ? len : longest;
+    }
+    return longest;
+  }
+
+ private:
+  static constexpr size_t kMinBuckets = 16;
+
+  struct Node {
+    K key;
+    V value;
+    size_t hash;
+    std::unique_ptr<Node> next;
+  };
+
+  Node* FindNode(size_t h, const K& key) {
+    size_t b = h & (buckets_.size() - 1);
+    for (Node* node = buckets_[b].get(); node != nullptr; node = node->next.get()) {
+      if (node->hash == h && node->key == key) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  void MaybeGrow() {
+    if (size_ > buckets_.size()) {
+      Rehash(buckets_.size() * 2);
+    }
+  }
+
+  void MaybeShrink() {
+    if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 8) {
+      Rehash(buckets_.size() / 2);
+    }
+  }
+
+  void Rehash(size_t new_bucket_count) {
+    std::vector<std::unique_ptr<Node>> fresh(new_bucket_count);
+    for (auto& head : buckets_) {
+      std::unique_ptr<Node> node = std::move(head);
+      while (node != nullptr) {
+        std::unique_ptr<Node> next = std::move(node->next);
+        size_t b = node->hash & (new_bucket_count - 1);
+        node->next = std::move(fresh[b]);
+        fresh[b] = std::move(node);
+        node = std::move(next);
+      }
+    }
+    buckets_ = std::move(fresh);
+  }
+
+  Hash hash_;
+  std::vector<std::unique_ptr<Node>> buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_KVSTORE_HASH_TABLE_H_

@@ -1,0 +1,28 @@
+#include "kvstore/kv_store.h"
+
+namespace netcache {
+
+Result<Value> KvStore::Get(const Key& key) const {
+  ++stats_.gets;
+  const Value* v = table_.Find(key);
+  if (v == nullptr) {
+    return Status::NotFound("key not in store");
+  }
+  ++stats_.hits;
+  return *v;
+}
+
+void KvStore::Put(const Key& key, const Value& value) {
+  ++stats_.puts;
+  table_.Upsert(key, value);
+}
+
+Status KvStore::Delete(const Key& key) {
+  ++stats_.deletes;
+  if (!table_.Erase(key)) {
+    return Status::NotFound("key not in store");
+  }
+  return Status::Ok();
+}
+
+}  // namespace netcache

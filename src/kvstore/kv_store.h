@@ -1,0 +1,56 @@
+// In-memory key-value store used by storage servers: Key -> Value over the
+// HashDyn table, with operation counters. Equivalent of the paper's simple
+// TommyDS-based store (§6), which provided up to 10 MQPS per server.
+
+#ifndef NETCACHE_KVSTORE_KV_STORE_H_
+#define NETCACHE_KVSTORE_KV_STORE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/status.h"
+#include "kvstore/hash_table.h"
+#include "proto/key.h"
+#include "proto/value.h"
+
+namespace netcache {
+
+class KvStore {
+ public:
+  KvStore() = default;
+
+  // Returns the value or kNotFound.
+  Result<Value> Get(const Key& key) const;
+
+  // Inserts or overwrites.
+  void Put(const Key& key, const Value& value);
+
+  // Returns kNotFound if absent.
+  Status Delete(const Key& key);
+
+  bool Contains(const Key& key) const { return table_.Contains(key); }
+  size_t size() const { return table_.size(); }
+
+  // Visits every item: fn(const Key&, const Value&).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    table_.ForEach([&fn](const Key& k, const Value& v) { fn(k, v); });
+  }
+
+  struct Stats {
+    uint64_t gets = 0;
+    uint64_t hits = 0;
+    uint64_t puts = 0;
+    uint64_t deletes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+ private:
+  HashDyn<Key, Value, KeyHasher> table_;
+  mutable Stats stats_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_KVSTORE_KV_STORE_H_

@@ -1,0 +1,46 @@
+#include "kvstore/sharded_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace netcache {
+
+ShardedStore::ShardedStore(size_t num_shards, uint64_t seed)
+    : seed_(seed), shards_(num_shards), accesses_(num_shards, 0) {
+  NC_CHECK(num_shards > 0);
+}
+
+size_t ShardedStore::ShardOf(const Key& key) const {
+  return static_cast<size_t>(key.SeededHash(seed_) % shards_.size());
+}
+
+Result<Value> ShardedStore::Get(const Key& key) {
+  size_t s = ShardOf(key);
+  ++accesses_[s];
+  return shards_[s].Get(key);
+}
+
+void ShardedStore::Put(const Key& key, const Value& value) {
+  size_t s = ShardOf(key);
+  ++accesses_[s];
+  shards_[s].Put(key, value);
+}
+
+Status ShardedStore::Delete(const Key& key) {
+  size_t s = ShardOf(key);
+  ++accesses_[s];
+  return shards_[s].Delete(key);
+}
+
+size_t ShardedStore::size() const {
+  size_t total = 0;
+  for (const auto& s : shards_) {
+    total += s.size();
+  }
+  return total;
+}
+
+void ShardedStore::ResetAccessCounts() { std::fill(accesses_.begin(), accesses_.end(), 0); }
+
+}  // namespace netcache

@@ -1,0 +1,46 @@
+// Per-core sharded store. The paper's server agent shards keys across cores
+// with Receive Side Scaling / DPDK Flow Director (§6); here each shard is an
+// independent KvStore selected by key hash, and per-shard access counts let
+// tests and benches observe intra-server imbalance (§1 notes skew "can be
+// further amplified when storage servers use per-core sharding").
+
+#ifndef NETCACHE_KVSTORE_SHARDED_STORE_H_
+#define NETCACHE_KVSTORE_SHARDED_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "kvstore/kv_store.h"
+#include "proto/key.h"
+#include "proto/value.h"
+
+namespace netcache {
+
+class ShardedStore {
+ public:
+  explicit ShardedStore(size_t num_shards, uint64_t seed = 0x52535348);
+
+  size_t ShardOf(const Key& key) const;
+
+  Result<Value> Get(const Key& key);
+  void Put(const Key& key, const Value& value);
+  Status Delete(const Key& key);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t size() const;
+
+  const KvStore& shard(size_t i) const { return shards_[i]; }
+  uint64_t shard_accesses(size_t i) const { return accesses_[i]; }
+  void ResetAccessCounts();
+
+ private:
+  uint64_t seed_;
+  std::vector<KvStore> shards_;
+  std::vector<uint64_t> accesses_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_KVSTORE_SHARDED_STORE_H_

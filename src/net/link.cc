@@ -1,0 +1,58 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace netcache {
+
+Link::Link(Simulator* sim, const LinkConfig& config)
+    : sim_(sim), config_(config), loss_rng_(config.loss_seed) {
+  NC_CHECK(config.bandwidth_gbps > 0.0);
+  NC_CHECK(config.loss_rate >= 0.0 && config.loss_rate < 1.0);
+}
+
+void Link::Connect(Node* a, uint32_t a_port, Node* b, uint32_t b_port) {
+  ends_[0] = Endpoint{a, a_port};
+  ends_[1] = Endpoint{b, b_port};
+  a->AttachLink(a_port, this, 0);
+  b->AttachLink(b_port, this, 1);
+}
+
+SimDuration Link::SerializationDelay(size_t bytes) const {
+  double ns = static_cast<double>(bytes) * 8.0 / config_.bandwidth_gbps;
+  SimDuration d = static_cast<SimDuration>(ns);
+  return d > 0 ? d : 1;
+}
+
+void Link::Transmit(int from_end, const Packet& pkt) {
+  NC_CHECK(from_end == 0 || from_end == 1);
+  NC_CHECK(ends_[0].node != nullptr && ends_[1].node != nullptr) << "link not connected";
+  Direction& dir = dirs_[from_end];
+  size_t bytes = pkt.WireSize();
+
+  if (config_.loss_rate > 0.0 && loss_rng_.NextBernoulli(config_.loss_rate)) {
+    ++dir.stats.lost;
+    return;
+  }
+  if (dir.queued_bytes + bytes > config_.queue_bytes) {
+    ++dir.stats.dropped;
+    return;
+  }
+  dir.queued_bytes += bytes;
+
+  SimTime start = std::max(sim_->Now(), dir.busy_until);
+  SimTime tx_done = start + SerializationDelay(bytes);
+  dir.busy_until = tx_done;
+
+  Endpoint to = ends_[1 - from_end];
+  // Serialization finishes: free queue space. Delivery after propagation.
+  sim_->ScheduleAt(tx_done, [this, from_end, bytes] { dirs_[from_end].queued_bytes -= bytes; });
+  sim_->ScheduleAt(tx_done + config_.propagation, [this, from_end, to, pkt] {
+    ++dirs_[from_end].stats.delivered;
+    dirs_[from_end].stats.bytes += pkt.WireSize();
+    to.node->HandlePacket(pkt, to.port);
+  });
+}
+
+}  // namespace netcache

@@ -1,0 +1,75 @@
+// Full-duplex point-to-point link with per-direction serialization delay,
+// propagation delay, and a drop-tail byte queue.
+//
+// Model: each direction owns a transmitter that serializes one packet at a
+// time at `bandwidth_gbps`. Packets arriving while the transmitter is busy
+// wait in a FIFO bounded by `queue_bytes`; overflow is dropped (drop-tail),
+// which is how the paper's emulated servers shed excess load (§7.1).
+
+#ifndef NETCACHE_NET_LINK_H_
+#define NETCACHE_NET_LINK_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/time_units.h"
+#include "net/node.h"
+#include "net/simulator.h"
+#include "proto/packet.h"
+
+namespace netcache {
+
+struct LinkConfig {
+  double bandwidth_gbps = 40.0;           // line rate per direction
+  SimDuration propagation = 300;          // ns; ~60 m of fiber
+  size_t queue_bytes = 512 * 1024;        // drop-tail buffer per direction
+  // Random per-packet corruption/loss probability (failure injection for
+  // tests; real links lose packets too, which is why the server agent's
+  // cache-update channel retries, §6).
+  double loss_rate = 0.0;
+  uint64_t loss_seed = 0x10553;
+};
+
+class Link {
+ public:
+  Link(Simulator* sim, const LinkConfig& config);
+
+  // Attaches end 0 to (a, a_port) and end 1 to (b, b_port).
+  void Connect(Node* a, uint32_t a_port, Node* b, uint32_t b_port);
+
+  // Transmits from end `from_end` (0 or 1) toward the other end.
+  void Transmit(int from_end, const Packet& pkt);
+
+  struct DirectionStats {
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;   // queue overflow
+    uint64_t lost = 0;      // random loss injection
+    uint64_t bytes = 0;
+  };
+  const DirectionStats& stats(int from_end) const { return dirs_[from_end].stats; }
+
+  const LinkConfig& config() const { return config_; }
+
+ private:
+  struct Endpoint {
+    Node* node = nullptr;
+    uint32_t port = 0;
+  };
+  struct Direction {
+    SimTime busy_until = 0;
+    size_t queued_bytes = 0;
+    DirectionStats stats;
+  };
+
+  SimDuration SerializationDelay(size_t bytes) const;
+
+  Simulator* sim_;
+  LinkConfig config_;
+  Rng loss_rng_;
+  Endpoint ends_[2];
+  Direction dirs_[2];  // dirs_[i] carries traffic from end i to end 1-i
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_NET_LINK_H_

@@ -1,0 +1,40 @@
+#include "net/simulator.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace netcache {
+
+void Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
+  NC_CHECK(at >= now_) << "scheduling into the past: " << at << " < " << now_;
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void Simulator::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    // Copy out before pop so the handler may schedule freely.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+void Simulator::RunAll() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+}
+
+}  // namespace netcache

@@ -1,0 +1,65 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events fire in (time, insertion-sequence)
+// order, so two events scheduled for the same instant run in the order they
+// were scheduled. All times are nanoseconds of simulated time.
+
+#ifndef NETCACHE_NET_SIMULATOR_H_
+#define NETCACHE_NET_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time_units.h"
+
+namespace netcache {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` ns from now.
+  void Schedule(SimDuration delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `at` (must be >= Now()).
+  void ScheduleAt(SimTime at, std::function<void()> fn);
+
+  // Runs events until the queue is empty or simulated time would exceed
+  // `until`. Events at exactly `until` are executed.
+  void RunUntil(SimTime until);
+
+  // Runs until the event queue drains completely.
+  void RunAll();
+
+  size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_NET_SIMULATOR_H_

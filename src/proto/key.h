@@ -1,0 +1,70 @@
+// Fixed-length 16-byte keys (the prototype's restricted key interface, §5).
+//
+// Variable-length application keys are mapped onto Key by hashing (see
+// client/client.h); the original key is stored with the value so that clients
+// can detect hash collisions, as §5 describes.
+
+#ifndef NETCACHE_PROTO_KEY_H_
+#define NETCACHE_PROTO_KEY_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/hash.h"
+
+namespace netcache {
+
+inline constexpr size_t kKeySize = 16;
+
+struct Key {
+  std::array<uint8_t, kKeySize> bytes{};
+
+  // Builds a key from an integer id (little-endian in the first 8 bytes).
+  // Convenient for synthetic workloads where keys are dense ids.
+  static Key FromUint64(uint64_t id) {
+    Key k;
+    std::memcpy(k.bytes.data(), &id, sizeof(id));
+    return k;
+  }
+
+  // Builds a key by hashing an arbitrary string (two independent 64-bit
+  // hashes fill the 16 bytes).
+  static Key FromString(std::string_view s) {
+    Key k;
+    uint64_t h0 = SeededHashBytes(s.data(), s.size(), 0x6b657968);
+    uint64_t h1 = SeededHashBytes(s.data(), s.size(), 0x6b657969);
+    std::memcpy(k.bytes.data(), &h0, sizeof(h0));
+    std::memcpy(k.bytes.data() + 8, &h1, sizeof(h1));
+    return k;
+  }
+
+  uint64_t AsUint64() const {
+    uint64_t id;
+    std::memcpy(&id, bytes.data(), sizeof(id));
+    return id;
+  }
+
+  uint64_t Hash() const { return HashBytes(bytes.data(), bytes.size()); }
+
+  uint64_t SeededHash(uint64_t seed) const {
+    return SeededHashBytes(bytes.data(), bytes.size(), seed);
+  }
+
+  std::string ToHex() const;
+
+  bool operator==(const Key& other) const { return bytes == other.bytes; }
+  bool operator!=(const Key& other) const { return bytes != other.bytes; }
+  bool operator<(const Key& other) const { return bytes < other.bytes; }
+};
+
+struct KeyHasher {
+  size_t operator()(const Key& k) const { return static_cast<size_t>(k.Hash()); }
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_PROTO_KEY_H_

@@ -1,0 +1,215 @@
+#include "proto/packet.h"
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace netcache {
+
+namespace {
+
+// Framing overheads in bytes (Ethernet without FCS, IPv4, UDP/TCP).
+constexpr size_t kEthBytes = 14;
+constexpr size_t kIpv4Bytes = 20;
+constexpr size_t kUdpBytes = 8;
+constexpr size_t kTcpBytes = 20;
+// NetCache fixed fields: OP(1) + SEQ(4) + KEY(16) + value-length(1).
+constexpr size_t kNcFixedBytes = 1 + 4 + kKeySize + 1;
+
+template <typename T>
+void PutScalar(std::vector<uint8_t>& out, T v) {
+  size_t off = out.size();
+  out.resize(off + sizeof(T));
+  std::memcpy(out.data() + off, &v, sizeof(T));
+}
+
+template <typename T>
+bool GetScalar(const std::vector<uint8_t>& in, size_t& off, T* v) {
+  if (off + sizeof(T) > in.size()) {
+    return false;
+  }
+  std::memcpy(v, in.data() + off, sizeof(T));
+  off += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kGet:
+      return "GET";
+    case OpCode::kGetReply:
+      return "GET_REPLY";
+    case OpCode::kPut:
+      return "PUT";
+    case OpCode::kPutReply:
+      return "PUT_REPLY";
+    case OpCode::kDelete:
+      return "DELETE";
+    case OpCode::kDeleteReply:
+      return "DELETE_REPLY";
+    case OpCode::kCachedPut:
+      return "CACHED_PUT";
+    case OpCode::kCachedDelete:
+      return "CACHED_DELETE";
+    case OpCode::kCacheUpdate:
+      return "CACHE_UPDATE";
+    case OpCode::kCacheUpdateAck:
+      return "CACHE_UPDATE_ACK";
+    case OpCode::kHotReport:
+      return "HOT_REPORT";
+    case OpCode::kCacheUpdateReject:
+      return "CACHE_UPDATE_REJECT";
+  }
+  return "UNKNOWN";
+}
+
+size_t Packet::WireSize() const {
+  size_t l4_bytes = l4.protocol == L4Protocol::kUdp ? kUdpBytes : kTcpBytes;
+  size_t payload = 0;
+  if (is_netcache) {
+    payload = kNcFixedBytes + (nc.has_value ? nc.value.size() : 0);
+  }
+  return kEthBytes + kIpv4Bytes + l4_bytes + payload;
+}
+
+void Packet::SwapSrcDst() {
+  std::swap(eth.src, eth.dst);
+  std::swap(ip.src, ip.dst);
+  std::swap(l4.src_port, l4.dst_port);
+}
+
+std::string Packet::Summary() const {
+  std::ostringstream os;
+  os << OpCodeName(nc.op) << " seq=" << nc.seq << " key=" << nc.key.ToHex().substr(0, 8)
+     << " ip=" << ip.src << "->" << ip.dst;
+  if (nc.has_value) {
+    os << " value[" << nc.value.size() << "]";
+  }
+  return os.str();
+}
+
+std::string Key::ToHex() const {
+  static const char* kDigits = "0123456789abcdef";
+  std::string s;
+  s.reserve(2 * kKeySize);
+  for (uint8_t b : bytes) {
+    s.push_back(kDigits[b >> 4]);
+    s.push_back(kDigits[b & 0xf]);
+  }
+  return s;
+}
+
+std::vector<uint8_t> SerializePacket(const Packet& pkt) {
+  std::vector<uint8_t> out;
+  out.reserve(pkt.WireSize());
+  PutScalar(out, pkt.eth.dst);
+  PutScalar(out, pkt.eth.src);
+  PutScalar(out, pkt.ip.dst);
+  PutScalar(out, pkt.ip.src);
+  PutScalar(out, pkt.ip.ttl);
+  PutScalar(out, static_cast<uint8_t>(pkt.l4.protocol));
+  PutScalar(out, pkt.l4.src_port);
+  PutScalar(out, pkt.l4.dst_port);
+  PutScalar(out, static_cast<uint8_t>(pkt.is_netcache ? 1 : 0));
+  if (pkt.is_netcache) {
+    PutScalar(out, static_cast<uint8_t>(pkt.nc.op));
+    PutScalar(out, pkt.nc.seq);
+    out.insert(out.end(), pkt.nc.key.bytes.begin(), pkt.nc.key.bytes.end());
+    uint8_t vlen = pkt.nc.has_value ? static_cast<uint8_t>(pkt.nc.value.size()) : 0;
+    PutScalar(out, static_cast<uint8_t>(pkt.nc.has_value ? 1 : 0));
+    PutScalar(out, vlen);
+    out.insert(out.end(), pkt.nc.value.data(), pkt.nc.value.data() + vlen);
+  }
+  return out;
+}
+
+Result<Packet> ParsePacket(const std::vector<uint8_t>& bytes) {
+  Packet pkt;
+  size_t off = 0;
+  uint8_t proto = 0;
+  uint8_t is_nc = 0;
+  bool ok = GetScalar(bytes, off, &pkt.eth.dst) && GetScalar(bytes, off, &pkt.eth.src) &&
+            GetScalar(bytes, off, &pkt.ip.dst) && GetScalar(bytes, off, &pkt.ip.src) &&
+            GetScalar(bytes, off, &pkt.ip.ttl) && GetScalar(bytes, off, &proto) &&
+            GetScalar(bytes, off, &pkt.l4.src_port) && GetScalar(bytes, off, &pkt.l4.dst_port) &&
+            GetScalar(bytes, off, &is_nc);
+  if (!ok) {
+    return Status::InvalidArgument("truncated packet header");
+  }
+  if (proto > 1) {
+    return Status::InvalidArgument("bad L4 protocol");
+  }
+  pkt.l4.protocol = static_cast<L4Protocol>(proto);
+  pkt.is_netcache = is_nc != 0;
+  if (!pkt.is_netcache) {
+    return pkt;
+  }
+  uint8_t op = 0;
+  if (!GetScalar(bytes, off, &op) || op > static_cast<uint8_t>(OpCode::kCacheUpdateReject)) {
+    return Status::InvalidArgument("bad op code");
+  }
+  pkt.nc.op = static_cast<OpCode>(op);
+  if (!GetScalar(bytes, off, &pkt.nc.seq)) {
+    return Status::InvalidArgument("truncated seq");
+  }
+  if (off + kKeySize > bytes.size()) {
+    return Status::InvalidArgument("truncated key");
+  }
+  std::memcpy(pkt.nc.key.bytes.data(), bytes.data() + off, kKeySize);
+  off += kKeySize;
+  uint8_t has_value = 0;
+  uint8_t vlen = 0;
+  if (!GetScalar(bytes, off, &has_value) || !GetScalar(bytes, off, &vlen)) {
+    return Status::InvalidArgument("truncated value header");
+  }
+  if (vlen > kMaxValueSize || off + vlen > bytes.size()) {
+    return Status::InvalidArgument("bad value length");
+  }
+  pkt.nc.has_value = has_value != 0;
+  pkt.nc.value.set_size(vlen);
+  std::memcpy(pkt.nc.value.data(), bytes.data() + off, vlen);
+  return pkt;
+}
+
+namespace {
+
+Packet MakeQuery(OpCode op, L4Protocol proto, IpAddress client, IpAddress server, const Key& key,
+                 uint32_t seq) {
+  Packet pkt;
+  pkt.eth.src = client;
+  pkt.eth.dst = server;
+  pkt.ip.src = client;
+  pkt.ip.dst = server;
+  pkt.l4.protocol = proto;
+  pkt.l4.src_port = kNetCachePort;
+  pkt.l4.dst_port = kNetCachePort;
+  pkt.is_netcache = true;
+  pkt.nc.op = op;
+  pkt.nc.seq = seq;
+  pkt.nc.key = key;
+  return pkt;
+}
+
+}  // namespace
+
+Packet MakeGet(IpAddress client, IpAddress server, const Key& key, uint32_t seq) {
+  // Reads use UDP for low latency (§4.1).
+  return MakeQuery(OpCode::kGet, L4Protocol::kUdp, client, server, key, seq);
+}
+
+Packet MakePut(IpAddress client, IpAddress server, const Key& key, const Value& value,
+               uint32_t seq) {
+  // Writes use TCP for reliability (§4.1).
+  Packet pkt = MakeQuery(OpCode::kPut, L4Protocol::kTcp, client, server, key, seq);
+  pkt.nc.has_value = true;
+  pkt.nc.value = value;
+  return pkt;
+}
+
+Packet MakeDelete(IpAddress client, IpAddress server, const Key& key, uint32_t seq) {
+  return MakeQuery(OpCode::kDelete, L4Protocol::kTcp, client, server, key, seq);
+}
+
+}  // namespace netcache

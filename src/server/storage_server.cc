@@ -1,0 +1,280 @@
+#include "server/storage_server.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace netcache {
+
+StorageServer::StorageServer(Simulator* sim, std::string name, const ServerConfig& config)
+    : Node(std::move(name)), sim_(sim), config_(config) {
+  NC_CHECK(sim != nullptr);
+  NC_CHECK(config.service_rate_qps > 0.0);
+  NC_CHECK(config.num_cores > 0);
+  cores_.resize(config.num_cores);
+}
+
+SimDuration StorageServer::ServiceTime() const {
+  // Each core provides an equal share of the server's aggregate rate.
+  double ns = 1e9 * static_cast<double>(config_.num_cores) / config_.service_rate_qps;
+  SimDuration d = static_cast<SimDuration>(ns);
+  return d > 0 ? d : 1;
+}
+
+size_t StorageServer::CoreOf(const Key& key) const {
+  if (config_.num_cores == 1) {
+    return 0;
+  }
+  return static_cast<size_t>(key.SeededHash(config_.core_hash_seed) % config_.num_cores);
+}
+
+size_t StorageServer::QueueDepth() const {
+  size_t depth = 0;
+  for (const Core& core : cores_) {
+    depth += core.queue.size();
+  }
+  return depth;
+}
+
+void StorageServer::HandlePacket(const Packet& pkt, uint32_t /*in_port*/) {
+  ++stats_.received;
+  if (!online_ || !pkt.is_netcache) {
+    return;  // a crashed server drops everything on the floor
+  }
+  switch (pkt.nc.op) {
+    case OpCode::kCacheUpdateAck:
+      // Control-ish packets bypass the service queue: NIC-level handling.
+      HandleUpdateAck(pkt);
+      return;
+    case OpCode::kCacheUpdateReject:
+      HandleUpdateReject(pkt);
+      return;
+    case OpCode::kGet:
+    case OpCode::kPut:
+    case OpCode::kDelete:
+    case OpCode::kCachedPut:
+    case OpCode::kCachedDelete:
+      EnqueueOrDrop(pkt);
+      return;
+    default:
+      NC_LOG(DEBUG) << name() << ": ignoring " << pkt.Summary();
+      return;
+  }
+}
+
+void StorageServer::EnqueueOrDrop(const Packet& pkt, bool front) {
+  // RSS steering: the queue is chosen by the key hash, so per-key load can
+  // never spread across cores (§1, §6).
+  size_t core_index = CoreOf(pkt.nc.key);
+  Core& core = cores_[core_index];
+  if (core.queue.size() >= config_.queue_capacity / config_.num_cores + 1) {
+    ++stats_.dropped;
+    return;
+  }
+  if (front) {
+    core.queue.push_front(pkt);
+  } else {
+    core.queue.push_back(pkt);
+  }
+  StartNextIfIdle(core_index);
+}
+
+void StorageServer::StartNextIfIdle(size_t core_index) {
+  Core& core = cores_[core_index];
+  if (core.busy || core.queue.empty()) {
+    return;
+  }
+  core.busy = true;
+  Packet pkt = core.queue.front();
+  core.queue.pop_front();
+  sim_->Schedule(ServiceTime(), [this, core_index, pkt = std::move(pkt)] {
+    Process(pkt);
+    Core& done = cores_[core_index];
+    ++done.processed;
+    done.busy = false;
+    StartNextIfIdle(core_index);
+  });
+}
+
+void StorageServer::Process(const Packet& pkt) {
+  switch (pkt.nc.op) {
+    case OpCode::kGet:
+      ProcessRead(pkt);
+      break;
+    case OpCode::kPut:
+    case OpCode::kDelete:
+    case OpCode::kCachedPut:
+    case OpCode::kCachedDelete:
+      ProcessWrite(pkt);
+      break;
+    default:
+      break;
+  }
+}
+
+void StorageServer::ProcessRead(const Packet& pkt) {
+  ++stats_.reads;
+  Packet reply = pkt;
+  reply.SwapSrcDst();
+  reply.nc.op = OpCode::kGetReply;
+  Result<Value> value = store_.Get(pkt.nc.key);
+  if (value.ok()) {
+    reply.nc.has_value = true;
+    reply.nc.value = *value;
+  } else {
+    ++stats_.read_misses;
+    reply.nc.has_value = false;
+    reply.nc.value = Value{};
+  }
+  Send(0, reply);
+}
+
+void StorageServer::ProcessWrite(const Packet& pkt) {
+  const Key& key = pkt.nc.key;
+  // §4.3: while a cache update (or controller insertion) for this key is in
+  // flight, subsequent writes wait so server and switch stay consistent.
+  auto blocked_it = blocked_.find(key);
+  if (blocked_it != blocked_.end()) {
+    ++stats_.deferred_writes;
+    blocked_it->second.deferred.push_back(pkt);
+    return;
+  }
+
+  ++stats_.writes;
+  bool is_delete = pkt.nc.op == OpCode::kDelete || pkt.nc.op == OpCode::kCachedDelete;
+  bool is_cached = pkt.nc.op == OpCode::kCachedPut || pkt.nc.op == OpCode::kCachedDelete;
+
+  // The server updates the value atomically and serializes queries (§4.3);
+  // our FIFO service loop provides the serialization.
+  if (is_delete) {
+    store_.Delete(key).ok();  // deleting an absent key is a no-op
+  } else {
+    store_.Put(key, pkt.nc.value);
+  }
+
+  Packet reply = pkt;
+  reply.SwapSrcDst();
+  reply.nc.op = is_delete ? OpCode::kDeleteReply : OpCode::kPutReply;
+  reply.nc.has_value = false;
+  reply.nc.value = Value{};
+
+  if (is_cached && config_.coherence == CoherenceMode::kWriteThroughSync) {
+    // Textbook write-through: the reply waits for the switch ack.
+    BeginCacheUpdate(key, pkt.nc.value, /*has_value=*/!is_delete, &reply);
+    return;
+  }
+
+  // The paper's design: reply as soon as the local write completes; the
+  // switch refresh happens asynchronously (§4.3: lower write latency than
+  // standard write-through).
+  Send(0, reply);
+  if (is_cached && config_.coherence == CoherenceMode::kWriteThroughAsync) {
+    BeginCacheUpdate(key, pkt.nc.value, /*has_value=*/!is_delete, nullptr);
+  }
+  // kWriteAround: no refresh at all; the cached entry stays invalid.
+}
+
+void StorageServer::BeginCacheUpdate(const Key& key, const Value& value, bool has_value,
+                                     const Packet* held_reply) {
+  BlockState& block = blocked_[key];
+  ++block.refs;
+
+  Packet update;
+  update.eth.src = config_.ip;
+  update.eth.dst = config_.switch_ip;
+  update.ip.src = config_.ip;
+  update.ip.dst = config_.switch_ip;
+  update.l4.protocol = L4Protocol::kUdp;
+  update.l4.src_port = kNetCachePort;
+  update.l4.dst_port = kNetCachePort;
+  update.is_netcache = true;
+  update.nc.op = OpCode::kCacheUpdate;
+  update.nc.key = key;
+  update.nc.has_value = has_value;
+  if (has_value) {
+    update.nc.value = value;
+  }
+  update.nc.seq = static_cast<uint32_t>(++update_epoch_);
+
+  PendingUpdate& pending = pending_updates_[key];
+  pending.epoch = update_epoch_;
+  pending.update = update;
+  pending.has_held_reply = held_reply != nullptr;
+  if (held_reply != nullptr) {
+    pending.held_reply = *held_reply;
+  }
+
+  ++stats_.cache_updates_sent;
+  Send(0, update);
+  ScheduleUpdateRetry(key, update_epoch_);
+}
+
+void StorageServer::ScheduleUpdateRetry(const Key& key, uint64_t epoch) {
+  // Light-weight reliable delivery (§6): retransmit until acked.
+  sim_->Schedule(config_.update_retry_timeout, [this, key, epoch] {
+    auto it = pending_updates_.find(key);
+    if (it == pending_updates_.end() || it->second.epoch != epoch) {
+      return;  // acked or superseded
+    }
+    ++stats_.cache_update_retries;
+    ++stats_.cache_updates_sent;
+    Send(0, it->second.update);
+    ScheduleUpdateRetry(key, epoch);
+  });
+}
+
+void StorageServer::HandleUpdateAck(const Packet& pkt) {
+  auto it = pending_updates_.find(pkt.nc.key);
+  if (it == pending_updates_.end()) {
+    return;  // duplicate ack
+  }
+  ++stats_.cache_update_acks;
+  if (it->second.has_held_reply) {
+    Send(0, it->second.held_reply);  // sync write-through: reply only now
+  }
+  pending_updates_.erase(it);
+  ReleaseBlock(pkt.nc.key);
+}
+
+void StorageServer::HandleUpdateReject(const Packet& pkt) {
+  auto it = pending_updates_.find(pkt.nc.key);
+  if (it == pending_updates_.end()) {
+    return;
+  }
+  ++stats_.cache_update_rejects;
+  bool had_value = it->second.update.nc.has_value;
+  Value value = it->second.update.nc.value;
+  if (it->second.has_held_reply) {
+    Send(0, it->second.held_reply);  // the write itself still succeeded
+  }
+  pending_updates_.erase(it);
+  // The cached entry stays invalid at the switch, so reads serialize here and
+  // coherence holds; hand the oversized value to the control plane (§4.3).
+  ReleaseBlock(pkt.nc.key);
+  if (update_reject_ && had_value) {
+    update_reject_(pkt.nc.key, value);
+  }
+}
+
+void StorageServer::BlockWrites(const Key& key) { ++blocked_[key].refs; }
+
+void StorageServer::UnblockWrites(const Key& key) { ReleaseBlock(key); }
+
+void StorageServer::ReleaseBlock(const Key& key) {
+  auto it = blocked_.find(key);
+  if (it == blocked_.end()) {
+    return;
+  }
+  if (--it->second.refs > 0) {
+    return;
+  }
+  // Re-admit deferred writes at the head of the service queue, preserving
+  // their arrival order.
+  std::deque<Packet> deferred = std::move(it->second.deferred);
+  blocked_.erase(it);
+  for (auto rit = deferred.rbegin(); rit != deferred.rend(); ++rit) {
+    EnqueueOrDrop(*rit, /*front=*/true);
+  }
+}
+
+}  // namespace netcache

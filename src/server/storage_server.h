@@ -1,0 +1,171 @@
+// Storage server: in-memory KV store + the NetCache server agent shim (§3,
+// §4.3, §6).
+//
+// The agent does three things:
+//   1. Translates NetCache packets into KV-store API calls.
+//   2. Implements write-through cache coherence: on a CachedPut/CachedDelete
+//      (ops rewritten by the switch to flag a cached key), it applies the
+//      write, replies to the client immediately, then pushes the new value to
+//      the switch with a retried data-plane kCacheUpdate — blocking later
+//      writes to that key until the switch acks (§4.3).
+//   3. Exposes the control hooks the controller needs for cache insertion:
+//      fetch a value, and block/unblock writes to a key while an insertion is
+//      in flight (§4.3 "Cache Update").
+//
+// Service model: queries are served FIFO from a bounded queue at a fixed
+// per-query service time (1 / service_rate). Arrivals beyond the queue bound
+// are dropped — exactly the paper's server-emulation methodology (§7.1).
+
+#ifndef NETCACHE_SERVER_STORAGE_SERVER_H_
+#define NETCACHE_SERVER_STORAGE_SERVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time_units.h"
+#include "kvstore/kv_store.h"
+#include "net/node.h"
+#include "net/simulator.h"
+#include "proto/packet.h"
+
+namespace netcache {
+
+// How the agent keeps the switch coherent on writes to cached keys (§4.3).
+enum class CoherenceMode {
+  // The paper's design: apply the write, reply to the client immediately,
+  // push the switch refresh asynchronously (blocking only later writes).
+  kWriteThroughAsync,
+  // Textbook write-through: hold the client's reply until the switch ack —
+  // §4.3 argues (and abl_coherence measures) this costs write latency.
+  kWriteThroughSync,
+  // Write-around: never refresh; the entry stays invalid until the
+  // controller re-inserts it — §4.3 rejects this because data-plane updates
+  // are cheap and control-plane updates are slow.
+  kWriteAround,
+};
+
+struct ServerConfig {
+  IpAddress ip = 0;
+  IpAddress switch_ip = 0xffff0001;
+  double service_rate_qps = 10e6;  // paper's simple store: ~10 MQPS (§6)
+  size_t queue_capacity = 512;     // queries buffered before drop-tail
+  SimDuration update_retry_timeout = 100 * kMicrosecond;
+  // Per-core sharding (§6: RSS / DPDK Flow Director). With num_cores > 1
+  // the server runs one queue per core at service_rate/num_cores each, and
+  // a query is steered to the core owning its key's hash — so a single hot
+  // key can only ever be served at one core's rate, the §1 amplification.
+  size_t num_cores = 1;
+  uint64_t core_hash_seed = 0x52535348;
+  CoherenceMode coherence = CoherenceMode::kWriteThroughAsync;
+};
+
+struct ServerStats {
+  uint64_t received = 0;
+  uint64_t dropped = 0;        // queue overflow (overload shedding)
+  uint64_t reads = 0;
+  uint64_t read_misses = 0;
+  uint64_t writes = 0;
+  uint64_t deferred_writes = 0;  // blocked behind a pending cache update
+  uint64_t cache_updates_sent = 0;
+  uint64_t cache_update_acks = 0;
+  uint64_t cache_update_rejects = 0;
+  uint64_t cache_update_retries = 0;
+};
+
+class StorageServer : public Node {
+ public:
+  StorageServer(Simulator* sim, std::string name, const ServerConfig& config);
+
+  // ---- data path ----
+  void HandlePacket(const Packet& pkt, uint32_t in_port) override;
+
+  // ---- control channel (used by the controller) ----
+  // Fetches the current value for cache insertion (§4.3).
+  Result<Value> ControlFetch(const Key& key) const { return store_.Get(key); }
+  // Applies a value flushed back from the switch (write-back mode, §5).
+  void ControlApply(const Key& key, const Value& value) { store_.Put(key, value); }
+  // Blocks/unblocks writes to `key` during a controller-driven insertion.
+  void BlockWrites(const Key& key);
+  void UnblockWrites(const Key& key);
+
+  // Invoked when the switch rejects a data-plane update because the new value
+  // outgrew its slots; the controller must re-insert via the control plane.
+  using UpdateRejectHandler = std::function<void(const Key& key, const Value& value)>;
+  void SetUpdateRejectHandler(UpdateRejectHandler handler) {
+    update_reject_ = std::move(handler);
+  }
+
+  // Fail/recover the server: while offline every arriving packet is lost
+  // (crash model). Cached reads keep flowing through the switch; uncached
+  // traffic to this server times out at the clients.
+  void set_online(bool online) { online_ = online; }
+  bool online() const { return online_; }
+
+  // Direct store access for pre-population and verification.
+  KvStore& store() { return store_; }
+  const KvStore& store() const { return store_; }
+
+  const ServerConfig& config() const { return config_; }
+  const ServerStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ServerStats{}; }
+  size_t QueueDepth() const;
+  size_t CoreOf(const Key& key) const;
+  uint64_t core_processed(size_t core) const { return cores_[core].processed; }
+
+ private:
+  struct BlockState {
+    int refs = 0;                // overlapping block reasons
+    std::deque<Packet> deferred; // writes waiting for unblock, FIFO
+  };
+  struct PendingUpdate {
+    uint64_t epoch = 0;  // invalidates stale retry timers
+    Packet update;       // the kCacheUpdate to (re)send
+    bool has_held_reply = false;
+    Packet held_reply;   // client reply parked until the ack (sync mode)
+  };
+
+  struct Core {
+    std::deque<Packet> queue;
+    bool busy = false;
+    uint64_t processed = 0;
+  };
+
+  SimDuration ServiceTime() const;
+  void EnqueueOrDrop(const Packet& pkt, bool front = false);
+  void StartNextIfIdle(size_t core);
+  void Process(const Packet& pkt);
+
+  void ProcessRead(const Packet& pkt);
+  void ProcessWrite(const Packet& pkt);
+  void HandleUpdateAck(const Packet& pkt);
+  void HandleUpdateReject(const Packet& pkt);
+
+  void BeginCacheUpdate(const Key& key, const Value& value, bool has_value,
+                        const Packet* held_reply);
+  void ScheduleUpdateRetry(const Key& key, uint64_t epoch);
+  void ReleaseBlock(const Key& key);
+
+  Simulator* sim_;
+  ServerConfig config_;
+  KvStore store_;
+  bool online_ = true;
+
+  std::vector<Core> cores_;
+
+  std::unordered_map<Key, BlockState, KeyHasher> blocked_;
+  std::unordered_map<Key, PendingUpdate, KeyHasher> pending_updates_;
+  uint64_t update_epoch_ = 0;
+
+  UpdateRejectHandler update_reject_;
+  ServerStats stats_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_SERVER_STORAGE_SERVER_H_

@@ -1,0 +1,68 @@
+#include "sketch/bloom.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace netcache {
+
+BloomFilter::BloomFilter(size_t num_hashes, size_t bits_per_partition, uint64_t seed)
+    : num_hashes_(num_hashes), bits_per_partition_(bits_per_partition) {
+  NC_CHECK(num_hashes > 0 && bits_per_partition > 0);
+  uint64_t sm = seed;
+  seeds_.reserve(num_hashes);
+  partitions_.reserve(num_hashes);
+  for (size_t i = 0; i < num_hashes; ++i) {
+    seeds_.push_back(SplitMix64(sm));
+    partitions_.emplace_back(bits_per_partition, false);
+  }
+}
+
+size_t BloomFilter::BitIndex(size_t partition, const Key& key) const {
+  return static_cast<size_t>(key.SeededHash(seeds_[partition]) % bits_per_partition_);
+}
+
+bool BloomFilter::TestAndSet(const Key& key) {
+  bool already = true;
+  for (size_t p = 0; p < num_hashes_; ++p) {
+    std::vector<bool>::reference bit = partitions_[p][BitIndex(p, key)];
+    if (!bit) {
+      already = false;
+      bit = true;
+    }
+  }
+  return already;
+}
+
+bool BloomFilter::Test(const Key& key) const {
+  for (size_t p = 0; p < num_hashes_; ++p) {
+    if (!partitions_[p][BitIndex(p, key)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BloomFilter::Insert(const Key& key) {
+  for (size_t p = 0; p < num_hashes_; ++p) {
+    partitions_[p][BitIndex(p, key)] = true;
+  }
+}
+
+void BloomFilter::Reset() {
+  for (auto& part : partitions_) {
+    std::fill(part.begin(), part.end(), false);
+  }
+}
+
+double BloomFilter::FillRatio(size_t p) const {
+  if (p >= num_hashes_) {
+    return 0.0;
+  }
+  size_t set = static_cast<size_t>(
+      std::count(partitions_[p].begin(), partitions_[p].end(), true));
+  return static_cast<double>(set) / static_cast<double>(bits_per_partition_);
+}
+
+}  // namespace netcache

@@ -1,0 +1,49 @@
+// Partitioned Bloom filter: k hash functions, each owning its own bit array,
+// matching the prototype's 3 register arrays x 256K 1-bit slots (§6). Used to
+// suppress duplicate heavy-hitter reports to the controller (§4.4.3).
+
+#ifndef NETCACHE_SKETCH_BLOOM_H_
+#define NETCACHE_SKETCH_BLOOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "proto/key.h"
+
+namespace netcache {
+
+class BloomFilter {
+ public:
+  // num_hashes: number of partitions/hash functions; bits_per_partition:
+  // size of each partition's bit array.
+  BloomFilter(size_t num_hashes, size_t bits_per_partition, uint64_t seed);
+
+  // Inserts the key; returns true if it was (possibly) already present
+  // before the insert — i.e. all bits were already set.
+  bool TestAndSet(const Key& key);
+
+  bool Test(const Key& key) const;
+  void Insert(const Key& key);
+
+  void Reset();
+
+  size_t num_hashes() const { return num_hashes_; }
+  size_t bits_per_partition() const { return bits_per_partition_; }
+  size_t MemoryBits() const { return num_hashes_ * bits_per_partition_; }
+
+  // Fraction of set bits in partition p (diagnostics / ablation).
+  double FillRatio(size_t p) const;
+
+ private:
+  size_t BitIndex(size_t partition, const Key& key) const;
+
+  size_t num_hashes_;
+  size_t bits_per_partition_;
+  std::vector<uint64_t> seeds_;
+  std::vector<std::vector<bool>> partitions_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_SKETCH_BLOOM_H_

@@ -1,0 +1,55 @@
+// Count-Min sketch (Cormode & Muthukrishnan) with saturating 16-bit counters,
+// matching the prototype's dimensions: 4 register arrays x 64K slots x 16 bits
+// (§6). Each row is an independent seeded hash into its own array, exactly how
+// the Tofino lays one register array per stage.
+
+#ifndef NETCACHE_SKETCH_COUNT_MIN_H_
+#define NETCACHE_SKETCH_COUNT_MIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "proto/key.h"
+
+namespace netcache {
+
+class CountMinSketch {
+ public:
+  // depth: number of rows (hash functions); width: slots per row.
+  // seed: derives the per-row hash seeds.
+  CountMinSketch(size_t depth, size_t width, uint64_t seed);
+
+  // Adds one occurrence and returns the post-update estimate (min across
+  // rows). This mirrors the data-plane behaviour where the increment and the
+  // hot-key comparison happen in the same pipeline pass.
+  uint32_t Update(const Key& key);
+
+  // Conservative update: only increments rows currently at the minimum.
+  // Not used by the paper's prototype; provided for the ablation bench.
+  uint32_t UpdateConservative(const Key& key);
+
+  // Point estimate without updating.
+  uint32_t Estimate(const Key& key) const;
+
+  // Clears all counters (the controller resets the sketch every second, §6).
+  void Reset();
+
+  size_t depth() const { return depth_; }
+  size_t width() const { return width_; }
+
+  // Total memory footprint in bits, for resource accounting.
+  size_t MemoryBits() const { return depth_ * width_ * 16; }
+
+ private:
+  size_t RowIndex(size_t row, const Key& key) const;
+
+  size_t depth_;
+  size_t width_;
+  std::vector<uint64_t> row_seeds_;
+  std::vector<std::vector<uint16_t>> rows_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_SKETCH_COUNT_MIN_H_

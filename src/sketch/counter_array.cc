@@ -1,0 +1,33 @@
+#include "sketch/counter_array.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace netcache {
+
+CounterArray::CounterArray(size_t size) : slots_(size, 0) {}
+
+uint32_t CounterArray::Increment(size_t index) {
+  NC_CHECK(index < slots_.size());
+  uint16_t& slot = slots_[index];
+  if (slot < std::numeric_limits<uint16_t>::max()) {
+    ++slot;
+  }
+  return slot;
+}
+
+uint32_t CounterArray::Get(size_t index) const {
+  NC_CHECK(index < slots_.size());
+  return slots_[index];
+}
+
+void CounterArray::Clear(size_t index) {
+  NC_CHECK(index < slots_.size());
+  slots_[index] = 0;
+}
+
+void CounterArray::Reset() { std::fill(slots_.begin(), slots_.end(), 0); }
+
+}  // namespace netcache

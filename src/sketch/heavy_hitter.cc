@@ -1,0 +1,31 @@
+#include "sketch/heavy_hitter.h"
+
+namespace netcache {
+
+HeavyHitterDetector::HeavyHitterDetector(const HeavyHitterConfig& config)
+    : config_(config),
+      sketch_(config.sketch_depth, config.sketch_width, config.seed),
+      bloom_(config.bloom_hashes, config.bloom_bits, config.seed ^ 0xb100f117ull),
+      rng_(config.seed ^ 0x5a3dull) {}
+
+bool HeavyHitterDetector::Offer(const Key& key) {
+  // Sampling acts as a high-pass filter in front of the sketch (§4.4.3).
+  if (config_.sample_rate < 1.0 && !rng_.NextBernoulli(config_.sample_rate)) {
+    return false;
+  }
+  uint32_t estimate = sketch_.Update(key);
+  if (estimate < config_.hot_threshold) {
+    return false;
+  }
+  // Above threshold: report only if the Bloom filter has not seen it. The
+  // filter stays set for the rest of the epoch, so each hot key is reported
+  // once (§4.4.3).
+  return !bloom_.TestAndSet(key);
+}
+
+void HeavyHitterDetector::Reset() {
+  sketch_.Reset();
+  bloom_.Reset();
+}
+
+}  // namespace netcache

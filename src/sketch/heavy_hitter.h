@@ -1,0 +1,67 @@
+// Heavy-hitter detector for uncached keys (paper Fig 7, §4.4.3).
+//
+// Pipeline per sampled query:
+//   sample -> Count-Min update -> threshold compare -> Bloom dedup -> report
+//
+// The sampler acts as a high-pass filter so that 16-bit counters suffice; the
+// Bloom filter guarantees each hot key is reported to the controller at most
+// once per statistics epoch. The controller resets all state every epoch.
+
+#ifndef NETCACHE_SKETCH_HEAVY_HITTER_H_
+#define NETCACHE_SKETCH_HEAVY_HITTER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "sketch/bloom.h"
+#include "sketch/count_min.h"
+
+namespace netcache {
+
+struct HeavyHitterConfig {
+  size_t sketch_depth = 4;            // 4 register arrays (§6)
+  size_t sketch_width = 64 * 1024;    // 64K 16-bit slots each (§6)
+  size_t bloom_hashes = 3;            // 3 register arrays (§6)
+  size_t bloom_bits = 256 * 1024;     // 256K 1-bit slots each (§6)
+  uint32_t hot_threshold = 128;       // report keys whose sampled count passes this
+  double sample_rate = 1.0;           // fraction of queries fed to the sketch
+  uint64_t seed = 0x48485345;
+};
+
+class HeavyHitterDetector {
+ public:
+  explicit HeavyHitterDetector(const HeavyHitterConfig& config);
+
+  // Feeds one uncached-read access. Returns true iff this access crosses the
+  // hot threshold for the first time this epoch — i.e. the key should be
+  // reported to the controller.
+  bool Offer(const Key& key);
+
+  // Current sketch estimate for a key (sampled counts).
+  uint32_t Estimate(const Key& key) const { return sketch_.Estimate(key); }
+
+  // Epoch reset (controller clears statistics every cycle, §4.4.3).
+  void Reset();
+
+  // Runtime-tunable knobs (the controller configures both, §4.4.3).
+  void set_hot_threshold(uint32_t t) { config_.hot_threshold = t; }
+  void set_sample_rate(double r) { config_.sample_rate = r; }
+  uint32_t hot_threshold() const { return config_.hot_threshold; }
+  double sample_rate() const { return config_.sample_rate; }
+
+  size_t MemoryBits() const { return sketch_.MemoryBits() + bloom_.MemoryBits(); }
+
+  const CountMinSketch& sketch() const { return sketch_; }
+  const BloomFilter& bloom() const { return bloom_; }
+
+ private:
+  HeavyHitterConfig config_;
+  CountMinSketch sketch_;
+  BloomFilter bloom_;
+  Rng rng_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_SKETCH_HEAVY_HITTER_H_

@@ -1,0 +1,74 @@
+#include "workload/consistent_hash.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace netcache {
+
+ConsistentHashRing::ConsistentHashRing(size_t num_nodes, size_t virtual_nodes, uint64_t seed)
+    : virtual_nodes_(virtual_nodes), seed_(seed) {
+  NC_CHECK(num_nodes > 0);
+  NC_CHECK(virtual_nodes > 0);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    AddNode();
+  }
+}
+
+void ConsistentHashRing::InsertPointsFor(size_t node) {
+  for (size_t v = 0; v < virtual_nodes_; ++v) {
+    uint64_t position = SeededHash(static_cast<uint64_t>(node) * 0x10001 + v, seed_);
+    ring_.push_back(Point{position, node});
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+size_t ConsistentHashRing::AddNode() {
+  size_t node = num_nodes_++;
+  live_.push_back(true);
+  InsertPointsFor(node);
+  return node;
+}
+
+void ConsistentHashRing::RemoveNode(size_t node) {
+  NC_CHECK(node < num_nodes_ && live_[node]);
+  NC_CHECK(num_live_nodes() > 1) << "cannot remove the last node";
+  live_[node] = false;
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [node](const Point& p) { return p.node == node; }),
+              ring_.end());
+}
+
+size_t ConsistentHashRing::NodeOf(const Key& key) const {
+  NC_CHECK(!ring_.empty());
+  uint64_t h = key.Hash();
+  // First point with position >= h, wrapping to the front.
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), Point{h, 0});
+  if (it == ring_.end()) {
+    it = ring_.begin();
+  }
+  return it->node;
+}
+
+std::vector<double> ConsistentHashRing::OwnershipShares() const {
+  std::vector<double> shares(num_nodes_, 0.0);
+  if (ring_.empty()) {
+    return shares;
+  }
+  // Arc before each point belongs to that point's node; the wrap-around arc
+  // (after the last point) belongs to the first point's node.
+  uint64_t prev = 0;
+  for (const Point& p : ring_) {
+    shares[p.node] += static_cast<double>(p.position - prev) / 0x1p64;
+    prev = p.position;
+  }
+  shares[ring_.front().node] += static_cast<double>(~prev + 1) / 0x1p64;
+  return shares;
+}
+
+size_t ConsistentHashRing::num_live_nodes() const {
+  return static_cast<size_t>(std::count(live_.begin(), live_.end(), true));
+}
+
+}  // namespace netcache

@@ -1,0 +1,65 @@
+// Consistent hashing with virtual nodes — the traditional load-mitigation
+// technique the paper positions against (§8: "Traditional methods use
+// consistent hashing [24] and virtual nodes [13] to mitigate load imbalance,
+// but these solutions fall short when dealing with workload changes").
+//
+// Each physical node projects `virtual_nodes` points onto a 64-bit hash
+// ring; a key belongs to the first point clockwise from its hash. Virtual
+// nodes even out *keyspace* ownership and keep remapping minimal when
+// membership changes — but a single popular key still lands on exactly one
+// node, which is why consistent hashing cannot fix popularity skew (see
+// bench/abl_consistent_hash).
+
+#ifndef NETCACHE_WORKLOAD_CONSISTENT_HASH_H_
+#define NETCACHE_WORKLOAD_CONSISTENT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "proto/key.h"
+
+namespace netcache {
+
+class ConsistentHashRing {
+ public:
+  // Creates a ring over nodes [0, num_nodes), each with `virtual_nodes`
+  // ring points.
+  ConsistentHashRing(size_t num_nodes, size_t virtual_nodes, uint64_t seed = 0x72696e67);
+
+  // Owning node of a key (first ring point clockwise of the key's hash).
+  size_t NodeOf(const Key& key) const;
+
+  // Adds a new node (id = previous num_nodes). Only keys in the regions the
+  // new node's points claim move — consistent hashing's defining property.
+  size_t AddNode();
+
+  // Removes a node; its regions fall to the next points clockwise.
+  void RemoveNode(size_t node);
+
+  // Fraction of the hash space each live node owns (sums to 1).
+  std::vector<double> OwnershipShares() const;
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_live_nodes() const;
+  size_t num_points() const { return ring_.size(); }
+
+ private:
+  struct Point {
+    uint64_t position;
+    size_t node;
+    bool operator<(const Point& other) const { return position < other.position; }
+  };
+
+  void InsertPointsFor(size_t node);
+
+  size_t num_nodes_ = 0;  // ids handed out so far (including removed)
+  std::vector<bool> live_;
+  size_t virtual_nodes_;
+  uint64_t seed_;
+  std::vector<Point> ring_;  // sorted by position
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_WORKLOAD_CONSISTENT_HASH_H_

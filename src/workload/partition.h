@@ -1,0 +1,32 @@
+// Hash partitioning of the keyspace across storage nodes (§3: "the key-value
+// items are hash-partitioned to the storage servers").
+
+#ifndef NETCACHE_WORKLOAD_PARTITION_H_
+#define NETCACHE_WORKLOAD_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "proto/key.h"
+
+namespace netcache {
+
+class HashPartitioner {
+ public:
+  HashPartitioner(size_t num_partitions, uint64_t seed = 0x70617274)
+      : num_partitions_(num_partitions), seed_(seed) {}
+
+  size_t PartitionOf(const Key& key) const {
+    return static_cast<size_t>(key.SeededHash(seed_) % num_partitions_);
+  }
+
+  size_t num_partitions() const { return num_partitions_; }
+
+ private:
+  size_t num_partitions_;
+  uint64_t seed_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_WORKLOAD_PARTITION_H_

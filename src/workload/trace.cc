@@ -1,0 +1,102 @@
+#include "workload/trace.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace netcache {
+
+TraceWriter::TraceWriter(std::ostream* out) : out_(out) { NC_CHECK(out != nullptr); }
+
+void TraceWriter::Append(const TraceRecord& record) {
+  switch (record.op) {
+    case OpCode::kGet:
+      *out_ << "G " << record.key_id << "\n";
+      break;
+    case OpCode::kPut:
+      *out_ << "P " << record.key_id << " " << record.value_size << "\n";
+      break;
+    case OpCode::kDelete:
+      *out_ << "D " << record.key_id << "\n";
+      break;
+    default:
+      NC_LOG(WARN) << "trace writer: skipping unsupported op " << OpCodeName(record.op);
+      return;
+  }
+  ++records_;
+}
+
+void TraceWriter::Append(const Query& query) {
+  Append(TraceRecord{query.op, query.key_id, query.value.size()});
+}
+
+Result<std::vector<TraceRecord>> ParseTrace(std::istream& in) {
+  std::vector<TraceRecord> records;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string op;
+    fields >> op;
+    TraceRecord record;
+    if (op == "G") {
+      record.op = OpCode::kGet;
+    } else if (op == "P") {
+      record.op = OpCode::kPut;
+    } else if (op == "D") {
+      record.op = OpCode::kDelete;
+    } else {
+      return Status::InvalidArgument("trace line " + std::to_string(line_no) + ": bad op '" +
+                                     op + "'");
+    }
+    if (!(fields >> record.key_id)) {
+      return Status::InvalidArgument("trace line " + std::to_string(line_no) +
+                                     ": missing key id");
+    }
+    if (record.op == OpCode::kPut) {
+      if (!(fields >> record.value_size) || record.value_size > kMaxValueSize) {
+        return Status::InvalidArgument("trace line " + std::to_string(line_no) +
+                                       ": bad value size");
+      }
+    }
+    std::string trailing;
+    if (fields >> trailing) {
+      return Status::InvalidArgument("trace line " + std::to_string(line_no) +
+                                     ": trailing tokens");
+    }
+    records.push_back(record);
+  }
+  return records;
+}
+
+TraceReplayer::TraceReplayer(std::vector<TraceRecord> records, bool loop)
+    : records_(std::move(records)), loop_(loop) {}
+
+Result<Query> TraceReplayer::Next() {
+  if (records_.empty()) {
+    return Status::ResourceExhausted("empty trace");
+  }
+  if (position_ >= records_.size()) {
+    if (!loop_) {
+      return Status::ResourceExhausted("trace exhausted");
+    }
+    position_ = 0;
+  }
+  const TraceRecord& record = records_[position_++];
+  Query q;
+  q.op = record.op;
+  q.key_id = record.key_id;
+  q.key = Key::FromUint64(record.key_id);
+  if (record.op == OpCode::kPut) {
+    q.value = WorkloadGenerator::ValueFor(record.key_id, record.value_size, version_++);
+  }
+  return q;
+}
+
+}  // namespace netcache

@@ -1,0 +1,78 @@
+// Trace-driven workloads: record a query stream to a plain-text trace and
+// replay it later, so experiments can run against captured (or externally
+// produced) access patterns instead of synthetic distributions.
+//
+// Format: one query per line,
+//     G <key_id>              read
+//     P <key_id> <size>       write of <size> bytes
+//     D <key_id>              delete
+// '#' starts a comment line. Key ids are decimal uint64.
+//
+// This is the bridge for users with real traces (the paper motivates its
+// workloads from the Facebook Memcached traces [2], which are not public):
+// convert a trace to this format and replay it through TraceReplayer, which
+// implements the same interface shape as WorkloadGenerator::Next().
+
+#ifndef NETCACHE_WORKLOAD_TRACE_H_
+#define NETCACHE_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/generator.h"
+
+namespace netcache {
+
+struct TraceRecord {
+  OpCode op = OpCode::kGet;  // kGet, kPut or kDelete
+  uint64_t key_id = 0;
+  size_t value_size = 0;  // kPut only
+};
+
+// Serializes records to the text format.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream* out);
+
+  void Append(const TraceRecord& record);
+  void Append(const Query& query);
+  size_t records_written() const { return records_; }
+
+ private:
+  std::ostream* out_;
+  size_t records_ = 0;
+};
+
+// Parses a whole trace; returns kInvalidArgument with a line number on
+// malformed input.
+Result<std::vector<TraceRecord>> ParseTrace(std::istream& in);
+
+// Replays a parsed trace as Query objects (values are deterministic filler
+// derived from key id and a replay-local version counter, like the
+// generator's). Wraps around at the end when `loop` is set.
+class TraceReplayer {
+ public:
+  TraceReplayer(std::vector<TraceRecord> records, bool loop = false);
+
+  // Returns the next query; fails with kResourceExhausted when a non-looping
+  // trace is exhausted.
+  Result<Query> Next();
+
+  bool Done() const { return !loop_ && position_ >= records_.size(); }
+  size_t size() const { return records_.size(); }
+  size_t position() const { return position_; }
+  void Rewind() { position_ = 0; }
+
+ private:
+  std::vector<TraceRecord> records_;
+  bool loop_;
+  size_t position_ = 0;
+  uint64_t version_ = 1;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_WORKLOAD_TRACE_H_

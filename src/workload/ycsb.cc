@@ -1,0 +1,59 @@
+#include "workload/ycsb.h"
+
+namespace netcache {
+
+const char* YcsbWorkloadName(YcsbWorkload w) {
+  switch (w) {
+    case YcsbWorkload::kA:
+      return "YCSB-A (update heavy)";
+    case YcsbWorkload::kB:
+      return "YCSB-B (read mostly)";
+    case YcsbWorkload::kC:
+      return "YCSB-C (read only)";
+    case YcsbWorkload::kD:
+      return "YCSB-D (read latest)";
+    case YcsbWorkload::kE:
+      return "YCSB-E (scans)";
+    case YcsbWorkload::kF:
+      return "YCSB-F (read-modify-write)";
+  }
+  return "?";
+}
+
+Result<WorkloadConfig> YcsbConfig(YcsbWorkload w, uint64_t num_keys, uint64_t seed) {
+  WorkloadConfig cfg;
+  cfg.num_keys = num_keys;
+  cfg.seed = seed;
+  // YCSB's default zipfian constant is 0.99.
+  cfg.zipf_alpha = 0.99;
+  switch (w) {
+    case YcsbWorkload::kA:
+      cfg.write_ratio = 0.5;
+      cfg.skewed_writes = true;  // updates target the same zipfian keys
+      break;
+    case YcsbWorkload::kB:
+      cfg.write_ratio = 0.05;
+      cfg.skewed_writes = true;
+      break;
+    case YcsbWorkload::kC:
+      cfg.write_ratio = 0.0;
+      break;
+    case YcsbWorkload::kD:
+      // Inserts of fresh keys spread uniformly; reads skew toward the
+      // latest (caller applies hot-in churn to model recency drift).
+      cfg.write_ratio = 0.05;
+      cfg.skewed_writes = false;
+      break;
+    case YcsbWorkload::kE:
+      return Status::InvalidArgument(
+          "YCSB-E needs range scans; NetCache's key-value interface has none (§5)");
+    case YcsbWorkload::kF:
+      // Each op is read+write of one zipfian key.
+      cfg.write_ratio = 0.5;
+      cfg.skewed_writes = true;
+      break;
+  }
+  return cfg;
+}
+
+}  // namespace netcache

@@ -1,0 +1,39 @@
+// YCSB core workload presets (Cooper et al., SOCC'10 — the paper's citation
+// [11] for skewed key-value benchmarks). Each preset maps onto a
+// WorkloadConfig for the generator:
+//
+//   A  update heavy   50% reads / 50% writes, zipfian
+//   B  read mostly    95% reads /  5% writes, zipfian
+//   C  read only     100% reads,              zipfian
+//   D  read latest    95% reads /  5% inserts; the "latest" distribution is
+//                     approximated by a zipfian over recency, which in our
+//                     rank-permuted generator is a zipfian plus periodic
+//                     hot-in churn driven by the caller
+//   F  read-modify-write: a read followed by a write of the same key; for
+//                     saturation purposes equivalent to 50/50 with skewed
+//                     writes
+//
+// Workload E (scans) needs range queries, which NetCache's restricted
+// key-value interface does not offer (§5) — requesting it is an error.
+
+#ifndef NETCACHE_WORKLOAD_YCSB_H_
+#define NETCACHE_WORKLOAD_YCSB_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "workload/generator.h"
+
+namespace netcache {
+
+enum class YcsbWorkload { kA, kB, kC, kD, kE, kF };
+
+const char* YcsbWorkloadName(YcsbWorkload w);
+
+// Returns the generator configuration for a preset, or kInvalidArgument for
+// workload E.
+Result<WorkloadConfig> YcsbConfig(YcsbWorkload w, uint64_t num_keys, uint64_t seed = 42);
+
+}  // namespace netcache
+
+#endif  // NETCACHE_WORKLOAD_YCSB_H_

@@ -1,0 +1,191 @@
+// Tests for the server-based cache node baseline (§2 / Fig 1, SwitchKV-style)
+// including the end-to-end topology: client -> router -> cache node ->
+// storage servers.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "dataplane/netcache_switch.h"
+#include "net/link.h"
+#include "server/cache_node.h"
+#include "server/storage_server.h"
+#include "workload/generator.h"
+#include "workload/partition.h"
+
+namespace netcache {
+namespace {
+
+Key K(uint64_t id) { return Key::FromUint64(id); }
+
+constexpr IpAddress kClientIp = 0x0b000001;
+constexpr IpAddress kCacheIp = 0x0c000001;
+constexpr IpAddress kServerBase = 0x0a000000;
+
+// Topology: client and cache node and 2 servers hang off one plain router
+// (a NetCacheSwitch with an empty cache is exactly an L3 switch).
+class CacheNodeRig {
+ public:
+  CacheNodeRig() : partitioner_(2) {
+    SwitchConfig sc;
+    sc.num_pipes = 1;
+    sc.ports_per_pipe = 8;
+    sc.cache_capacity = 16;
+    sc.indexes_per_pipe = 16;
+    sc.stats.counter_slots = 16;
+    router_ = std::make_unique<NetCacheSwitch>(&sim_, "router", sc);
+
+    auto owner = [this](const Key& key) {
+      return kServerBase + static_cast<IpAddress>(partitioner_.PartitionOf(key));
+    };
+
+    CacheNodeConfig cc;
+    cc.ip = kCacheIp;
+    cc.service_rate_qps = 1e6;
+    cc.cache_capacity = 4;
+    cache_ = std::make_unique<CacheNode>(&sim_, "cache", cc, owner);
+
+    for (size_t i = 0; i < 2; ++i) {
+      ServerConfig svc;
+      svc.ip = kServerBase + static_cast<IpAddress>(i);
+      svc.service_rate_qps = 1e6;
+      servers_.push_back(std::make_unique<StorageServer>(&sim_, "s" + std::to_string(i), svc));
+    }
+    ClientConfig clc;
+    clc.ip = kClientIp;
+    client_ = std::make_unique<Client>(&sim_, "client", clc);
+
+    Wire(client_.get(), 0);
+    Wire(cache_.get(), 1);
+    Wire(servers_[0].get(), 2);
+    Wire(servers_[1].get(), 3);
+    EXPECT_TRUE(router_->AddRoute(kClientIp, 0).ok());
+    EXPECT_TRUE(router_->AddRoute(kCacheIp, 1).ok());
+    EXPECT_TRUE(router_->AddRoute(kServerBase + 0, 2).ok());
+    EXPECT_TRUE(router_->AddRoute(kServerBase + 1, 3).ok());
+  }
+
+  void Populate(uint64_t n) {
+    for (uint64_t id = 0; id < n; ++id) {
+      size_t p = partitioner_.PartitionOf(K(id));
+      servers_[p]->store().Put(K(id), WorkloadGenerator::ValueFor(id, 64));
+    }
+  }
+
+  Simulator sim_;
+  HashPartitioner partitioner_;
+  std::unique_ptr<NetCacheSwitch> router_;
+  std::unique_ptr<CacheNode> cache_;
+  std::vector<std::unique_ptr<StorageServer>> servers_;
+  std::unique_ptr<Client> client_;
+  std::vector<std::unique_ptr<Link>> links_;
+
+ private:
+  void Wire(Node* node, uint32_t port) {
+    auto link = std::make_unique<Link>(&sim_, LinkConfig{});
+    link->Connect(router_.get(), port, node, 0);
+    links_.push_back(std::move(link));
+  }
+};
+
+TEST(CacheNodeTest, MissForwardedAndAdmitted) {
+  CacheNodeRig rig;
+  rig.Populate(10);
+  Value got;
+  rig.client_->Get(kCacheIp, K(3), [&](const Status& s, const Value& v) {
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    got = v;
+  });
+  rig.sim_.RunUntil(2 * kMillisecond);
+  EXPECT_EQ(got, WorkloadGenerator::ValueFor(3, 64));
+  EXPECT_EQ(rig.cache_->stats().misses, 1u);
+  EXPECT_TRUE(rig.cache_->Contains(K(3)));  // admitted on the way back
+}
+
+TEST(CacheNodeTest, SecondReadIsAHit) {
+  CacheNodeRig rig;
+  rig.Populate(10);
+  for (int round = 0; round < 2; ++round) {
+    rig.client_->Get(kCacheIp, K(3), [](const Status&, const Value&) {});
+    rig.sim_.RunUntil(rig.sim_.Now() + 2 * kMillisecond);
+  }
+  EXPECT_EQ(rig.cache_->stats().misses, 1u);
+  EXPECT_EQ(rig.cache_->stats().hits, 1u);
+  // The hit never touched a storage server.
+  EXPECT_EQ(rig.servers_[0]->stats().reads + rig.servers_[1]->stats().reads, 1u);
+}
+
+TEST(CacheNodeTest, LruEvictsAtCapacity) {
+  CacheNodeRig rig;
+  rig.Populate(10);
+  for (uint64_t id = 0; id < 6; ++id) {  // capacity is 4
+    rig.client_->Get(kCacheIp, K(id), [](const Status&, const Value&) {});
+    rig.sim_.RunUntil(rig.sim_.Now() + 2 * kMillisecond);
+  }
+  EXPECT_EQ(rig.cache_->CacheSize(), 4u);
+  EXPECT_FALSE(rig.cache_->Contains(K(0)));  // oldest gone
+  EXPECT_TRUE(rig.cache_->Contains(K(5)));
+}
+
+TEST(CacheNodeTest, WriteUpdatesCachedCopy) {
+  CacheNodeRig rig;
+  rig.Populate(10);
+  rig.client_->Get(kCacheIp, K(3), [](const Status&, const Value&) {});
+  rig.sim_.RunUntil(2 * kMillisecond);
+  ASSERT_TRUE(rig.cache_->Contains(K(3)));
+
+  Value fresh = Value::Filler(99, 64);
+  bool acked = false;
+  rig.client_->Put(kCacheIp, K(3), fresh,
+                   [&](const Status& s, const Value&) { acked = s.ok(); });
+  rig.sim_.RunUntil(4 * kMillisecond);
+  ASSERT_TRUE(acked);  // the owner server replied through the router
+
+  // The cached copy was refreshed in place: the next read hits and returns
+  // the new value.
+  Value got;
+  rig.client_->Get(kCacheIp, K(3), [&](const Status&, const Value& v) { got = v; });
+  rig.sim_.RunUntil(6 * kMillisecond);
+  EXPECT_EQ(got, fresh);
+  size_t p = rig.partitioner_.PartitionOf(K(3));
+  EXPECT_EQ(*rig.servers_[p]->store().Get(K(3)), fresh);  // and the owner too
+}
+
+TEST(CacheNodeTest, DeleteDropsCachedCopy) {
+  CacheNodeRig rig;
+  rig.Populate(10);
+  rig.client_->Get(kCacheIp, K(3), [](const Status&, const Value&) {});
+  rig.sim_.RunUntil(2 * kMillisecond);
+  rig.client_->Delete(kCacheIp, K(3), [](const Status&, const Value&) {});
+  rig.sim_.RunUntil(4 * kMillisecond);
+  EXPECT_FALSE(rig.cache_->Contains(K(3)));
+  Status got = Status::Ok();
+  rig.client_->Get(kCacheIp, K(3), [&](const Status& s, const Value&) { got = s; });
+  rig.sim_.RunUntil(6 * kMillisecond);
+  EXPECT_EQ(got.code(), StatusCode::kNotFound);
+}
+
+TEST(CacheNodeTest, ServerClassRateIsTheBottleneck) {
+  // The §2 argument: a cache node with T' ~= T saturates at one server's
+  // rate no matter how many hits it serves.
+  CacheNodeRig rig;
+  rig.Populate(10);
+  // Warm one key.
+  rig.client_->Get(kCacheIp, K(1), [](const Status&, const Value&) {});
+  rig.sim_.RunUntil(2 * kMillisecond);
+  // Offer 4x the node's 1 MQPS on a pure-hit workload.
+  int ok = 0;
+  for (int i = 0; i < 4000; ++i) {
+    rig.sim_.ScheduleAt(rig.sim_.Now() + static_cast<SimDuration>(i) * 250, [&rig, &ok] {
+      rig.client_->Get(kCacheIp, K(1),
+                       [&ok](const Status& s, const Value&) { ok += s.ok() ? 1 : 0; });
+    });
+  }
+  rig.sim_.RunUntil(rig.sim_.Now() + 20 * kMillisecond);
+  EXPECT_GT(rig.cache_->stats().dropped, 1000u);  // shed ~3/4 of offered load
+}
+
+}  // namespace
+}  // namespace netcache

@@ -1,0 +1,240 @@
+// Tests for the large-value chunking client (§5) and the variable-length
+// key verification client (§5), end-to-end through a simulated rack.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "client/chunked_client.h"
+#include "client/verified_client.h"
+#include "core/rack.h"
+
+namespace netcache {
+namespace {
+
+RackConfig SmallRack() {
+  RackConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_clients = 1;
+  cfg.switch_config.num_pipes = 1;
+  cfg.switch_config.cache_capacity = 1024;
+  cfg.switch_config.indexes_per_pipe = 1024;
+  cfg.switch_config.stats.counter_slots = 1024;
+  cfg.controller_config.cache_capacity = 64;
+  return cfg;
+}
+
+std::string MakePayload(size_t n) {
+  std::string s;
+  s.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    s.push_back(static_cast<char>('a' + (i * 7) % 26));
+  }
+  return s;
+}
+
+TEST(ChunkedClientTest, ChunkMath) {
+  EXPECT_EQ(ChunkedClient::NumChunks(0), 1u);
+  EXPECT_EQ(ChunkedClient::NumChunks(1), 1u);
+  EXPECT_EQ(ChunkedClient::NumChunks(124), 1u);
+  EXPECT_EQ(ChunkedClient::NumChunks(125), 2u);
+  EXPECT_EQ(ChunkedClient::NumChunks(124 + 128), 2u);
+  EXPECT_EQ(ChunkedClient::NumChunks(124 + 129), 3u);
+}
+
+TEST(ChunkedClientTest, ChunkKeysDistinct) {
+  Key base = Key::FromUint64(7);
+  EXPECT_NE(ChunkedClient::ChunkKey(base, 0), base);
+  EXPECT_NE(ChunkedClient::ChunkKey(base, 0), ChunkedClient::ChunkKey(base, 1));
+  EXPECT_EQ(ChunkedClient::ChunkKey(base, 3), ChunkedClient::ChunkKey(base, 3));
+  EXPECT_NE(ChunkedClient::ChunkKey(Key::FromUint64(8), 0), ChunkedClient::ChunkKey(base, 0));
+}
+
+class ChunkedRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChunkedRoundTrip, PutGetMatches) {
+  Rack rack(SmallRack());
+  ChunkedClient chunked(&rack.client(0), rack.OwnerFn());
+  std::string payload = MakePayload(GetParam());
+  Key key = Key::FromUint64(1);
+
+  Status put_status = Status::Internal("pending");
+  chunked.PutLarge(key, payload, [&](const Status& s) { put_status = s; });
+  rack.sim().RunUntil(5 * kMillisecond);
+  ASSERT_TRUE(put_status.ok()) << put_status.ToString();
+
+  Status get_status = Status::Internal("pending");
+  std::string got;
+  chunked.GetLarge(key, [&](const Status& s, const std::string& v) {
+    get_status = s;
+    got = v;
+  });
+  rack.sim().RunUntil(10 * kMillisecond);
+  ASSERT_TRUE(get_status.ok()) << get_status.ToString();
+  EXPECT_EQ(got, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChunkedRoundTrip,
+                         ::testing::Values(0, 1, 124, 125, 252, 253, 1000, 4096, 16384));
+
+TEST(ChunkedClientTest, MissingItemIsNotFound) {
+  Rack rack(SmallRack());
+  ChunkedClient chunked(&rack.client(0), rack.OwnerFn());
+  Status got = Status::Ok();
+  chunked.GetLarge(Key::FromUint64(99), [&](const Status& s, const std::string&) { got = s; });
+  rack.sim().RunUntil(5 * kMillisecond);
+  EXPECT_EQ(got.code(), StatusCode::kNotFound);
+}
+
+TEST(ChunkedClientTest, OversizedPayloadRejected) {
+  Rack rack(SmallRack());
+  ChunkedClient chunked(&rack.client(0), rack.OwnerFn());
+  Status got = Status::Ok();
+  chunked.PutLarge(Key::FromUint64(1), MakePayload(ChunkedClient::kMaxLargeValue + 1),
+                   [&](const Status& s) { got = s; });
+  EXPECT_EQ(got.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ChunkedClientTest, DeleteRemovesAllChunks) {
+  Rack rack(SmallRack());
+  ChunkedClient chunked(&rack.client(0), rack.OwnerFn());
+  Key key = Key::FromUint64(2);
+  chunked.PutLarge(key, MakePayload(1000), [](const Status&) {});
+  rack.sim().RunUntil(5 * kMillisecond);
+
+  Status del = Status::Internal("pending");
+  chunked.DeleteLarge(key, [&](const Status& s) { del = s; });
+  rack.sim().RunUntil(10 * kMillisecond);
+  ASSERT_TRUE(del.ok());
+
+  Status get = Status::Ok();
+  chunked.GetLarge(key, [&](const Status& s, const std::string&) { get = s; });
+  rack.sim().RunUntil(15 * kMillisecond);
+  EXPECT_EQ(get.code(), StatusCode::kNotFound);
+  // Every chunk is gone from every server store.
+  size_t total_items = 0;
+  for (size_t i = 0; i < rack.num_servers(); ++i) {
+    total_items += rack.server(i).store().size();
+  }
+  EXPECT_EQ(total_items, 0u);
+}
+
+TEST(ChunkedClientTest, OverwriteWithShorterValue) {
+  Rack rack(SmallRack());
+  ChunkedClient chunked(&rack.client(0), rack.OwnerFn());
+  Key key = Key::FromUint64(3);
+  chunked.PutLarge(key, MakePayload(5000), [](const Status&) {});
+  rack.sim().RunUntil(5 * kMillisecond);
+  chunked.PutLarge(key, MakePayload(100), [](const Status&) {});
+  rack.sim().RunUntil(10 * kMillisecond);
+
+  std::string got;
+  chunked.GetLarge(key, [&](const Status&, const std::string& v) { got = v; });
+  rack.sim().RunUntil(15 * kMillisecond);
+  EXPECT_EQ(got, MakePayload(100));  // header length governs reassembly
+}
+
+TEST(ChunkedClientTest, MissingMiddleChunkFailsCleanly) {
+  // A chunk lost (e.g. deleted out-of-band, or a partially failed put)
+  // must surface as an error, never as silently truncated data.
+  Rack rack(SmallRack());
+  ChunkedClient chunked(&rack.client(0), rack.OwnerFn());
+  Key key = Key::FromUint64(5);
+  chunked.PutLarge(key, MakePayload(1000), [](const Status&) {});
+  rack.sim().RunUntil(5 * kMillisecond);
+
+  // Remove chunk 3 directly from its owning server's store.
+  Key lost = ChunkedClient::ChunkKey(key, 3);
+  for (size_t i = 0; i < rack.num_servers(); ++i) {
+    rack.server(i).store().Delete(lost).ok();
+  }
+
+  Status got = Status::Ok();
+  chunked.GetLarge(key, [&](const Status& s, const std::string&) { got = s; });
+  rack.sim().RunUntil(10 * kMillisecond);
+  EXPECT_FALSE(got.ok());
+}
+
+TEST(ChunkedClientTest, ChunksSpreadAcrossServers) {
+  // Chunk keys hash-partition independently, so a large item's load does
+  // not concentrate on its base key's owner.
+  Rack rack(SmallRack());
+  ChunkedClient chunked(&rack.client(0), rack.OwnerFn());
+  chunked.PutLarge(Key::FromUint64(6), MakePayload(8000), [](const Status&) {});
+  rack.sim().RunUntil(10 * kMillisecond);
+  size_t servers_holding = 0;
+  for (size_t i = 0; i < rack.num_servers(); ++i) {
+    servers_holding += rack.server(i).store().size() > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(servers_holding, rack.num_servers());  // 64 chunks over 4 servers
+}
+
+// --------------------------------------------------------- VerifiedClient
+
+TEST(VerifiedClientTest, PutGetRoundTrip) {
+  Rack rack(SmallRack());
+  VerifiedClient vc(&rack.client(0), rack.OwnerFn());
+  Status put = Status::Internal("pending");
+  vc.Put("user:1001", "profile-data", [&](const Status& s) { put = s; });
+  rack.sim().RunUntil(2 * kMillisecond);
+  ASSERT_TRUE(put.ok());
+
+  std::string got;
+  Status get = Status::Internal("pending");
+  vc.Get("user:1001", [&](const Status& s, const std::string& v) {
+    get = s;
+    got = v;
+  });
+  rack.sim().RunUntil(4 * kMillisecond);
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(got, "profile-data");
+}
+
+TEST(VerifiedClientTest, CollisionDetected) {
+  Rack rack(SmallRack());
+  VerifiedClient vc(&rack.client(0), rack.OwnerFn());
+  // Simulate a 16-byte-key collision: write a value under the hashed key of
+  // "other-key" directly, then read it as if it were "victim-key" whose
+  // string hashes to the same 16-byte key. We force the situation by writing
+  // a fingerprint that does not match the queried key.
+  Key hashed = Key::FromString("victim-key");
+  Value forged;
+  forged.set_size(VerifiedClient::kFingerprintSize + 3);
+  uint64_t wrong_fp = VerifiedClient::Fingerprint("other-key");
+  std::memcpy(forged.data(), &wrong_fp, sizeof(wrong_fp));
+  std::memcpy(forged.data() + 8, "abc", 3);
+  rack.client(0).Put(rack.OwnerOf(hashed), hashed, forged, [](const Status&, const Value&) {});
+  rack.sim().RunUntil(2 * kMillisecond);
+
+  Status got = Status::Ok();
+  vc.Get("victim-key", [&](const Status& s, const std::string&) { got = s; });
+  rack.sim().RunUntil(4 * kMillisecond);
+  EXPECT_EQ(got.code(), StatusCode::kFailedPrecondition);  // §5 collision signal
+}
+
+TEST(VerifiedClientTest, PayloadBudgetEnforced) {
+  Rack rack(SmallRack());
+  VerifiedClient vc(&rack.client(0), rack.OwnerFn());
+  Status got = Status::Ok();
+  vc.Put("k", std::string(VerifiedClient::kMaxPayload + 1, 'x'),
+         [&](const Status& s) { got = s; });
+  EXPECT_EQ(got.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VerifiedClientTest, DeleteWorks) {
+  Rack rack(SmallRack());
+  VerifiedClient vc(&rack.client(0), rack.OwnerFn());
+  vc.Put("doomed", "x", [](const Status&) {});
+  rack.sim().RunUntil(2 * kMillisecond);
+  Status del = Status::Internal("pending");
+  vc.Delete("doomed", [&](const Status& s) { del = s; });
+  rack.sim().RunUntil(4 * kMillisecond);
+  ASSERT_TRUE(del.ok());
+  Status get = Status::Ok();
+  vc.Get("doomed", [&](const Status& s, const std::string&) { get = s; });
+  rack.sim().RunUntil(6 * kMillisecond);
+  EXPECT_EQ(get.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace netcache

@@ -1,0 +1,75 @@
+// Tests for the command-line argument parser used by tools/netcache_sim.
+
+#include <gtest/gtest.h>
+
+#include "common/cli.h"
+
+namespace netcache {
+namespace {
+
+ArgParser Parse(std::vector<const char*> argv) {
+  return ArgParser(static_cast<int>(argv.size()),
+                   const_cast<char**>(const_cast<const char**>(argv.data())));
+}
+
+TEST(ArgParserTest, EqualsSyntax) {
+  ArgParser args = Parse({"prog", "--servers=16", "--zipf=0.95"});
+  EXPECT_EQ(args.GetInt("servers", 0), 16);
+  EXPECT_DOUBLE_EQ(args.GetDouble("zipf", 0), 0.95);
+  EXPECT_TRUE(args.ok());
+}
+
+TEST(ArgParserTest, SpaceSyntax) {
+  ArgParser args = Parse({"prog", "--servers", "8", "--mode", "leaf"});
+  EXPECT_EQ(args.GetInt("servers", 0), 8);
+  EXPECT_EQ(args.GetString("mode", ""), "leaf");
+}
+
+TEST(ArgParserTest, BareFlagIsTrue) {
+  ArgParser args = Parse({"prog", "--no-cache"});
+  EXPECT_TRUE(args.GetBool("no-cache", false));
+  EXPECT_FALSE(args.GetBool("other", false));
+}
+
+TEST(ArgParserTest, BoolFalseSpellings) {
+  for (const char* spelling : {"--x=false", "--x=0", "--x=no"}) {
+    ArgParser args = Parse({"prog", spelling});
+    EXPECT_FALSE(args.GetBool("x", true)) << spelling;
+  }
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  ArgParser args = Parse({"prog", "rack", "--servers=4", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "rack");
+  EXPECT_EQ(args.positional()[1], "extra");
+}
+
+TEST(ArgParserTest, DefaultsWhenAbsent) {
+  ArgParser args = Parse({"prog"});
+  EXPECT_EQ(args.GetInt("servers", 42), 42);
+  EXPECT_DOUBLE_EQ(args.GetDouble("zipf", 0.9), 0.9);
+  EXPECT_EQ(args.GetString("mode", "dflt"), "dflt");
+}
+
+TEST(ArgParserTest, BadIntegerRecordsError) {
+  ArgParser args = Parse({"prog", "--servers=banana"});
+  EXPECT_EQ(args.GetInt("servers", 7), 7);
+  EXPECT_FALSE(args.ok());
+  ASSERT_EQ(args.errors().size(), 1u);
+}
+
+TEST(ArgParserTest, BadDoubleRecordsError) {
+  ArgParser args = Parse({"prog", "--zipf=xx"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("zipf", 1.5), 1.5);
+  EXPECT_FALSE(args.ok());
+}
+
+TEST(ArgParserTest, ScientificNotationDouble) {
+  ArgParser args = Parse({"prog", "--rate=1e7"});
+  EXPECT_DOUBLE_EQ(args.GetDouble("rate", 0), 1e7);
+  EXPECT_TRUE(args.ok());
+}
+
+}  // namespace
+}  // namespace netcache

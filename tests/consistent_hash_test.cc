@@ -1,0 +1,120 @@
+// Tests for the consistent-hash ring: determinism, virtual-node balancing,
+// minimal remapping on membership change, and the §8 punchline — popularity
+// skew is untouched by any number of virtual nodes.
+
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "workload/consistent_hash.h"
+
+namespace netcache {
+namespace {
+
+Key K(uint64_t id) { return Key::FromUint64(id); }
+
+TEST(ConsistentHashTest, DeterministicOwnership) {
+  ConsistentHashRing ring(8, 64);
+  for (uint64_t id = 0; id < 100; ++id) {
+    EXPECT_EQ(ring.NodeOf(K(id)), ring.NodeOf(K(id)));
+    EXPECT_LT(ring.NodeOf(K(id)), 8u);
+  }
+  ConsistentHashRing same(8, 64);
+  for (uint64_t id = 0; id < 100; ++id) {
+    EXPECT_EQ(ring.NodeOf(K(id)), same.NodeOf(K(id)));
+  }
+}
+
+TEST(ConsistentHashTest, OwnershipSharesSumToOne) {
+  ConsistentHashRing ring(10, 32);
+  double sum = 0;
+  for (double s : ring.OwnershipShares()) {
+    sum += s;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ConsistentHashTest, MoreVirtualNodesBalanceOwnership) {
+  // The [13] virtual-node argument: keyspace ownership variance shrinks.
+  auto spread = [](size_t vnodes) {
+    ConsistentHashRing ring(16, vnodes);
+    std::vector<double> shares = ring.OwnershipShares();
+    double max = 0;
+    double min = 1;
+    for (double s : shares) {
+      max = std::max(max, s);
+      min = std::min(min, s);
+    }
+    return max / min;
+  };
+  double few = spread(2);
+  double many = spread(256);
+  EXPECT_LT(many, few);
+  EXPECT_LT(many, 1.8);  // 256 vnodes: fairly tight
+  EXPECT_GT(few, 2.0);   // 2 vnodes: wild
+}
+
+TEST(ConsistentHashTest, AddNodeRemapsOnlyItsShare) {
+  ConsistentHashRing ring(8, 128);
+  constexpr uint64_t kKeys = 20000;
+  std::vector<size_t> before(kKeys);
+  for (uint64_t id = 0; id < kKeys; ++id) {
+    before[id] = ring.NodeOf(K(id));
+  }
+  size_t fresh = ring.AddNode();
+  size_t moved = 0;
+  for (uint64_t id = 0; id < kKeys; ++id) {
+    size_t now = ring.NodeOf(K(id));
+    if (now != before[id]) {
+      ++moved;
+      EXPECT_EQ(now, fresh);  // moved keys go ONLY to the new node
+    }
+  }
+  // Expected fraction ~ 1/9; classic consistent hashing bound.
+  EXPECT_NEAR(static_cast<double>(moved) / kKeys, 1.0 / 9.0, 0.05);
+}
+
+TEST(ConsistentHashTest, RemoveNodeSpillsToSuccessors) {
+  ConsistentHashRing ring(8, 128);
+  constexpr uint64_t kKeys = 20000;
+  std::vector<size_t> before(kKeys);
+  for (uint64_t id = 0; id < kKeys; ++id) {
+    before[id] = ring.NodeOf(K(id));
+  }
+  ring.RemoveNode(3);
+  for (uint64_t id = 0; id < kKeys; ++id) {
+    size_t now = ring.NodeOf(K(id));
+    EXPECT_NE(now, 3u);
+    if (before[id] != 3) {
+      EXPECT_EQ(now, before[id]);  // only node 3's keys moved
+    }
+  }
+  EXPECT_EQ(ring.num_live_nodes(), 7u);
+}
+
+TEST(ConsistentHashTest, VirtualNodesCannotFixPopularitySkew) {
+  // §8: a zipf-hot key maps to ONE node no matter how many virtual nodes;
+  // the hottest node's *query* share stays ~the hot key's mass.
+  constexpr uint64_t kNumKeys = 100000;
+  ZipfTable zipf(kNumKeys, 0.99);
+  for (size_t vnodes : {4ul, 64ul, 1024ul}) {
+    ConsistentHashRing ring(16, vnodes);
+    std::vector<double> load(16, 0.0);
+    double total = 0.0;
+    for (uint64_t rank = 0; rank < 2000; ++rank) {
+      load[ring.NodeOf(K(rank))] += zipf.Pmf(rank);
+      total += zipf.Pmf(rank);
+    }
+    double max_load = *std::max_element(load.begin(), load.end());
+    // Rank 0 alone carries ~8% of all queries; whoever owns it stays hot —
+    // well above a fair 1/16 share, at every virtual-node count.
+    EXPECT_GT(max_load, zipf.Pmf(0)) << "vnodes=" << vnodes;
+    EXPECT_GT(max_load, 1.5 * total / 16.0) << "vnodes=" << vnodes;
+  }
+}
+
+}  // namespace
+}  // namespace netcache

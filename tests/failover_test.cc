@@ -1,0 +1,214 @@
+// Failure handling tests: switch reboot with an empty cache (§3 "if the
+// switch fails, operators can simply reboot the switch with an empty cache")
+// and cache-update delivery over lossy links (the retried update channel,
+// §6), end-to-end in the simulated rack.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rack.h"
+#include "workload/generator.h"
+
+namespace netcache {
+namespace {
+
+Key K(uint64_t id) { return Key::FromUint64(id); }
+
+RackConfig BaseRack() {
+  RackConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_clients = 1;
+  cfg.switch_config.num_pipes = 1;
+  cfg.switch_config.cache_capacity = 1024;
+  cfg.switch_config.indexes_per_pipe = 1024;
+  cfg.switch_config.stats.counter_slots = 1024;
+  cfg.switch_config.stats.hh.hot_threshold = 16;
+  cfg.controller_config.cache_capacity = 64;
+  cfg.controller_config.control_op_latency = 10 * kMicrosecond;
+  return cfg;
+}
+
+TEST(FailoverTest, ClearCacheWipesEverything) {
+  Rack rack(BaseRack());
+  rack.Populate(100, 64);
+  rack.WarmCache({K(1), K(2), K(3)});
+  ASSERT_EQ(rack.tor().CacheSize(), 3u);
+
+  rack.tor().ClearCache();
+  rack.controller().OnSwitchReboot();
+  EXPECT_EQ(rack.tor().CacheSize(), 0u);
+  EXPECT_EQ(rack.controller().NumCached(), 0u);
+  EXPECT_FALSE(rack.tor().IsCached(K(1)));
+}
+
+TEST(FailoverTest, SystemCorrectAfterReboot) {
+  // No critical state lives in the switch: reads served correctly right
+  // after a reboot (by servers), and the cache refills from HH reports.
+  Rack rack(BaseRack());
+  rack.Populate(1000, 64);
+  rack.WarmCache({K(5)});
+  rack.StartController();
+
+  rack.tor().ClearCache();
+  rack.controller().OnSwitchReboot();
+
+  // Immediately readable (from the server).
+  Value got;
+  rack.client(0).Get(rack.OwnerOf(K(5)), K(5), [&](const Status& s, const Value& v) {
+    ASSERT_TRUE(s.ok());
+    got = v;
+  });
+  rack.sim().RunUntil(2 * kMillisecond);
+  EXPECT_EQ(got, WorkloadGenerator::ValueFor(5, 64));
+
+  // Keep reading the hot key: the empty cache refills.
+  for (int i = 0; i < 100; ++i) {
+    rack.sim().Schedule(static_cast<SimDuration>(i) * 20 * kMicrosecond, [&rack] {
+      rack.client(0).Get(rack.OwnerOf(K(5)), K(5), [](const Status&, const Value&) {});
+    });
+  }
+  rack.sim().RunUntil(20 * kMillisecond);
+  EXPECT_TRUE(rack.tor().IsCached(K(5)));
+  EXPECT_TRUE(rack.tor().IsValid(K(5)));
+  EXPECT_EQ(*rack.tor().ReadCachedValue(K(5)), WorkloadGenerator::ValueFor(5, 64));
+}
+
+TEST(FailoverTest, CoherenceSurvivesLossyUpdateChannel) {
+  // Drop 30% of all packets on the server links: the agent's retried
+  // kCacheUpdate channel must still converge, and reads must never observe
+  // a stale cached value.
+  RackConfig cfg = BaseRack();
+  cfg.server_link.loss_rate = 0.3;
+  cfg.server_template.update_retry_timeout = 200 * kMicrosecond;
+  cfg.client_template.reply_timeout = 100 * kMillisecond;
+  Rack rack(cfg);
+  rack.Populate(100, 64);
+  rack.WarmCache({K(7)});
+
+  Value fresh = Value::Filler(777, 64);
+  bool put_acked = false;
+  // Retry the Put itself until it succeeds (client-level reliability; the
+  // paper uses TCP for writes).
+  std::function<void()> try_put = [&] {
+    rack.client(0).Put(rack.OwnerOf(K(7)), K(7), fresh, [&](const Status& s, const Value&) {
+      if (s.ok()) {
+        put_acked = true;
+      } else {
+        try_put();
+      }
+    });
+  };
+  try_put();
+  rack.sim().RunUntil(2 * kSecond);
+  ASSERT_TRUE(put_acked);
+
+  // The data-plane refresh eventually lands despite loss...
+  EXPECT_TRUE(rack.tor().IsValid(K(7)));
+  EXPECT_EQ(*rack.tor().ReadCachedValue(K(7)), fresh);
+  EXPECT_GT(rack.server(rack.OwnerOf(K(7)) & 0xff).stats().cache_update_retries, 0u);
+
+  // ...and a read returns the new value.
+  Value got;
+  std::function<void()> try_get = [&] {
+    rack.client(0).Get(rack.OwnerOf(K(7)), K(7), [&](const Status& s, const Value& v) {
+      if (s.ok()) {
+        got = v;
+      } else {
+        try_get();
+      }
+    });
+  };
+  try_get();
+  rack.sim().RunUntil(rack.sim().Now() + 2 * kSecond);
+  EXPECT_EQ(got, fresh);
+}
+
+TEST(FailoverTest, DuplicateUpdatesAreIdempotent) {
+  // Loss can delay acks so the server retransmits an update the switch has
+  // already applied; the duplicate must be harmless.
+  RackConfig cfg = BaseRack();
+  cfg.server_template.update_retry_timeout = 5 * kMicrosecond;  // aggressive
+  Rack rack(cfg);
+  rack.Populate(100, 64);
+  rack.WarmCache({K(9)});
+
+  Value fresh = Value::Filler(999, 64);
+  rack.client(0).Put(rack.OwnerOf(K(9)), K(9), fresh, [](const Status&, const Value&) {});
+  rack.sim().RunUntil(50 * kMillisecond);
+  EXPECT_TRUE(rack.tor().IsValid(K(9)));
+  EXPECT_EQ(*rack.tor().ReadCachedValue(K(9)), fresh);
+  // The aggressive timer may have produced duplicates; state stayed sane.
+  EXPECT_GE(rack.tor().counters().cache_updates, 1u);
+}
+
+TEST(FailoverTest, CachedKeysSurviveServerCrash) {
+  // The switch keeps serving cached reads while their owner is down; only
+  // uncached traffic to the dead server is lost. (The converse of §3's
+  // switch-failure story: here the cache adds read availability.)
+  Rack rack(BaseRack());
+  rack.Populate(100, 64);
+  rack.WarmCache({K(7)});
+  size_t owner = rack.OwnerOf(K(7)) & 0xff;
+  rack.server(owner).set_online(false);
+
+  Status cached = Status::Internal("pending");
+  rack.client(0).Get(rack.OwnerOf(K(7)), K(7),
+                     [&](const Status& s, const Value&) { cached = s; });
+  rack.sim().RunUntil(rack.sim().Now() + 5 * kMillisecond);
+  EXPECT_TRUE(cached.ok());  // served by the switch
+
+  // An uncached key owned by the dead server times out.
+  Key dead_key{};
+  for (uint64_t id = 10; id < 100; ++id) {
+    if ((rack.OwnerOf(K(id)) & 0xff) == owner && !rack.tor().IsCached(K(id))) {
+      dead_key = K(id);
+      break;
+    }
+  }
+  Status uncached = Status::Ok();
+  rack.client(0).Get(rack.OwnerOf(dead_key), dead_key,
+                     [&](const Status& s, const Value&) { uncached = s; });
+  rack.sim().RunUntil(rack.sim().Now() + 20 * kMillisecond);
+  EXPECT_EQ(uncached.code(), StatusCode::kUnavailable);
+
+  // Recovery: the server comes back and serves again.
+  rack.server(owner).set_online(true);
+  Status recovered = Status::Internal("pending");
+  rack.client(0).Get(rack.OwnerOf(dead_key), dead_key,
+                     [&](const Status& s, const Value&) { recovered = s; });
+  rack.sim().RunUntil(rack.sim().Now() + 5 * kMillisecond);
+  EXPECT_TRUE(recovered.ok());
+}
+
+TEST(FailoverTest, PipeRateBoundShedsExtremeSkew) {
+  // §4.4.4: with every query hitting one egress pipe, cache throughput is
+  // bounded by that pipe's rate.
+  RackConfig cfg = BaseRack();
+  cfg.switch_config.pipe_rate_qps = 10e3;  // tiny pipe budget
+  cfg.switch_config.pipe_queue_packets = 8;
+  cfg.client_template.reply_timeout = 5 * kMillisecond;
+  Rack rack(cfg);
+  rack.Populate(100, 64);
+  rack.WarmCache({K(1)});
+
+  // Offer 50K cache hits over one second: 5x the pipe budget.
+  int ok = 0;
+  int failed = 0;
+  for (int i = 0; i < 50000; ++i) {
+    rack.sim().ScheduleAt(static_cast<SimTime>(i) * 20 * kMicrosecond, [&rack, &ok, &failed] {
+      rack.client(0).Get(rack.OwnerOf(K(1)), K(1), [&](const Status& s, const Value&) {
+        (s.ok() ? ok : failed) += 1;
+      });
+    });
+  }
+  rack.sim().RunUntil(1100 * kMillisecond);
+  EXPECT_GT(rack.tor().counters().pipe_overload_drops, 1000u);
+  // Delivered roughly the pipe budget (10K in 1 s), give or take queueing.
+  EXPECT_NEAR(ok, 10000, 2500);
+  EXPECT_GT(failed, 30000);
+}
+
+}  // namespace
+}  // namespace netcache

@@ -1,0 +1,138 @@
+// Tests for the robin-hood open-addressing table, including a randomized
+// cross-check against std::unordered_map and against HashDyn.
+
+#include <string>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kvstore/flat_table.h"
+#include "kvstore/hash_table.h"
+#include "proto/key.h"
+
+namespace netcache {
+namespace {
+
+TEST(FlatTableTest, InsertFindErase) {
+  FlatTable<int, std::string> t;
+  EXPECT_TRUE(t.Upsert(1, "one"));
+  EXPECT_TRUE(t.Upsert(2, "two"));
+  EXPECT_FALSE(t.Upsert(1, "uno"));
+  ASSERT_NE(t.Find(1), nullptr);
+  EXPECT_EQ(*t.Find(1), "uno");
+  EXPECT_EQ(t.Find(3), nullptr);
+  EXPECT_TRUE(t.Erase(1));
+  EXPECT_FALSE(t.Erase(1));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlatTableTest, GrowsUnderLoad) {
+  FlatTable<int, int> t;
+  size_t initial = t.capacity();
+  for (int i = 0; i < 10000; ++i) {
+    t.Upsert(i, i * 3);
+  }
+  EXPECT_GT(t.capacity(), initial);
+  EXPECT_EQ(t.size(), 10000u);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_NE(t.Find(i), nullptr);
+    EXPECT_EQ(*t.Find(i), i * 3);
+  }
+}
+
+TEST(FlatTableTest, ProbeLengthsStayShort) {
+  FlatTable<Key, int, KeyHasher> t;
+  for (uint64_t i = 0; i < 50000; ++i) {
+    t.Upsert(Key::FromUint64(i), static_cast<int>(i));
+  }
+  // Robin hood at 7/8 load: expected max probe length is small.
+  EXPECT_LE(t.MaxProbeLength(), 24u);
+}
+
+TEST(FlatTableTest, EraseBackwardShiftKeepsTableConsistent) {
+  FlatTable<int, int> t;
+  for (int i = 0; i < 1000; ++i) {
+    t.Upsert(i, i);
+  }
+  for (int i = 0; i < 1000; i += 2) {
+    ASSERT_TRUE(t.Erase(i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 2 == 0) {
+      EXPECT_EQ(t.Find(i), nullptr);
+    } else {
+      ASSERT_NE(t.Find(i), nullptr) << i;
+      EXPECT_EQ(*t.Find(i), i);
+    }
+  }
+  EXPECT_EQ(t.size(), 500u);
+}
+
+TEST(FlatTableTest, ClearResets) {
+  FlatTable<int, int> t;
+  for (int i = 0; i < 100; ++i) {
+    t.Upsert(i, i);
+  }
+  t.Clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.Find(5), nullptr);
+  EXPECT_TRUE(t.Upsert(5, 10));
+}
+
+TEST(FlatTableTest, ForEachVisitsAll) {
+  FlatTable<int, int> t;
+  for (int i = 0; i < 64; ++i) {
+    t.Upsert(i, 1);
+  }
+  int total = 0;
+  t.ForEach([&total](const int&, int& v) { total += v; });
+  EXPECT_EQ(total, 64);
+}
+
+class FlatTablePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlatTablePropertyTest, MatchesReferenceUnderRandomOps) {
+  FlatTable<uint64_t, uint64_t> t;
+  HashDyn<uint64_t, uint64_t> chained;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(GetParam());
+  for (int i = 0; i < 60000; ++i) {
+    uint64_t k = rng.NextBounded(3000);
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        uint64_t v = rng.Next();
+        EXPECT_EQ(t.Upsert(k, v), ref.count(k) == 0);
+        chained.Upsert(k, v);
+        ref[k] = v;
+        break;
+      }
+      case 1: {
+        bool expected = ref.erase(k) > 0;
+        EXPECT_EQ(t.Erase(k), expected);
+        EXPECT_EQ(chained.Erase(k), expected);
+        break;
+      }
+      default: {
+        auto it = ref.find(k);
+        uint64_t* flat = t.Find(k);
+        uint64_t* chain = chained.Find(k);
+        if (it == ref.end()) {
+          EXPECT_EQ(flat, nullptr);
+          EXPECT_EQ(chain, nullptr);
+        } else {
+          ASSERT_NE(flat, nullptr);
+          ASSERT_NE(chain, nullptr);
+          EXPECT_EQ(*flat, it->second);
+          EXPECT_EQ(*chain, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(t.size(), ref.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatTablePropertyTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace netcache

@@ -1,0 +1,77 @@
+// Tests for the exact-match match-action table.
+
+#include <gtest/gtest.h>
+
+#include "dataplane/match_table.h"
+
+namespace netcache {
+namespace {
+
+struct TestAction {
+  int port = 0;
+};
+
+Key K(uint64_t id) { return Key::FromUint64(id); }
+
+TEST(MatchTableTest, InsertAndMatch) {
+  ExactMatchTable<TestAction> t(4);
+  EXPECT_TRUE(t.InsertEntry(K(1), TestAction{7}).ok());
+  const TestAction* a = t.Match(K(1));
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->port, 7);
+  EXPECT_EQ(t.Match(K(2)), nullptr);
+}
+
+TEST(MatchTableTest, CapacityEnforced) {
+  ExactMatchTable<TestAction> t(2);
+  EXPECT_TRUE(t.InsertEntry(K(1), {}).ok());
+  EXPECT_TRUE(t.InsertEntry(K(2), {}).ok());
+  Status st = t.InsertEntry(K(3), {});
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(MatchTableTest, DuplicateInsertRejected) {
+  ExactMatchTable<TestAction> t(4);
+  EXPECT_TRUE(t.InsertEntry(K(1), {}).ok());
+  EXPECT_EQ(t.InsertEntry(K(1), {}).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(MatchTableTest, ModifyExisting) {
+  ExactMatchTable<TestAction> t(4);
+  ASSERT_TRUE(t.InsertEntry(K(1), TestAction{1}).ok());
+  EXPECT_TRUE(t.ModifyEntry(K(1), TestAction{9}).ok());
+  EXPECT_EQ(t.Match(K(1))->port, 9);
+  EXPECT_EQ(t.ModifyEntry(K(2), {}).code(), StatusCode::kNotFound);
+}
+
+TEST(MatchTableTest, RemoveFreesCapacity) {
+  ExactMatchTable<TestAction> t(1);
+  ASSERT_TRUE(t.InsertEntry(K(1), {}).ok());
+  EXPECT_TRUE(t.RemoveEntry(K(1)).ok());
+  EXPECT_EQ(t.RemoveEntry(K(1)).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(t.InsertEntry(K(2), {}).ok());
+}
+
+TEST(MatchTableTest, LookupCounters) {
+  ExactMatchTable<TestAction> t(4);
+  t.InsertEntry(K(1), {});
+  t.Match(K(1));
+  t.Match(K(1));
+  t.Match(K(2));
+  EXPECT_EQ(t.lookups(), 3u);
+  EXPECT_EQ(t.hits(), 2u);
+}
+
+TEST(MatchTableTest, ForEachEntryVisitsAll) {
+  ExactMatchTable<TestAction> t(8);
+  for (uint64_t i = 0; i < 5; ++i) {
+    t.InsertEntry(K(i), TestAction{static_cast<int>(i)});
+  }
+  int sum = 0;
+  t.ForEachEntry([&sum](const Key&, const TestAction& a) { sum += a.port; });
+  EXPECT_EQ(sum, 10);
+}
+
+}  // namespace
+}  // namespace netcache

@@ -1,0 +1,210 @@
+// Tests for the pipeline model and table-placement compiler (§4.4.1, Fig 5):
+// resource math, dependency-respecting placement, budget enforcement, and
+// the NetCache programs fitting a Tofino-class pipe.
+
+#include <gtest/gtest.h>
+
+#include "dataplane/pipeline.h"
+
+namespace netcache {
+namespace {
+
+TableSpec Exact(const std::string& name, size_t entries, size_t key_bits, size_t action_bits,
+                std::vector<std::string> after = {}) {
+  return TableSpec{name, TableKind::kExact, entries, key_bits, action_bits, 0, 0,
+                   std::move(after)};
+}
+
+TableSpec Register(const std::string& name, size_t slots, size_t slot_bits,
+                   std::vector<std::string> after = {}) {
+  return TableSpec{name, TableKind::kRegister, 0, 0, 0, slots, slot_bits, std::move(after)};
+}
+
+TEST(TableSpecTest, ResourceMath) {
+  TableSpec exact = Exact("t", 1000, 128, 56);
+  EXPECT_EQ(exact.SramBits(), 1000u * 184 * 11 / 10);
+  EXPECT_EQ(exact.TcamBits(), 0u);
+
+  TableSpec reg = Register("r", 64 * 1024, 16);
+  EXPECT_EQ(reg.SramBits(), 64u * 1024 * 16);
+
+  TableSpec tern{"lpm", TableKind::kTernary, 4096, 32, 16, 0, 0, {}};
+  EXPECT_EQ(tern.TcamBits(), 4096u * 64);
+  EXPECT_EQ(tern.SramBits(), 4096u * 16);
+}
+
+TEST(PipelineCompilerTest, IndependentTablesShareStage) {
+  PipeSpec pipe;
+  std::vector<TableSpec> tables = {Exact("a", 16, 32, 8), Exact("b", 16, 32, 8)};
+  PlacementResult r = PipelineCompiler::Place(pipe, tables);
+  ASSERT_TRUE(r.feasible) << r.error;
+  EXPECT_EQ(r.stage_of[0], 0);
+  EXPECT_EQ(r.stage_of[1], 0);  // no dependency: same stage is legal
+  EXPECT_EQ(r.StagesUsed(), 1u);
+}
+
+TEST(PipelineCompilerTest, DependencyForcesLaterStage) {
+  PipeSpec pipe;
+  std::vector<TableSpec> tables = {Exact("a", 16, 32, 8), Exact("b", 16, 32, 8, {"a"}),
+                                   Exact("c", 16, 32, 8, {"b"})};
+  PlacementResult r = PipelineCompiler::Place(pipe, tables);
+  ASSERT_TRUE(r.feasible) << r.error;
+  EXPECT_EQ(r.stage_of[0], 0);
+  EXPECT_EQ(r.stage_of[1], 1);
+  EXPECT_EQ(r.stage_of[2], 2);
+}
+
+TEST(PipelineCompilerTest, RegisterAluLimitSplitsStages) {
+  PipeSpec pipe;
+  pipe.stage.register_arrays = 2;
+  std::vector<TableSpec> tables = {Register("r0", 16, 8), Register("r1", 16, 8),
+                                   Register("r2", 16, 8)};
+  PlacementResult r = PipelineCompiler::Place(pipe, tables);
+  ASSERT_TRUE(r.feasible) << r.error;
+  EXPECT_EQ(r.stages[0].register_arrays, 2u);
+  EXPECT_EQ(r.stages[1].register_arrays, 1u);
+}
+
+TEST(PipelineCompilerTest, SramBudgetSplitsStages) {
+  PipeSpec pipe;
+  pipe.stage.sram_bits = 1024;
+  std::vector<TableSpec> tables = {Register("big0", 64, 16), Register("big1", 64, 16)};
+  // Each is 1024 bits: exactly one per stage.
+  PlacementResult r = PipelineCompiler::Place(pipe, tables);
+  ASSERT_TRUE(r.feasible) << r.error;
+  EXPECT_NE(r.stage_of[0], r.stage_of[1]);
+}
+
+TEST(PipelineCompilerTest, InfeasibleWhenTableExceedsStage) {
+  PipeSpec pipe;
+  pipe.stage.sram_bits = 1024;
+  std::vector<TableSpec> tables = {Register("huge", 1024, 16)};  // 16 Kbit
+  PlacementResult r = PipelineCompiler::Place(pipe, tables);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.error.find("huge"), std::string::npos);
+}
+
+TEST(PipelineCompilerTest, InfeasibleWhenChainExceedsStages) {
+  PipeSpec pipe;
+  pipe.num_stages = 3;
+  std::vector<TableSpec> tables = {Exact("a", 1, 8, 8), Exact("b", 1, 8, 8, {"a"}),
+                                   Exact("c", 1, 8, 8, {"b"}), Exact("d", 1, 8, 8, {"c"})};
+  EXPECT_FALSE(PipelineCompiler::Place(pipe, tables).feasible);
+}
+
+TEST(PipelineCompilerTest, UnknownDependencyRejected) {
+  PipeSpec pipe;
+  std::vector<TableSpec> tables = {Exact("a", 1, 8, 8, {"ghost"})};
+  PlacementResult r = PipelineCompiler::Place(pipe, tables);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.error.find("ghost"), std::string::npos);
+}
+
+TEST(PipelineCompilerTest, CycleRejected) {
+  PipeSpec pipe;
+  std::vector<TableSpec> tables = {Exact("a", 1, 8, 8, {"b"}), Exact("b", 1, 8, 8, {"a"})};
+  PlacementResult r = PipelineCompiler::Place(pipe, tables);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_NE(r.error.find("cycle"), std::string::npos);
+}
+
+TEST(PipelineCompilerTest, DuplicateNameRejected) {
+  PipeSpec pipe;
+  std::vector<TableSpec> tables = {Exact("a", 1, 8, 8), Exact("a", 1, 8, 8)};
+  EXPECT_FALSE(PipelineCompiler::Place(pipe, tables).feasible);
+}
+
+TEST(PipelineCompilerTest, SplittableExactTableSpansStages) {
+  PipeSpec pipe;
+  pipe.stage.sram_bits = 64 * 1024;  // tiny stages
+  TableSpec big = Exact("bigtable", 2048, 32, 8);  // ~90 Kbit: needs 2 parts
+  big.splittable = true;
+  PlacementResult r = PipelineCompiler::Place(pipe, {big});
+  ASSERT_TRUE(r.feasible) << r.error;
+  EXPECT_GE(r.StagesUsed(), 2u);
+  // Total SRAM across stages covers the whole table.
+  size_t total = 0;
+  for (const StageUsage& s : r.stages) {
+    total += s.sram_bits;
+  }
+  EXPECT_GE(total, 2048u * 40);
+}
+
+TEST(PipelineCompilerTest, UnsplittableBigTableStillFails) {
+  PipeSpec pipe;
+  pipe.stage.sram_bits = 64 * 1024;
+  TableSpec big = Exact("bigtable", 2048, 32, 8);
+  EXPECT_FALSE(PipelineCompiler::Place(pipe, {big}).feasible);
+}
+
+TEST(PipelineCompilerTest, SplitPartsRespectDependencies) {
+  PipeSpec pipe;
+  pipe.stage.sram_bits = 64 * 1024;
+  TableSpec gate = Exact("gate", 16, 32, 8);
+  TableSpec big = Exact("bigtable", 2048, 32, 8, {"gate"});
+  big.splittable = true;
+  PlacementResult r = PipelineCompiler::Place(pipe, {gate, big});
+  ASSERT_TRUE(r.feasible) << r.error;
+  EXPECT_GT(r.stage_of[1], r.stage_of[0]);  // every part strictly after gate
+}
+
+// ------------------------------------------------- the NetCache programs
+
+TEST(NetCacheProgramTest, IngressFitsTofinoClassPipe) {
+  PlacementResult r = PipelineCompiler::Place(PipeSpec{}, NetCacheIngressProgram());
+  ASSERT_TRUE(r.feasible) << r.error;
+  EXPECT_LE(r.StagesUsed(), 2u);  // lookup, then routing
+}
+
+TEST(NetCacheProgramTest, EgressFitsTofinoClassPipe) {
+  std::vector<TableSpec> program = NetCacheEgressProgram();
+  PlacementResult r = PipelineCompiler::Place(PipeSpec{}, program);
+  ASSERT_TRUE(r.feasible) << r.error;
+  // The prototype spreads the 8 value arrays over 8 stages (§6), plus the
+  // status/statistics stages in front: 12 stages suffice but not many fewer.
+  EXPECT_LE(r.StagesUsed(), 12u);
+  EXPECT_GE(r.StagesUsed(), 9u);
+  // The 1 MB value arrays cannot share a stage: they appear in 8 distinct
+  // stages in dependency order.
+  std::vector<int> value_stage;
+  for (size_t i = 0; i < program.size(); ++i) {
+    if (program[i].name.rfind("value", 0) == 0 && program[i].name != "value_size") {
+      value_stage.push_back(r.stage_of[i]);
+    }
+  }
+  ASSERT_EQ(value_stage.size(), 8u);
+  for (size_t i = 1; i < value_stage.size(); ++i) {
+    EXPECT_GT(value_stage[i], value_stage[i - 1]);
+  }
+}
+
+TEST(NetCacheProgramTest, WiderSlotsNeedFewerStages) {
+  // §5 "we expect next-generation programmable switches to support larger
+  // slots for register arrays so that the chip can support larger values
+  // with fewer stages": 4 stages of 256-bit slots hold the same 128 B.
+  std::vector<TableSpec> wide = NetCacheEgressProgram(64 * 1024, 4, 64 * 1024, 256);
+  std::vector<TableSpec> narrow = NetCacheEgressProgram(64 * 1024, 8, 64 * 1024, 128);
+  PlacementResult rw = PipelineCompiler::Place(PipeSpec{}, wide);
+  PlacementResult rn = PipelineCompiler::Place(PipeSpec{}, narrow);
+  ASSERT_TRUE(rw.feasible) << rw.error;
+  ASSERT_TRUE(rn.feasible) << rn.error;
+  EXPECT_LT(rw.StagesUsed(), rn.StagesUsed());
+}
+
+TEST(NetCacheProgramTest, DoubleValueBudgetDoesNotFit) {
+  // 256-byte values via 16 stages of 128-bit slots exceed a 12-stage pipe —
+  // the §5 limitation that motivates packet mirroring/recirculation.
+  std::vector<TableSpec> big = NetCacheEgressProgram(64 * 1024, 16, 64 * 1024, 128);
+  EXPECT_FALSE(PipelineCompiler::Place(PipeSpec{}, big).feasible);
+}
+
+TEST(NetCacheProgramTest, PlacementReportPrints) {
+  std::vector<TableSpec> program = NetCacheEgressProgram();
+  PlacementResult r = PipelineCompiler::Place(PipeSpec{}, program);
+  std::string report = r.ToString(program);
+  EXPECT_NE(report.find("value0"), std::string::npos);
+  EXPECT_NE(report.find("stage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netcache

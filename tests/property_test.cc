@@ -1,0 +1,244 @@
+// Property-based and fuzz-style tests across modules: the packet parser on
+// arbitrary bytes, the value store against a reference model, the histogram
+// against exact quantiles, and Alg-2 placement against a brute-force
+// first-fit oracle.
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "dataplane/netcache_switch.h"
+#include "dataplane/slot_allocator.h"
+#include "dataplane/value_store.h"
+#include "proto/packet.h"
+
+namespace netcache {
+namespace {
+
+Key K(uint64_t id) { return Key::FromUint64(id); }
+
+// ----------------------------------------------------------- parser fuzz
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, ArbitraryBytesNeverCrashOrOverread) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    size_t len = rng.NextBounded(256);
+    std::vector<uint8_t> bytes(len);
+    for (auto& b : bytes) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    Result<Packet> parsed = ParsePacket(bytes);  // must not crash or UB
+    if (parsed.ok() && parsed->is_netcache && parsed->nc.has_value) {
+      EXPECT_LE(parsed->nc.value.size(), kMaxValueSize);
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, BitFlippedRealPacketsParseOrRejectCleanly) {
+  Rng rng(GetParam() ^ 0xf1f1);
+  Packet p = MakePut(1, 2, K(3), Value::Filler(3, 100), 4);
+  std::vector<uint8_t> bytes = SerializePacket(p);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<uint8_t> mutated = bytes;
+    size_t pos = rng.NextBounded(mutated.size());
+    mutated[pos] ^= static_cast<uint8_t>(1u << rng.NextBounded(8));
+    Result<Packet> parsed = ParsePacket(mutated);
+    if (parsed.ok() && parsed->is_netcache) {
+      // Whatever parsed must re-serialize to the same semantic content.
+      Result<Packet> again = ParsePacket(SerializePacket(*parsed));
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(again->nc.key, parsed->nc.key);
+      EXPECT_EQ(again->nc.op, parsed->nc.op);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Values(11, 22, 33));
+
+TEST_P(ParserFuzzTest, ParsedGarbageNeverCrashesTheSwitch) {
+  // Anything the parser accepts must be safe to run through the pipeline.
+  SwitchConfig cfg;
+  cfg.num_pipes = 1;
+  cfg.ports_per_pipe = 8;
+  cfg.cache_capacity = 64;
+  cfg.indexes_per_pipe = 64;
+  cfg.stats.counter_slots = 64;
+  NetCacheSwitch sw(nullptr, "fuzz", cfg);
+  ASSERT_TRUE(sw.AddRoute(0x0a000001, 0).ok());
+  ASSERT_TRUE(sw.InsertCacheEntry(K(1), Value::Filler(1, 32), 0x0a000001).ok());
+
+  Rng rng(GetParam() ^ 0x5117c4);
+  Packet real = MakePut(0x0b000001, 0x0a000001, K(1), Value::Filler(1, 64), 2);
+  std::vector<uint8_t> bytes = SerializePacket(real);
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<uint8_t> mutated = bytes;
+    for (int flips = 0; flips < 3; ++flips) {
+      mutated[rng.NextBounded(mutated.size())] ^= static_cast<uint8_t>(rng.Next());
+    }
+    Result<Packet> parsed = ParsePacket(mutated);
+    if (parsed.ok()) {
+      sw.ProcessPacket(*parsed, static_cast<uint32_t>(rng.NextBounded(8)));
+    }
+  }
+  EXPECT_TRUE(sw.CheckInvariants().ok());
+}
+
+// ------------------------------------------------- value store vs model
+
+TEST(ValueStorePropertyTest, MatchesReferenceUnderRandomOps) {
+  constexpr size_t kStages = 8;
+  constexpr size_t kRows = 16;
+  ValueStore vs(kStages, kRows);
+  // Reference: (bitmap, row) -> value written there.
+  std::map<std::pair<uint32_t, size_t>, Value> ref;
+  Rng rng(5);
+  SlotAllocator alloc(kStages, kRows);  // provides non-overlapping locations
+  std::map<uint64_t, std::pair<SlotAllocation, Value>> live;
+
+  for (int step = 0; step < 3000; ++step) {
+    uint64_t id = rng.NextBounded(40);
+    auto it = live.find(id);
+    if (it == live.end()) {
+      size_t size = 1 + rng.NextBounded(kMaxValueSize);
+      Value v = Value::Filler(rng.Next(), size);
+      auto a = alloc.Insert(K(id), v.NumUnits());
+      if (a.has_value()) {
+        vs.WriteValue(a->bitmap, a->index, v);
+        live[id] = {*a, v};
+      }
+    } else if (rng.NextBernoulli(0.4)) {
+      // Overwrite in place with a value that still fits.
+      size_t units = static_cast<size_t>(std::popcount(it->second.first.bitmap));
+      size_t size = 1 + rng.NextBounded(units * kValueUnitSize);
+      Value v = Value::Filler(rng.Next(), size);
+      vs.WriteValue(it->second.first.bitmap, it->second.first.index, v);
+      it->second.second = v;
+    } else {
+      alloc.Evict(K(id));
+      live.erase(it);
+    }
+    // Every live value reads back exactly.
+    for (const auto& [key_id, entry] : live) {
+      ASSERT_EQ(vs.ReadValue(entry.first.bitmap, entry.first.index, entry.second.size()),
+                entry.second)
+          << "step " << step << " id " << key_id;
+    }
+  }
+}
+
+// ------------------------------------------------- histogram vs exact
+
+class HistogramPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramPropertyTest, QuantilesWithinRelativeError) {
+  Rng rng(GetParam());
+  Histogram h;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Mixed magnitudes: exercise both exact and log-bucketed ranges.
+    uint64_t v = rng.NextBounded(1ull << (1 + rng.NextBounded(40)));
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    uint64_t exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    uint64_t approx = h.Quantile(q);
+    // Log-bucket scheme guarantees < 1/256 relative error (plus the
+    // difference between nearest-rank conventions on ties).
+    double tolerance = static_cast<double>(exact) / 128.0 + 2.0;
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact), tolerance)
+        << "q=" << q;
+  }
+  double exact_mean = 0;
+  for (uint64_t v : values) {
+    exact_mean += static_cast<double>(v) / static_cast<double>(values.size());
+  }
+  EXPECT_NEAR(h.Mean(), exact_mean, exact_mean * 1e-9 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPropertyTest, ::testing::Values(101, 202, 303));
+
+// ------------------------------------------------ Alg-2 vs brute oracle
+
+// Brute-force first-fit oracle: same semantics as Alg 2, implemented
+// directly on a free-bitmap vector with the scan always from row 0.
+struct Oracle {
+  size_t stages;
+  std::vector<uint32_t> freebits;
+  std::map<uint64_t, SlotAllocation> live;
+
+  Oracle(size_t s, size_t rows) : stages(s), freebits(rows, (1u << s) - 1) {}
+
+  std::optional<SlotAllocation> Insert(uint64_t id, size_t units) {
+    if (live.count(id)) {
+      return std::nullopt;
+    }
+    for (size_t row = 0; row < freebits.size(); ++row) {
+      if (static_cast<size_t>(std::popcount(freebits[row])) >= units) {
+        uint32_t bits = 0;
+        size_t need = units;
+        for (int b = 31; b >= 0 && need > 0; --b) {
+          if (freebits[row] & (1u << b)) {
+            bits |= 1u << b;
+            --need;
+          }
+        }
+        freebits[row] &= ~bits;
+        SlotAllocation a{row, bits};
+        live[id] = a;
+        return a;
+      }
+    }
+    return std::nullopt;
+  }
+
+  bool Evict(uint64_t id) {
+    auto it = live.find(id);
+    if (it == live.end()) {
+      return false;
+    }
+    freebits[it->second.index] |= it->second.bitmap;
+    live.erase(it);
+    return true;
+  }
+};
+
+class AllocatorOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AllocatorOracleTest, IdenticalToBruteForceFirstFit) {
+  constexpr size_t kStages = 8;
+  constexpr size_t kRows = 24;
+  SlotAllocator alloc(kStages, kRows);
+  Oracle oracle(kStages, kRows);
+  Rng rng(GetParam());
+  for (int step = 0; step < 4000; ++step) {
+    uint64_t id = rng.NextBounded(80);
+    if (rng.NextBernoulli(0.55)) {
+      size_t units = 1 + rng.NextBounded(kStages);
+      auto got = alloc.Insert(K(id), units);
+      auto want = oracle.Insert(id, units);
+      ASSERT_EQ(got.has_value(), want.has_value()) << "step " << step;
+      if (got.has_value()) {
+        // Exact placement identity: same row, same bits (the prefix-skip
+        // optimization must not change first-fit semantics).
+        EXPECT_EQ(got->index, want->index) << "step " << step;
+        EXPECT_EQ(got->bitmap, want->bitmap) << "step " << step;
+      }
+    } else {
+      ASSERT_EQ(alloc.Evict(K(id)), oracle.Evict(id)) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorOracleTest, ::testing::Values(7, 77, 777, 7777));
+
+}  // namespace
+}  // namespace netcache

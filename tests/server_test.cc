@@ -1,0 +1,402 @@
+// Tests for the storage server + agent shim: query service, drop-tail
+// overload behaviour, and the §4.3 write-through coherence protocol
+// (cache-update push, retry, write blocking, reject handling).
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/link.h"
+#include "net/simulator.h"
+#include "server/storage_server.h"
+
+namespace netcache {
+namespace {
+
+constexpr IpAddress kClient = 0x0b000001;
+constexpr IpAddress kServer = 0x0a000001;
+constexpr IpAddress kSwitch = 0xffff0001;
+
+Key K(uint64_t id) { return Key::FromUint64(id); }
+
+// Helper used by the free-standing per-core tests below.
+class TorStub;
+void Inject2(TorStub& tor, const Packet& pkt);
+
+// Stands in for the ToR: records everything the server sends and lets tests
+// inject replies (acks, queries) back.
+class TorStub : public Node {
+ public:
+  TorStub() : Node("tor-stub") {}
+  void HandlePacket(const Packet& pkt, uint32_t) override { received.push_back(pkt); }
+
+  std::optional<Packet> LastOfType(OpCode op) const {
+    for (auto it = received.rbegin(); it != received.rend(); ++it) {
+      if (it->nc.op == op) {
+        return *it;
+      }
+    }
+    return std::nullopt;
+  }
+  size_t CountOfType(OpCode op) const {
+    size_t n = 0;
+    for (const Packet& p : received) {
+      n += p.nc.op == op ? 1 : 0;
+    }
+    return n;
+  }
+
+  std::vector<Packet> received;
+};
+
+void Inject2(TorStub& tor, const Packet& pkt) { tor.Send(0, pkt); }
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() {
+    ServerConfig cfg;
+    cfg.ip = kServer;
+    cfg.switch_ip = kSwitch;
+    cfg.service_rate_qps = 1e6;  // 1 us per query
+    cfg.queue_capacity = 8;
+    cfg.update_retry_timeout = 50 * kMicrosecond;
+    server_ = std::make_unique<StorageServer>(&sim_, "server", cfg);
+    link_ = std::make_unique<Link>(&sim_, LinkConfig{});
+    link_->Connect(server_.get(), 0, &tor_, 0);
+  }
+
+  void Inject(const Packet& pkt) { tor_.Send(0, pkt); }
+
+  Simulator sim_;
+  TorStub tor_;
+  std::unique_ptr<StorageServer> server_;
+  std::unique_ptr<Link> link_;
+};
+
+TEST_F(ServerTest, GetReturnsStoredValue) {
+  Value v = Value::Filler(1, 64);
+  server_->store().Put(K(1), v);
+  Inject(MakeGet(kClient, kServer, K(1), 5));
+  sim_.RunAll();
+  auto reply = tor_.LastOfType(OpCode::kGetReply);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->ip.dst, kClient);
+  EXPECT_EQ(reply->nc.seq, 5u);
+  ASSERT_TRUE(reply->nc.has_value);
+  EXPECT_EQ(reply->nc.value, v);
+}
+
+TEST_F(ServerTest, GetMissRepliesWithoutValue) {
+  Inject(MakeGet(kClient, kServer, K(404), 1));
+  sim_.RunAll();
+  auto reply = tor_.LastOfType(OpCode::kGetReply);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_FALSE(reply->nc.has_value);
+  EXPECT_EQ(server_->stats().read_misses, 1u);
+}
+
+TEST_F(ServerTest, PutStoresAndReplies) {
+  Value v = Value::Filler(2, 32);
+  Inject(MakePut(kClient, kServer, K(2), v, 9));
+  sim_.RunAll();
+  EXPECT_TRUE(tor_.LastOfType(OpCode::kPutReply).has_value());
+  EXPECT_EQ(*server_->store().Get(K(2)), v);
+  // Plain Put (uncached key): no cache update traffic.
+  EXPECT_EQ(tor_.CountOfType(OpCode::kCacheUpdate), 0u);
+}
+
+TEST_F(ServerTest, DeleteRemovesAndReplies) {
+  server_->store().Put(K(3), Value::Filler(3, 16));
+  Inject(MakeDelete(kClient, kServer, K(3), 1));
+  sim_.RunAll();
+  EXPECT_TRUE(tor_.LastOfType(OpCode::kDeleteReply).has_value());
+  EXPECT_FALSE(server_->store().Get(K(3)).ok());
+}
+
+TEST_F(ServerTest, ServiceTimeIsCharged) {
+  server_->store().Put(K(1), Value::Filler(1, 16));
+  Inject(MakeGet(kClient, kServer, K(1), 1));
+  sim_.RunAll();
+  // >= 1 us service + link delays.
+  EXPECT_GE(sim_.Now(), static_cast<SimTime>(1 * kMicrosecond));
+}
+
+TEST_F(ServerTest, OverloadDropsTail) {
+  server_->store().Put(K(1), Value::Filler(1, 16));
+  // Burst of 50 queries into a queue of 8 at 1 us service each.
+  for (int i = 0; i < 50; ++i) {
+    Inject(MakeGet(kClient, kServer, K(1), i));
+  }
+  sim_.RunAll();
+  EXPECT_GT(server_->stats().dropped, 0u);
+  EXPECT_EQ(server_->stats().dropped + server_->stats().reads, 50u);
+}
+
+TEST_F(ServerTest, CachedPutPushesUpdateAndBlocks) {
+  Value v0 = Value::Filler(1, 64);
+  server_->store().Put(K(1), v0);
+  Value v1 = Value::Filler(2, 64);
+  Packet put = MakePut(kClient, kServer, K(1), v1, 1);
+  put.nc.op = OpCode::kCachedPut;  // switch marked the key as cached
+  Inject(put);
+  sim_.RunUntil(10 * kMicrosecond);
+
+  // Client got its reply immediately (before any switch ack!).
+  EXPECT_TRUE(tor_.LastOfType(OpCode::kPutReply).has_value());
+  // And the agent pushed the fresh value toward the switch.
+  auto update = tor_.LastOfType(OpCode::kCacheUpdate);
+  ASSERT_TRUE(update.has_value());
+  EXPECT_EQ(update->ip.dst, kSwitch);
+  EXPECT_TRUE(update->nc.has_value);
+  EXPECT_EQ(update->nc.value, v1);
+
+  // A second write to the same key is deferred until the ack arrives.
+  Packet put2 = MakePut(kClient, kServer, K(1), Value::Filler(3, 64), 2);
+  put2.nc.op = OpCode::kCachedPut;
+  Inject(put2);
+  sim_.RunUntil(20 * kMicrosecond);
+  EXPECT_EQ(server_->stats().deferred_writes, 1u);
+  EXPECT_EQ(tor_.CountOfType(OpCode::kPutReply), 1u);  // second not answered yet
+
+  // Ack the first update: the deferred write now executes and pushes its own
+  // update.
+  Packet ack = *update;
+  ack.SwapSrcDst();
+  ack.nc.op = OpCode::kCacheUpdateAck;
+  ack.nc.has_value = false;
+  Inject(ack);
+  sim_.RunUntil(100 * kMicrosecond);
+  EXPECT_EQ(tor_.CountOfType(OpCode::kPutReply), 2u);
+  EXPECT_EQ(*server_->store().Get(K(1)), Value::Filler(3, 64));
+}
+
+TEST_F(ServerTest, UpdateRetriedUntilAcked) {
+  server_->store().Put(K(1), Value::Filler(1, 64));
+  Packet put = MakePut(kClient, kServer, K(1), Value::Filler(2, 64), 1);
+  put.nc.op = OpCode::kCachedPut;
+  Inject(put);
+  // No ack for 300 us with a 50 us retry timer: expect several retries.
+  sim_.RunUntil(300 * kMicrosecond);
+  EXPECT_GE(server_->stats().cache_update_retries, 4u);
+  EXPECT_GE(tor_.CountOfType(OpCode::kCacheUpdate), 5u);
+
+  auto update = tor_.LastOfType(OpCode::kCacheUpdate);
+  Packet ack = *update;
+  ack.SwapSrcDst();
+  ack.nc.op = OpCode::kCacheUpdateAck;
+  ack.nc.has_value = false;
+  Inject(ack);
+  sim_.RunUntil(400 * kMicrosecond);
+  uint64_t retries_at_ack = server_->stats().cache_update_retries;
+  sim_.RunUntil(1000 * kMicrosecond);
+  EXPECT_EQ(server_->stats().cache_update_retries, retries_at_ack);  // stopped
+}
+
+TEST_F(ServerTest, CachedDeleteSendsValuelessUpdate) {
+  server_->store().Put(K(1), Value::Filler(1, 64));
+  Packet del = MakeDelete(kClient, kServer, K(1), 1);
+  del.nc.op = OpCode::kCachedDelete;
+  Inject(del);
+  sim_.RunUntil(10 * kMicrosecond);
+  auto update = tor_.LastOfType(OpCode::kCacheUpdate);
+  ASSERT_TRUE(update.has_value());
+  EXPECT_FALSE(update->nc.has_value);
+  EXPECT_FALSE(server_->store().Get(K(1)).ok());
+}
+
+TEST_F(ServerTest, RejectUnblocksAndNotifies) {
+  server_->store().Put(K(1), Value::Filler(1, 16));
+  std::vector<Key> rejected;
+  server_->SetUpdateRejectHandler(
+      [&](const Key& key, const Value&) { rejected.push_back(key); });
+
+  Packet put = MakePut(kClient, kServer, K(1), Value::Filler(2, 128), 1);
+  put.nc.op = OpCode::kCachedPut;
+  Inject(put);
+  sim_.RunUntil(10 * kMicrosecond);
+  auto update = tor_.LastOfType(OpCode::kCacheUpdate);
+  ASSERT_TRUE(update.has_value());
+
+  Packet reject = *update;
+  reject.SwapSrcDst();
+  reject.nc.op = OpCode::kCacheUpdateReject;
+  Inject(reject);
+  sim_.RunUntil(20 * kMicrosecond);
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected[0], K(1));
+  EXPECT_EQ(server_->stats().cache_update_rejects, 1u);
+
+  // Writes to the key flow again.
+  Packet put2 = MakePut(kClient, kServer, K(1), Value::Filler(3, 16), 2);
+  Inject(put2);
+  sim_.RunUntil(100 * kMicrosecond);
+  EXPECT_EQ(*server_->store().Get(K(1)), Value::Filler(3, 16));
+}
+
+TEST_F(ServerTest, ControlBlockDefersWrites) {
+  server_->store().Put(K(1), Value::Filler(1, 16));
+  server_->BlockWrites(K(1));  // controller starting an insertion
+  Inject(MakePut(kClient, kServer, K(1), Value::Filler(2, 16), 1));
+  sim_.RunUntil(50 * kMicrosecond);
+  EXPECT_EQ(server_->stats().deferred_writes, 1u);
+  EXPECT_EQ(*server_->store().Get(K(1)), Value::Filler(1, 16));  // unchanged
+
+  server_->UnblockWrites(K(1));
+  sim_.RunUntil(100 * kMicrosecond);
+  EXPECT_EQ(*server_->store().Get(K(1)), Value::Filler(2, 16));
+  EXPECT_TRUE(tor_.LastOfType(OpCode::kPutReply).has_value());
+}
+
+TEST_F(ServerTest, ReadsNotBlockedDuringUpdate) {
+  server_->store().Put(K(1), Value::Filler(1, 64));
+  Packet put = MakePut(kClient, kServer, K(1), Value::Filler(2, 64), 1);
+  put.nc.op = OpCode::kCachedPut;
+  Inject(put);
+  sim_.RunUntil(10 * kMicrosecond);
+  // While the update is pending (no ack yet), reads are served normally and
+  // see the new value — the server is the serialization point (§4.3).
+  Inject(MakeGet(kClient, kServer, K(1), 2));
+  sim_.RunUntil(50 * kMicrosecond);
+  auto reply = tor_.LastOfType(OpCode::kGetReply);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->nc.value, Value::Filler(2, 64));
+}
+
+TEST_F(ServerTest, ControlFetchReadsStore) {
+  server_->store().Put(K(5), Value::Filler(5, 48));
+  Result<Value> v = server_->ControlFetch(K(5));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->size(), 48u);
+  EXPECT_FALSE(server_->ControlFetch(K(6)).ok());
+}
+
+// ------------------------------------------------- coherence modes (§4.3)
+
+TEST(CoherenceModeTest, SyncHoldsReplyUntilAck) {
+  Simulator sim;
+  TorStub tor;
+  ServerConfig cfg;
+  cfg.ip = kServer;
+  cfg.switch_ip = kSwitch;
+  cfg.service_rate_qps = 1e6;
+  cfg.coherence = CoherenceMode::kWriteThroughSync;
+  StorageServer server(&sim, "sync", cfg);
+  Link link(&sim, LinkConfig{});
+  link.Connect(&server, 0, &tor, 0);
+  server.store().Put(K(1), Value::Filler(1, 64));
+
+  Packet put = MakePut(kClient, kServer, K(1), Value::Filler(2, 64), 1);
+  put.nc.op = OpCode::kCachedPut;
+  Inject2(tor, put);
+  sim.RunUntil(50 * kMicrosecond);
+  // Update went out, but no client reply yet.
+  auto update = tor.LastOfType(OpCode::kCacheUpdate);
+  ASSERT_TRUE(update.has_value());
+  EXPECT_FALSE(tor.LastOfType(OpCode::kPutReply).has_value());
+
+  Packet ack = *update;
+  ack.SwapSrcDst();
+  ack.nc.op = OpCode::kCacheUpdateAck;
+  ack.nc.has_value = false;
+  Inject2(tor, ack);
+  sim.RunUntil(100 * kMicrosecond);
+  EXPECT_TRUE(tor.LastOfType(OpCode::kPutReply).has_value());  // only after ack
+}
+
+TEST(CoherenceModeTest, WriteAroundSendsNoUpdate) {
+  Simulator sim;
+  TorStub tor;
+  ServerConfig cfg;
+  cfg.ip = kServer;
+  cfg.switch_ip = kSwitch;
+  cfg.service_rate_qps = 1e6;
+  cfg.coherence = CoherenceMode::kWriteAround;
+  StorageServer server(&sim, "around", cfg);
+  Link link(&sim, LinkConfig{});
+  link.Connect(&server, 0, &tor, 0);
+  server.store().Put(K(1), Value::Filler(1, 64));
+
+  Packet put = MakePut(kClient, kServer, K(1), Value::Filler(2, 64), 1);
+  put.nc.op = OpCode::kCachedPut;
+  Inject2(tor, put);
+  sim.RunUntil(1 * kMillisecond);
+  EXPECT_TRUE(tor.LastOfType(OpCode::kPutReply).has_value());
+  EXPECT_EQ(tor.CountOfType(OpCode::kCacheUpdate), 0u);
+  EXPECT_EQ(*server.store().Get(K(1)), Value::Filler(2, 64));
+}
+
+// ------------------------------------------------- per-core sharding (§6)
+
+TEST(PerCoreServerTest, CoreSteeringIsDeterministic) {
+  Simulator sim;
+  ServerConfig cfg;
+  cfg.ip = kServer;
+  cfg.num_cores = 8;
+  StorageServer server(&sim, "cores", cfg);
+  Key k = K(5);
+  size_t core = server.CoreOf(k);
+  EXPECT_LT(core, 8u);
+  EXPECT_EQ(server.CoreOf(k), core);
+}
+
+TEST(PerCoreServerTest, HotKeyBottlenecksOneCore) {
+  // §1: per-core sharding amplifies skew — a single hot key saturates one
+  // core while the others idle, so the server drops despite aggregate
+  // headroom.
+  Simulator sim;
+  TorStub tor;
+  ServerConfig cfg;
+  cfg.ip = kServer;
+  cfg.switch_ip = kSwitch;
+  cfg.service_rate_qps = 8e5;  // 8 cores x 100 KQPS
+  cfg.num_cores = 8;
+  cfg.queue_capacity = 64;
+  StorageServer server(&sim, "cores", cfg);
+  Link link(&sim, LinkConfig{});
+  link.Connect(&server, 0, &tor, 0);
+  server.store().Put(K(1), Value::Filler(1, 16));
+
+  // Offer 400 KQPS of a single key: half the server's aggregate rate, but
+  // 4x one core's rate.
+  for (int i = 0; i < 4000; ++i) {
+    Packet get = MakeGet(kClient, kServer, K(1), i);
+    sim.ScheduleAt(static_cast<SimTime>(i) * 2500, [&tor, get] { tor.Send(0, get); });
+  }
+  sim.RunAll();
+  EXPECT_GT(server.stats().dropped, 1000u);  // one core can absorb only ~1/4
+  size_t hot_core = server.CoreOf(K(1));
+  for (size_t c = 0; c < 8; ++c) {
+    if (c != hot_core) {
+      EXPECT_EQ(server.core_processed(c), 0u) << "core " << c;
+    }
+  }
+}
+
+TEST(PerCoreServerTest, UniformKeysUseAllCores) {
+  Simulator sim;
+  TorStub tor;
+  ServerConfig cfg;
+  cfg.ip = kServer;
+  cfg.num_cores = 4;
+  cfg.service_rate_qps = 4e6;
+  StorageServer server(&sim, "cores", cfg);
+  Link link(&sim, LinkConfig{});
+  link.Connect(&server, 0, &tor, 0);
+  for (uint64_t id = 0; id < 64; ++id) {
+    server.store().Put(K(id), Value::Filler(id, 16));
+  }
+  for (uint64_t id = 0; id < 64; ++id) {
+    Packet get = MakeGet(kClient, kServer, K(id), static_cast<uint32_t>(id));
+    Inject2(tor, get);
+  }
+  sim.RunAll();
+  EXPECT_EQ(server.stats().dropped, 0u);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_GT(server.core_processed(c), 0u) << "core " << c;
+  }
+}
+
+}  // namespace
+}  // namespace netcache

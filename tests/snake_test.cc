@@ -1,0 +1,68 @@
+// Tests for the snake-test harness (§7.1): pipeline passes, value
+// verification at the far endpoint, and load amplification.
+
+#include <gtest/gtest.h>
+
+#include "core/snake.h"
+
+namespace netcache {
+namespace {
+
+SwitchConfig SnakeSwitch() {
+  SwitchConfig cfg;
+  cfg.num_pipes = 1;
+  cfg.cache_capacity = 1024;
+  cfg.indexes_per_pipe = 1024;
+  cfg.stats.counter_slots = 1024;
+  return cfg;
+}
+
+TEST(SnakeTest, EveryQueryTraversesAllPasses) {
+  SnakeHarness snake(SnakeSwitch(), /*num_ports=*/8);
+  ASSERT_TRUE(snake.CacheItems(16, 64).ok());
+  SnakeResult r = snake.Run(100, /*pacing=*/1 * kMicrosecond);
+  EXPECT_EQ(r.passes, 4u);  // 8 ports -> 4 pipeline passes
+  EXPECT_EQ(r.sent, 100u);
+  EXPECT_EQ(r.received, 100u);
+  EXPECT_EQ(r.pipeline_reads, 400u);  // processed at every pass
+  EXPECT_DOUBLE_EQ(r.amplification, 4.0);
+}
+
+TEST(SnakeTest, ValuesVerifiedAtFarEnd) {
+  SnakeHarness snake(SnakeSwitch(), 8);
+  ASSERT_TRUE(snake.CacheItems(16, 128).ok());
+  SnakeResult r = snake.Run(64, 1 * kMicrosecond);
+  EXPECT_EQ(r.value_ok, 64u);  // served values survive the snake intact
+}
+
+TEST(SnakeTest, PaperAmplificationSetup) {
+  // 64 ports -> 32 passes: the paper's 2 x 35 MQPS x 32 = 2.24 BQPS setup.
+  SnakeHarness snake(SnakeSwitch(), 64);
+  ASSERT_TRUE(snake.CacheItems(8, 128).ok());
+  SnakeResult r = snake.Run(50, 1 * kMicrosecond);
+  EXPECT_EQ(r.passes, 32u);
+  EXPECT_EQ(r.pipeline_reads, 50u * 32);
+  EXPECT_EQ(r.received, 50u);
+}
+
+TEST(SnakeTest, EveryPassHitsTheCache) {
+  SnakeHarness snake(SnakeSwitch(), 8);
+  ASSERT_TRUE(snake.CacheItems(4, 64).ok());
+  snake.Run(10, 1 * kMicrosecond);
+  EXPECT_EQ(snake.tor().counters().cache_hits, 40u);
+  EXPECT_EQ(snake.tor().counters().cache_misses, 0u);
+}
+
+TEST(SnakeTest, UncachedQueriesStillSnakeThrough) {
+  SnakeHarness snake(SnakeSwitch(), 8);
+  ASSERT_TRUE(snake.CacheItems(1, 64).ok());
+  ASSERT_TRUE(snake.tor().EvictCacheEntry(Key::FromUint64(0)).ok());
+  SnakeResult r = snake.Run(10, 1 * kMicrosecond);
+  // No replies (nothing cached, the far endpoint only counts GetReply), but
+  // all packets were processed at every pass as misses.
+  EXPECT_EQ(r.received, 0u);
+  EXPECT_EQ(snake.tor().counters().cache_misses, 40u);
+}
+
+}  // namespace
+}  // namespace netcache

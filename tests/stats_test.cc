@@ -1,0 +1,219 @@
+// Direct tests for the data-plane query-statistics module (Fig 7) plus the
+// randomized switch soak test exercising the full control-plane surface
+// with invariant checks, and the controller's threshold auto-tuning.
+
+#include <gtest/gtest.h>
+
+#include "core/rack.h"
+#include "dataplane/stats.h"
+
+namespace netcache {
+namespace {
+
+Key K(uint64_t id) { return Key::FromUint64(id); }
+
+StatsConfig SmallStats() {
+  StatsConfig cfg;
+  cfg.counter_slots = 64;
+  cfg.hh.sketch_width = 1024;
+  cfg.hh.bloom_bits = 4096;
+  cfg.hh.hot_threshold = 8;
+  return cfg;
+}
+
+TEST(QueryStatisticsTest, CachedReadsCountPerKey) {
+  QueryStatistics stats(SmallStats());
+  stats.OnCachedRead(3);
+  stats.OnCachedRead(3);
+  stats.OnCachedRead(5);
+  EXPECT_EQ(stats.ReadCounter(3), 2u);
+  EXPECT_EQ(stats.ReadCounter(5), 1u);
+  EXPECT_EQ(stats.ReadCounter(0), 0u);
+}
+
+TEST(QueryStatisticsTest, UncachedReadsReportAtThreshold) {
+  QueryStatistics stats(SmallStats());
+  int reports = 0;
+  for (int i = 0; i < 20; ++i) {
+    reports += stats.OnUncachedRead(K(1)) ? 1 : 0;
+  }
+  EXPECT_EQ(reports, 1);  // once, at the 8th access
+  EXPECT_GE(stats.SketchEstimate(K(1)), 20u);
+}
+
+TEST(QueryStatisticsTest, SamplingAppliesToBothPaths) {
+  StatsConfig cfg = SmallStats();
+  cfg.sample_rate = 0.1;
+  cfg.hh.hot_threshold = 1 << 30;  // never report
+  QueryStatistics stats(cfg);
+  for (int i = 0; i < 10000; ++i) {
+    stats.OnCachedRead(1);
+    stats.OnUncachedRead(K(2));
+  }
+  // Both counters see ~10% of the traffic.
+  EXPECT_NEAR(stats.ReadCounter(1), 1000u, 200);
+  EXPECT_NEAR(stats.SketchEstimate(K(2)), 1000u, 200);
+  EXPECT_GT(stats.activity().skipped, stats.activity().sampled);
+}
+
+TEST(QueryStatisticsTest, EpochResetClearsEverything) {
+  QueryStatistics stats(SmallStats());
+  stats.OnCachedRead(1);
+  for (int i = 0; i < 20; ++i) {
+    stats.OnUncachedRead(K(9));
+  }
+  stats.ResetEpoch();
+  EXPECT_EQ(stats.ReadCounter(1), 0u);
+  EXPECT_EQ(stats.SketchEstimate(K(9)), 0u);
+  // And the Bloom filter forgot the report, so it fires again.
+  int reports = 0;
+  for (int i = 0; i < 20; ++i) {
+    reports += stats.OnUncachedRead(K(9)) ? 1 : 0;
+  }
+  EXPECT_EQ(reports, 1);
+}
+
+TEST(QueryStatisticsTest, RuntimeKnobs) {
+  QueryStatistics stats(SmallStats());
+  stats.SetHotThreshold(3);
+  EXPECT_EQ(stats.hot_threshold(), 3u);
+  stats.SetSampleRate(0.5);
+  EXPECT_DOUBLE_EQ(stats.sample_rate(), 0.5);
+  int reports = 0;
+  for (int i = 0; i < 50; ++i) {
+    reports += stats.OnUncachedRead(K(4)) ? 1 : 0;
+  }
+  EXPECT_EQ(reports, 1);
+}
+
+TEST(QueryStatisticsTest, MemoryAccountingMatchesPrototype) {
+  StatsConfig cfg;  // prototype defaults
+  QueryStatistics stats(cfg);
+  // counters 64K x 16 + CMS 4 x 64K x 16 + bloom 3 x 256K x 1
+  EXPECT_EQ(stats.MemoryBits(), 64ull * 1024 * 16 + 4ull * 64 * 1024 * 16 + 3ull * 256 * 1024);
+}
+
+// ----------------------------------------------------- randomized soak
+
+class SwitchSoakTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SwitchSoakTest, InvariantsHoldUnderRandomControlAndData) {
+  SwitchConfig cfg;
+  cfg.num_pipes = 2;
+  cfg.ports_per_pipe = 4;
+  cfg.indexes_per_pipe = 16;  // tight memory: plenty of alloc failures
+  cfg.cache_capacity = 96;
+  cfg.stats.counter_slots = 96;
+  NetCacheSwitch sw(nullptr, "soak", cfg);
+  constexpr IpAddress kClient = 0x0b000001;
+  constexpr IpAddress kServerA = 0x0a000001;
+  constexpr IpAddress kServerB = 0x0a000002;
+  ASSERT_TRUE(sw.AddRoute(kServerA, 0).ok());
+  ASSERT_TRUE(sw.AddRoute(kServerB, 4).ok());  // second pipe
+  ASSERT_TRUE(sw.AddRoute(kClient, 7).ok());
+
+  Rng rng(GetParam());
+  for (int step = 0; step < 5000; ++step) {
+    uint64_t id = rng.NextBounded(64);
+    IpAddress server = rng.NextBernoulli(0.5) ? kServerA : kServerB;
+    switch (rng.NextBounded(8)) {
+      case 0: {  // control-plane insert (random size)
+        size_t size = 1 + rng.NextBounded(kMaxValueSize);
+        sw.InsertCacheEntry(K(id), Value::Filler(id, size), server).ok();
+        break;
+      }
+      case 1:
+        sw.EvictCacheEntry(K(id)).ok();
+        break;
+      case 2:
+        sw.Defragment(rng.NextBounded(2), 1 + rng.NextBounded(8));
+        break;
+      case 3: {  // data-plane update
+        Packet update;
+        update.ip.src = server;
+        update.ip.dst = sw.config().switch_ip;
+        update.l4.dst_port = kNetCachePort;
+        update.nc.op = OpCode::kCacheUpdate;
+        update.nc.key = K(id);
+        update.nc.has_value = rng.NextBernoulli(0.9);
+        update.nc.value = Value::Filler(id, 1 + rng.NextBounded(kMaxValueSize));
+        sw.ProcessPacket(update, 0);
+        break;
+      }
+      case 4:
+        sw.ProcessPacket(MakePut(kClient, server, K(id), Value::Filler(id, 32), step), 7);
+        break;
+      case 5:
+        sw.ResetStatistics();
+        break;
+      default:
+        sw.ProcessPacket(MakeGet(kClient, server, K(id), step), 7);
+        break;
+    }
+    if (step % 97 == 0) {
+      Status st = sw.CheckInvariants();
+      ASSERT_TRUE(st.ok()) << "step " << step << ": " << st.ToString();
+    }
+  }
+  EXPECT_TRUE(sw.CheckInvariants().ok());
+  // Reboot from any state is clean.
+  sw.ClearCache();
+  EXPECT_TRUE(sw.CheckInvariants().ok());
+  EXPECT_EQ(sw.CacheSize(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwitchSoakTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ------------------------------------------- controller threshold tuning
+
+TEST(ThresholdTuningTest, RaisesUnderReportFlood) {
+  RackConfig cfg;
+  cfg.num_servers = 2;
+  cfg.num_clients = 1;
+  cfg.switch_config.num_pipes = 1;
+  cfg.switch_config.cache_capacity = 4096;
+  cfg.switch_config.indexes_per_pipe = 4096;
+  cfg.switch_config.stats.counter_slots = 4096;
+  cfg.switch_config.stats.hh.hot_threshold = 2;  // hair trigger
+  cfg.controller_config.cache_capacity = 8;      // tiny: most reports ignored
+  cfg.controller_config.stats_epoch = 1 * kMillisecond;
+  cfg.controller_config.target_reports_per_epoch = 4;
+  Rack rack(cfg);
+  rack.Populate(4000, 32);
+  rack.StartController();
+
+  // Many distinct warm-ish keys: each crosses threshold 2 instantly.
+  Rng rng(9);
+  for (int i = 0; i < 6000; ++i) {
+    uint64_t id = rng.NextBounded(2000);
+    Packet get = MakeGet(rack.client_ip(0), rack.OwnerOf(K(id)), K(id), i);
+    rack.tor().ProcessPacket(get, 1);
+    if (i % 500 == 0) {
+      rack.sim().RunUntil(rack.sim().Now() + 1 * kMillisecond);
+    }
+  }
+  rack.sim().RunUntil(rack.sim().Now() + 5 * kMillisecond);
+  EXPECT_GT(rack.controller().stats().threshold_raises, 0u);
+}
+
+TEST(ThresholdTuningTest, DropsWhenQuiet) {
+  RackConfig cfg;
+  cfg.num_servers = 2;
+  cfg.num_clients = 1;
+  cfg.switch_config.num_pipes = 1;
+  cfg.switch_config.cache_capacity = 256;
+  cfg.switch_config.indexes_per_pipe = 256;
+  cfg.switch_config.stats.counter_slots = 256;
+  cfg.switch_config.stats.hh.hot_threshold = 1024;  // far too high
+  cfg.controller_config.cache_capacity = 8;
+  cfg.controller_config.stats_epoch = 1 * kMillisecond;
+  cfg.controller_config.target_reports_per_epoch = 10;
+  Rack rack(cfg);
+  rack.Populate(100, 32);
+  rack.StartController();
+  rack.sim().RunUntil(10 * kMillisecond);  // several silent epochs
+  EXPECT_GE(rack.controller().stats().threshold_drops, 3u);
+}
+
+}  // namespace
+}  // namespace netcache

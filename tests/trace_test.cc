@@ -1,0 +1,123 @@
+// Tests for trace recording and replay.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "workload/trace.h"
+
+namespace netcache {
+namespace {
+
+TEST(TraceWriterTest, WritesAllOps) {
+  std::ostringstream out;
+  TraceWriter w(&out);
+  w.Append(TraceRecord{OpCode::kGet, 5, 0});
+  w.Append(TraceRecord{OpCode::kPut, 6, 64});
+  w.Append(TraceRecord{OpCode::kDelete, 7, 0});
+  EXPECT_EQ(out.str(), "G 5\nP 6 64\nD 7\n");
+  EXPECT_EQ(w.records_written(), 3u);
+}
+
+TEST(TraceWriterTest, SkipsUnsupportedOps) {
+  std::ostringstream out;
+  TraceWriter w(&out);
+  w.Append(TraceRecord{OpCode::kCacheUpdate, 1, 0});
+  EXPECT_EQ(w.records_written(), 0u);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(TraceParseTest, RoundTripWithCommentsAndBlanks) {
+  std::istringstream in("# a trace\nG 1\n\nP 2 32\n# mid comment\nD 3\n");
+  Result<std::vector<TraceRecord>> records = ParseTrace(in);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].op, OpCode::kGet);
+  EXPECT_EQ((*records)[0].key_id, 1u);
+  EXPECT_EQ((*records)[1].op, OpCode::kPut);
+  EXPECT_EQ((*records)[1].value_size, 32u);
+  EXPECT_EQ((*records)[2].op, OpCode::kDelete);
+}
+
+TEST(TraceParseTest, RejectsMalformedInput) {
+  for (const char* bad : {"X 1\n", "G\n", "P 1\n", "P 1 9999\n", "G 1 extra\n", "G abc\n"}) {
+    std::istringstream in(bad);
+    Result<std::vector<TraceRecord>> records = ParseTrace(in);
+    EXPECT_FALSE(records.ok()) << "input: " << bad;
+    EXPECT_EQ(records.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(TraceParseTest, ErrorsNameTheLine) {
+  std::istringstream in("G 1\nG 2\nX 3\n");
+  Result<std::vector<TraceRecord>> records = ParseTrace(in);
+  ASSERT_FALSE(records.ok());
+  EXPECT_NE(records.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(TraceReplayerTest, ReplaysInOrder) {
+  TraceReplayer replay({{OpCode::kGet, 10, 0}, {OpCode::kPut, 11, 16}});
+  Result<Query> q1 = replay.Next();
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(q1->op, OpCode::kGet);
+  EXPECT_EQ(q1->key_id, 10u);
+  EXPECT_EQ(q1->key, Key::FromUint64(10));
+  Result<Query> q2 = replay.Next();
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->op, OpCode::kPut);
+  EXPECT_EQ(q2->value.size(), 16u);
+  EXPECT_TRUE(replay.Done());
+  EXPECT_FALSE(replay.Next().ok());
+}
+
+TEST(TraceReplayerTest, LoopWrapsAround) {
+  TraceReplayer replay({{OpCode::kGet, 1, 0}}, /*loop=*/true);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(replay.Next().ok());
+  }
+  EXPECT_FALSE(replay.Done());
+}
+
+TEST(TraceReplayerTest, RewindRestarts) {
+  TraceReplayer replay({{OpCode::kGet, 1, 0}, {OpCode::kGet, 2, 0}});
+  replay.Next().ok();
+  replay.Next().ok();
+  EXPECT_TRUE(replay.Done());
+  replay.Rewind();
+  Result<Query> q = replay.Next();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->key_id, 1u);
+}
+
+TEST(TraceEndToEndTest, GeneratorRecordedThenReplayedMatches) {
+  WorkloadConfig cfg;
+  cfg.num_keys = 100;
+  cfg.write_ratio = 0.3;
+  cfg.value_size = 48;
+  cfg.seed = 12;
+  WorkloadGenerator gen(cfg);
+
+  std::ostringstream out;
+  TraceWriter w(&out);
+  std::vector<Query> original;
+  for (int i = 0; i < 200; ++i) {
+    Query q = gen.Next();
+    original.push_back(q);
+    w.Append(q);
+  }
+
+  std::istringstream in(out.str());
+  Result<std::vector<TraceRecord>> records = ParseTrace(in);
+  ASSERT_TRUE(records.ok());
+  TraceReplayer replay(std::move(*records));
+  for (const Query& want : original) {
+    Result<Query> got = replay.Next();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->op, want.op);
+    EXPECT_EQ(got->key_id, want.key_id);
+    EXPECT_EQ(got->value.size(), want.value.size());
+  }
+}
+
+}  // namespace
+}  // namespace netcache

@@ -1,0 +1,128 @@
+// Tests for the Zipf samplers: correctness of the pmf, agreement between the
+// exact table sampler and the rejection-inversion sampler, and the skew
+// properties the paper's workloads rely on.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace netcache {
+namespace {
+
+TEST(ZipfTableTest, PmfSumsToOne) {
+  ZipfTable z(1000, 0.99);
+  double sum = 0;
+  for (uint64_t r = 0; r < 1000; ++r) {
+    sum += z.Pmf(r);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTableTest, PmfMonotoneDecreasing) {
+  ZipfTable z(100, 0.9);
+  for (uint64_t r = 1; r < 100; ++r) {
+    EXPECT_LE(z.Pmf(r), z.Pmf(r - 1));
+  }
+}
+
+TEST(ZipfTableTest, PmfMatchesFormula) {
+  ZipfTable z(50, 0.95);
+  double h = GeneralizedHarmonic(50, 0.95);
+  for (uint64_t r = 0; r < 50; ++r) {
+    EXPECT_NEAR(z.Pmf(r), std::pow(static_cast<double>(r + 1), -0.95) / h, 1e-12);
+  }
+}
+
+TEST(ZipfTableTest, SamplesInRange) {
+  ZipfTable z(128, 0.99);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.Sample(rng), 128u);
+  }
+}
+
+TEST(ZipfTableTest, EmpiricalMatchesPmf) {
+  constexpr uint64_t kN = 100;
+  constexpr int kDraws = 200000;
+  ZipfTable z(kN, 0.99);
+  Rng rng(2);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[z.Sample(rng)];
+  }
+  // The hottest few ranks carry enough mass for tight checks.
+  for (uint64_t r : {0ull, 1ull, 2ull, 10ull}) {
+    double expected = z.Pmf(r) * kDraws;
+    EXPECT_NEAR(counts[r], expected, 5 * std::sqrt(expected) + 5);
+  }
+}
+
+// Rejection-inversion should match the table sampler's distribution.
+class ZipfAgreementTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAgreementTest, RejectionMatchesTable) {
+  double alpha = GetParam();
+  constexpr uint64_t kN = 1000;
+  constexpr int kDraws = 300000;
+  ZipfTable table(kN, alpha);
+  ZipfRejectionInversion ri(kN, alpha);
+  Rng rng(3);
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t s = ri.Sample(rng);
+    ASSERT_LT(s, kN);
+    ++counts[s];
+  }
+  for (uint64_t r : {0ull, 1ull, 5ull, 50ull}) {
+    double expected = table.Pmf(r) * kDraws;
+    EXPECT_NEAR(counts[r], expected, 6 * std::sqrt(expected) + 6)
+        << "alpha=" << alpha << " rank=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAgreementTest,
+                         ::testing::Values(0.9, 0.95, 0.99, 1.0, 1.2));
+
+TEST(ZipfSkewTest, HigherAlphaConcentratesMass) {
+  // Paper workloads: zipf-0.99 is more concentrated than zipf-0.9.
+  ZipfTable z90(10000, 0.90);
+  ZipfTable z99(10000, 0.99);
+  double top90 = 0;
+  double top99 = 0;
+  for (uint64_t r = 0; r < 100; ++r) {
+    top90 += z90.Pmf(r);
+    top99 += z99.Pmf(r);
+  }
+  EXPECT_GT(top99, top90);
+}
+
+TEST(ZipfSkewTest, FacebookStyleSkew) {
+  // "10% of items account for 60-90% of queries" [2]: check zipf-0.99 over
+  // 1M keys lands in that ballpark.
+  constexpr uint64_t kN = 1'000'000;
+  ZipfRejectionInversion ri(kN, 0.99);
+  Rng rng(4);
+  constexpr int kDraws = 200000;
+  int in_top_10pct = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (ri.Sample(rng) < kN / 10) {
+      ++in_top_10pct;
+    }
+  }
+  double frac = static_cast<double>(in_top_10pct) / kDraws;
+  EXPECT_GT(frac, 0.6);
+  EXPECT_LT(frac, 0.95);
+}
+
+TEST(GeneralizedHarmonicTest, KnownValues) {
+  EXPECT_NEAR(GeneralizedHarmonic(1, 0.5), 1.0, 1e-12);
+  // H_3 = 1 + 1/2 + 1/3
+  EXPECT_NEAR(GeneralizedHarmonic(3, 1.0), 1.0 + 0.5 + 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace netcache

@@ -1,0 +1,262 @@
+// netcache_sim — command-line front end to the NetCache simulation library.
+//
+// Subcommands:
+//   rack       packet-level rack simulation (DES): goodput, latency, hits
+//   saturate   capacity-model saturation throughput for one configuration
+//   multirack  multi-rack scalability model (NoCache/LeafCache/LeafSpine)
+//   snake      §7.1 snake-test harness
+//
+// Examples:
+//   netcache_sim rack --servers=16 --rate=50000 --zipf=0.99 --cache=200
+//                     --offered=400000 --duration=0.5
+//   netcache_sim saturate --partitions=128 --rate=1e7 --zipf=0.95 --cache=10000
+//   netcache_sim multirack --racks=16 --mode=leafspine
+//   netcache_sim snake --ports=64 --queries=1000
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/workload_driver.h"
+#include "common/cli.h"
+#include "core/multirack.h"
+#include "core/rack.h"
+#include "core/saturation.h"
+#include "core/snake.h"
+#include "workload/trace.h"
+
+namespace netcache {
+namespace {
+
+int Usage(const char* program) {
+  std::fprintf(stderr,
+               "usage: %s <rack|saturate|multirack|snake> [--flag=value ...]\n"
+               "\n"
+               "rack:      --servers --rate --keys --zipf --cache --offered --duration\n"
+               "           --write-ratio --skewed-writes --no-cache --cores --seed\n"
+               "           --trace=FILE (replay a G/P/D trace instead of synthetic load)\n"
+               "saturate:  --partitions --rate --keys --zipf --cache --write-ratio\n"
+               "           --skewed-writes --write-back\n"
+               "multirack: --racks --servers-per-rack --rate --spines --cache\n"
+               "           --mode=nocache|leaf|leafspine\n"
+               "snake:     --ports --queries --cache --value-size\n",
+               program);
+  return 2;
+}
+
+int RunRack(ArgParser& args) {
+  RackConfig cfg;
+  cfg.num_servers = static_cast<size_t>(args.GetInt("servers", 8));
+  cfg.cache_enabled = !args.GetBool("no-cache", false);
+  cfg.switch_config.num_pipes = 1;
+  size_t cache = static_cast<size_t>(args.GetInt("cache", 1000));
+  cfg.switch_config.cache_capacity = std::max<size_t>(4096, cache);
+  cfg.switch_config.indexes_per_pipe = cfg.switch_config.cache_capacity;
+  cfg.switch_config.stats.counter_slots = cfg.switch_config.cache_capacity;
+  cfg.server_template.service_rate_qps = args.GetDouble("rate", 50e3);
+  cfg.server_template.num_cores = static_cast<size_t>(args.GetInt("cores", 1));
+  cfg.client_template.reply_timeout = 10 * kMillisecond;
+  cfg.controller_config.cache_capacity = cache;
+
+  uint64_t num_keys = static_cast<uint64_t>(args.GetInt("keys", 100000));
+  double duration_s = args.GetDouble("duration", 0.5);
+  if (!args.ok()) {
+    return 2;
+  }
+
+  Rack rack(cfg);
+  rack.Populate(num_keys, 128);
+
+  WorkloadConfig wl;
+  wl.num_keys = num_keys;
+  wl.zipf_alpha = args.GetDouble("zipf", 0.99);
+  wl.write_ratio = args.GetDouble("write-ratio", 0.0);
+  wl.skewed_writes = args.GetBool("skewed-writes", false);
+  wl.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  WorkloadGenerator gen(wl);
+
+  if (cfg.cache_enabled) {
+    std::vector<Key> hot;
+    for (uint64_t id : gen.popularity().TopKeys(std::min<uint64_t>(cache, num_keys))) {
+      hot.push_back(Key::FromUint64(id));
+    }
+    rack.WarmCache(hot);
+    rack.StartController();
+  }
+
+  DriverConfig dc;
+  dc.rate_qps = args.GetDouble("offered", 100e3);
+  std::unique_ptr<TraceReplayer> replay;
+  std::string trace_path = args.GetString("trace", "");
+  if (!trace_path.empty()) {
+    std::ifstream in(trace_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open trace '%s'\n", trace_path.c_str());
+      return 1;
+    }
+    Result<std::vector<TraceRecord>> records = ParseTrace(in);
+    if (!records.ok()) {
+      std::fprintf(stderr, "trace error: %s\n", records.status().ToString().c_str());
+      return 1;
+    }
+    if (records->empty()) {
+      std::fprintf(stderr, "trace '%s' contains no records\n", trace_path.c_str());
+      return 1;
+    }
+    replay = std::make_unique<TraceReplayer>(std::move(*records), /*loop=*/true);
+  }
+  WorkloadDriver::QuerySource source =
+      replay ? WorkloadDriver::QuerySource([&replay] { return *replay->Next(); })
+             : WorkloadDriver::QuerySource([&gen] { return gen.Next(); });
+  WorkloadDriver driver(&rack.sim(), &rack.client(0), std::move(source), rack.OwnerFn(), dc);
+  driver.Start();
+  rack.sim().RunUntil(static_cast<SimTime>(duration_s * 1e9));
+  driver.Stop();
+  rack.sim().RunUntil(rack.sim().Now() + 20 * kMillisecond);
+
+  const Histogram& lat = rack.client(0).latency();
+  const SwitchCounters& sc = rack.tor().counters();
+  std::printf("sent            %llu\n", static_cast<unsigned long long>(driver.sent()));
+  std::printf("completed       %llu (%.1f%% of sent)\n",
+              static_cast<unsigned long long>(driver.completed()),
+              100.0 * static_cast<double>(driver.completed()) /
+                  static_cast<double>(std::max<uint64_t>(driver.sent(), 1)));
+  std::printf("goodput         %.0f q/s\n",
+              static_cast<double>(driver.completed()) / duration_s);
+  std::printf("latency         avg %.1f us, p50 %.1f us, p99 %.1f us\n", lat.Mean() / 1e3,
+              static_cast<double>(lat.Quantile(0.5)) / 1e3,
+              static_cast<double>(lat.Quantile(0.99)) / 1e3);
+  std::printf("switch          hits %llu, misses %llu, invalid %llu, hot reports %llu\n",
+              static_cast<unsigned long long>(sc.cache_hits),
+              static_cast<unsigned long long>(sc.cache_misses),
+              static_cast<unsigned long long>(sc.cache_invalid),
+              static_cast<unsigned long long>(sc.hot_reports));
+  uint64_t dropped = 0;
+  for (size_t i = 0; i < rack.num_servers(); ++i) {
+    dropped += rack.server(i).stats().dropped;
+  }
+  std::printf("servers         shed %llu queries\n", static_cast<unsigned long long>(dropped));
+  if (cfg.cache_enabled) {
+    std::printf("controller      %llu insertions, %llu evictions\n",
+                static_cast<unsigned long long>(rack.controller().stats().insertions),
+                static_cast<unsigned long long>(rack.controller().stats().evictions));
+  }
+  return 0;
+}
+
+int RunSaturate(ArgParser& args) {
+  SaturationConfig cfg;
+  cfg.num_partitions = static_cast<size_t>(args.GetInt("partitions", 128));
+  cfg.server_rate_qps = args.GetDouble("rate", 10e6);
+  cfg.num_keys = static_cast<uint64_t>(args.GetInt("keys", 100'000'000));
+  cfg.zipf_alpha = args.GetDouble("zipf", 0.99);
+  cfg.cache_size = static_cast<size_t>(args.GetInt("cache", 10'000));
+  cfg.write_ratio = args.GetDouble("write-ratio", 0.0);
+  cfg.skewed_writes = args.GetBool("skewed-writes", false);
+  cfg.write_back = args.GetBool("write-back", false);
+  cfg.exact_ranks = std::max<size_t>(cfg.cache_size, 262'144);
+  if (!args.ok()) {
+    return 2;
+  }
+  SaturationResult r = SolveSaturation(cfg);
+  std::printf("total       %.3e q/s\n", r.total_qps);
+  std::printf("cache       %.3e q/s (hit fraction %.3f)\n", r.cache_qps,
+              r.cache_hit_fraction);
+  std::printf("servers     %.3e q/s\n", r.server_qps);
+  std::printf("limited by  %s (bottleneck server %zu)\n", r.limited_by.c_str(),
+              r.bottleneck_server);
+  return 0;
+}
+
+int RunMultiRack(ArgParser& args) {
+  MultiRackConfig cfg;
+  cfg.num_racks = static_cast<size_t>(args.GetInt("racks", 32));
+  cfg.servers_per_rack = static_cast<size_t>(args.GetInt("servers-per-rack", 128));
+  cfg.server_rate_qps = args.GetDouble("rate", 10e6);
+  cfg.num_spines = static_cast<size_t>(args.GetInt("spines", cfg.num_racks / 2 + 1));
+  cfg.cache_items_per_switch = static_cast<size_t>(args.GetInt("cache", 10'000));
+  std::string mode = args.GetString("mode", "leafspine");
+  if (mode == "nocache") {
+    cfg.mode = MultiRackMode::kNoCache;
+  } else if (mode == "leaf") {
+    cfg.mode = MultiRackMode::kLeafCache;
+  } else if (mode == "leafspine") {
+    cfg.mode = MultiRackMode::kLeafSpineCache;
+  } else {
+    std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  if (!args.ok()) {
+    return 2;
+  }
+  MultiRackResult r = SolveMultiRack(cfg);
+  std::printf("%s, %zu racks x %zu servers:\n", MultiRackModeName(cfg.mode), cfg.num_racks,
+              cfg.servers_per_rack);
+  std::printf("total    %.3e q/s\n", r.total_qps);
+  std::printf("spine    %.3e q/s\n", r.spine_qps);
+  std::printf("tor      %.3e q/s\n", r.tor_qps);
+  std::printf("servers  %.3e q/s\n", r.server_qps);
+  std::printf("limited by %s\n", r.limited_by.c_str());
+  return 0;
+}
+
+int RunSnake(ArgParser& args) {
+  size_t ports = static_cast<size_t>(args.GetInt("ports", 64));
+  uint64_t queries = static_cast<uint64_t>(args.GetInt("queries", 1000));
+  size_t cache = static_cast<size_t>(args.GetInt("cache", 1024));
+  size_t value_size = static_cast<size_t>(args.GetInt("value-size", 128));
+  if (!args.ok()) {
+    return 2;
+  }
+  SwitchConfig cfg;
+  cfg.num_pipes = 1;
+  cfg.cache_capacity = std::max<size_t>(cache, 1024);
+  cfg.indexes_per_pipe = cfg.cache_capacity;
+  cfg.stats.counter_slots = cfg.cache_capacity;
+  SnakeHarness snake(cfg, ports);
+  Status st = snake.CacheItems(cache, value_size);
+  if (!st.ok()) {
+    std::fprintf(stderr, "cache population failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  SnakeResult r = snake.Run(queries, 1 * kMicrosecond);
+  std::printf("ports           %zu (%zu pipeline passes per query)\n", ports, r.passes);
+  std::printf("injected        %llu\n", static_cast<unsigned long long>(r.sent));
+  std::printf("pipeline reads  %llu (x%.0f amplification)\n",
+              static_cast<unsigned long long>(r.pipeline_reads), r.amplification);
+  std::printf("delivered       %llu (%llu value-exact)\n",
+              static_cast<unsigned long long>(r.received),
+              static_cast<unsigned long long>(r.value_ok));
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (args.positional().empty()) {
+    return Usage(argv[0]);
+  }
+  const std::string& command = args.positional()[0];
+  int rc;
+  if (command == "rack") {
+    rc = RunRack(args);
+  } else if (command == "saturate") {
+    rc = RunSaturate(args);
+  } else if (command == "multirack") {
+    rc = RunMultiRack(args);
+  } else if (command == "snake") {
+    rc = RunSnake(args);
+  } else {
+    return Usage(argv[0]);
+  }
+  for (const std::string& err : args.errors()) {
+    std::fprintf(stderr, "error: %s\n", err.c_str());
+  }
+  return args.ok() ? rc : 2;
+}
+
+}  // namespace
+}  // namespace netcache
+
+int main(int argc, char** argv) { return netcache::Main(argc, argv); }
