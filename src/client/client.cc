@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/trace_recorder.h"
 
 namespace netcache {
 
@@ -30,6 +31,10 @@ void Client::SendQuery(Packet pkt, ResponseCallback cb) {
   uint32_t seq = next_seq_++;
   pkt.nc.seq = seq;
   outstanding_[seq] = Pending{std::move(cb), sim_->Now()};
+  if (TraceEnabled()) {
+    TraceSpan(TraceEvent::kClientSend, TraceQueryId(pkt), sim_->Now(), config_.ip,
+              static_cast<uint64_t>(pkt.nc.op));
+  }
   Send(0, pkt);
 
   sim_->Schedule(config_.reply_timeout, [this, seq] {
@@ -40,6 +45,10 @@ void Client::SendQuery(Packet pkt, ResponseCallback cb) {
     Pending pending = std::move(it->second);
     outstanding_.erase(it);
     ++stats_.timeouts;
+    if (TraceEnabled()) {
+      TraceSpan(TraceEvent::kClientTimeout,
+                (static_cast<uint64_t>(config_.ip) << 32) | seq, sim_->Now(), config_.ip);
+    }
     if (pending.cb) {
       pending.cb(Status::Unavailable("query timed out"), Value{});
     }
@@ -58,6 +67,10 @@ void Client::HandlePacket(const Packet& pkt, uint32_t /*in_port*/) {
   outstanding_.erase(it);
   ++stats_.replies;
   latency_.Record(sim_->Now() - pending.sent_at);
+  if (TraceEnabled()) {
+    TraceSpan(TraceEvent::kClientReply, TraceQueryId(pkt), sim_->Now(), config_.ip,
+              static_cast<uint64_t>(pkt.nc.op));
+  }
 
   Status status = Status::Ok();
   if (pkt.nc.op == OpCode::kGetReply && !pkt.nc.has_value) {
@@ -67,6 +80,21 @@ void Client::HandlePacket(const Packet& pkt, uint32_t /*in_port*/) {
   if (pending.cb) {
     pending.cb(status, pkt.nc.value);
   }
+}
+
+void Client::RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
+                             MetricsRegistry::Labels labels) const {
+  const ClientStats& s = stats_;
+  registry.AddCounter(prefix + ".gets_sent", &s.gets_sent, labels);
+  registry.AddCounter(prefix + ".puts_sent", &s.puts_sent, labels);
+  registry.AddCounter(prefix + ".deletes_sent", &s.deletes_sent, labels);
+  registry.AddCounter(prefix + ".replies", &s.replies, labels);
+  registry.AddCounter(prefix + ".not_found", &s.not_found, labels);
+  registry.AddCounter(prefix + ".timeouts", &s.timeouts, labels);
+  registry.AddGauge(
+      prefix + ".outstanding", [this] { return static_cast<double>(outstanding_.size()); },
+      labels);
+  registry.AddHistogram(prefix + ".latency", &latency_, labels);
 }
 
 }  // namespace netcache

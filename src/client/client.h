@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/time_units.h"
 #include "net/node.h"
@@ -74,6 +75,11 @@ class Client : public Node {
   const Histogram& latency() const { return latency_; }
   Histogram& latency() { return latency_; }
   size_t Outstanding() const { return outstanding_.size(); }
+
+  // Registers every ClientStats field, the outstanding-query gauge, and the
+  // latency histogram under `prefix` (e.g. "client[0].latency").
+  void RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
+                       MetricsRegistry::Labels labels = {}) const;
 
   const ClientConfig& config() const { return config_; }
 

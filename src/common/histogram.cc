@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <numeric>
+
+#include "common/json_writer.h"
 
 namespace netcache {
 
@@ -79,6 +82,49 @@ uint64_t Histogram::Quantile(double q) const {
     }
   }
   return max_;
+}
+
+std::vector<uint64_t> Histogram::Quantiles(const std::vector<double>& qs) const {
+  std::vector<uint64_t> out(qs.size(), 0);
+  if (count_ == 0 || qs.empty()) {
+    return out;
+  }
+  // Visit the requested quantiles in ascending target order so one sweep of
+  // the buckets answers all of them.
+  std::vector<size_t> order(qs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&qs](size_t a, size_t b) { return qs[a] < qs[b]; });
+
+  size_t next = 0;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size() && next < order.size(); ++i) {
+    seen += buckets_[i];
+    while (next < order.size()) {
+      double q = std::clamp(qs[order[next]], 0.0, 1.0);
+      uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+      if (seen < target) {
+        break;
+      }
+      out[order[next]] = std::min(BucketUpperBound(i), max_);
+      ++next;
+    }
+  }
+  for (; next < order.size(); ++next) {
+    out[order[next]] = max_;
+  }
+  return out;
+}
+
+void Histogram::WriteJson(JsonWriter& w) const {
+  std::vector<uint64_t> q = Quantiles({0.5, 0.9, 0.99, 0.999});
+  w.Field("count", count_);
+  w.Field("min", min());
+  w.Field("max", max_);
+  w.Field("mean", Mean());
+  w.Field("p50", q[0]);
+  w.Field("p90", q[1]);
+  w.Field("p99", q[2]);
+  w.Field("p999", q[3]);
 }
 
 void Histogram::Reset() {

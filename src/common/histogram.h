@@ -14,6 +14,8 @@
 
 namespace netcache {
 
+class JsonWriter;
+
 class Histogram {
  public:
   Histogram();
@@ -30,8 +32,18 @@ class Histogram {
   double Mean() const;
 
   // Returns the value at quantile q in [0, 1]; e.g. q=0.5 for the median,
-  // q=0.99 for p99. Returns 0 on an empty histogram.
+  // q=0.99 for p99. q outside [0, 1] is clamped. Returns 0 on an empty
+  // histogram.
   uint64_t Quantile(double q) const;
+
+  // Batch quantile query: one pass over the buckets for any number of
+  // quantiles. Results are returned in the order the quantiles were given
+  // (which need not be sorted); each q is clamped like Quantile().
+  std::vector<uint64_t> Quantiles(const std::vector<double>& qs) const;
+
+  // Writes count/min/max/mean/p50/p90/p99/p999 as fields of the JSON object
+  // the caller currently has open. Used by the metrics registry export.
+  void WriteJson(JsonWriter& w) const;
 
   void Reset();
 

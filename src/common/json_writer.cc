@@ -1,0 +1,141 @@
+#include "common/json_writer.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace netcache {
+
+void JsonWriter::BeforeValue() {
+  if (pending_name_) {
+    pending_name_ = false;
+    return;  // the key already positioned us
+  }
+  if (!stack_.empty()) {
+    NC_CHECK(stack_.back().scope == Scope::kArray)
+        << "value inside an object requires Name() first";
+    if (stack_.back().has_elements) {
+      out_ << ',';
+    }
+    stack_.back().has_elements = true;
+  } else {
+    NC_CHECK(!wrote_value_) << "multiple top-level JSON values";
+  }
+  wrote_value_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ << '{';
+  stack_.push_back(Frame{Scope::kObject});
+}
+
+void JsonWriter::EndObject() {
+  NC_CHECK(!stack_.empty() && stack_.back().scope == Scope::kObject);
+  NC_CHECK(!pending_name_) << "Name() without a value";
+  stack_.pop_back();
+  out_ << '}';
+  wrote_value_ = true;
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ << '[';
+  stack_.push_back(Frame{Scope::kArray});
+}
+
+void JsonWriter::EndArray() {
+  NC_CHECK(!stack_.empty() && stack_.back().scope == Scope::kArray);
+  stack_.pop_back();
+  out_ << ']';
+  wrote_value_ = true;
+}
+
+void JsonWriter::Name(std::string_view key) {
+  NC_CHECK(!stack_.empty() && stack_.back().scope == Scope::kObject)
+      << "Name() outside an object";
+  NC_CHECK(!pending_name_) << "two Name() calls in a row";
+  if (stack_.back().has_elements) {
+    out_ << ',';
+  }
+  stack_.back().has_elements = true;
+  out_ << '"';
+  WriteEscaped(key);
+  out_ << "\":";
+  pending_name_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ << '"';
+  WriteEscaped(value);
+  out_ << '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ << value;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ << value;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ << "null";
+    return;
+  }
+  // Shortest representation that round-trips; locale-independent.
+  std::array<char, 32> buf;
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), value);
+  NC_CHECK(ec == std::errc{});
+  out_.write(buf.data(), ptr - buf.data());
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ << "null";
+}
+
+void JsonWriter::WriteEscaped(std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ << "\\\"";
+        break;
+      case '\\':
+        out_ << "\\\\";
+        break;
+      case '\n':
+        out_ << "\\n";
+        break;
+      case '\r':
+        out_ << "\\r";
+        break;
+      case '\t':
+        out_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+}
+
+}  // namespace netcache

@@ -1,0 +1,83 @@
+// Minimal streaming JSON writer for structured experiment output.
+//
+// Hand-rolled so the library stays dependency-free: the writer keeps a stack
+// of open containers and inserts commas and quoting itself, so callers only
+// describe structure. Output is deterministic — doubles are formatted with
+// the shortest round-trip representation (std::to_chars), never with locale
+// or wall-clock dependent state — which is what lets two runs with the same
+// seed produce byte-identical metrics files.
+//
+// Usage:
+//   JsonWriter w(out);
+//   w.BeginObject();
+//   w.Field("name", "switch.cache_hits");
+//   w.Name("bins");
+//   w.BeginArray();
+//   w.Double(1.5);
+//   w.EndArray();
+//   w.EndObject();
+
+#ifndef NETCACHE_COMMON_JSON_WRITER_H_
+#define NETCACHE_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace netcache {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Writes the key of the next value; only valid inside an object.
+  void Name(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);  // non-finite values are emitted as null
+  void Bool(bool value);
+  void Null();
+
+  // Name + value in one call.
+  void Field(std::string_view key, std::string_view value) { Name(key); String(value); }
+  void Field(std::string_view key, const char* value) { Name(key); String(value); }
+  void Field(std::string_view key, int64_t value) { Name(key); Int(value); }
+  void Field(std::string_view key, uint64_t value) { Name(key); Uint(value); }
+  void Field(std::string_view key, int value) { Name(key); Int(value); }
+  void Field(std::string_view key, double value) { Name(key); Double(value); }
+  void Field(std::string_view key, bool value) { Name(key); Bool(value); }
+
+  // True once every opened container has been closed.
+  bool Done() const { return stack_.empty() && wrote_value_; }
+
+ private:
+  enum class Scope : uint8_t { kObject, kArray };
+  struct Frame {
+    Scope scope;
+    bool has_elements = false;
+  };
+
+  // Comma/placement bookkeeping before a value (or an object key).
+  void BeforeValue();
+  void WriteEscaped(std::string_view s);
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  bool pending_name_ = false;  // a Name() awaits its value
+  bool wrote_value_ = false;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_COMMON_JSON_WRITER_H_

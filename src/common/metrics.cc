@@ -1,0 +1,181 @@
+#include "common/metrics.h"
+
+#include <utility>
+
+#include "common/json_writer.h"
+#include "common/logging.h"
+
+namespace netcache {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+void MetricsRegistry::Add(const std::string& name, Metric metric) {
+  NC_CHECK(!name.empty()) << "metric name must not be empty";
+  auto [it, inserted] = metrics_.emplace(name, std::move(metric));
+  NC_CHECK(inserted) << "duplicate metric name '" << name << "'";
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, const uint64_t* cell, Labels labels) {
+  NC_CHECK(cell != nullptr);
+  AddCounter(
+      name, [cell] { return static_cast<double>(*cell); }, std::move(labels));
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, Source source, Labels labels) {
+  NC_CHECK(source != nullptr);
+  Add(name, Metric{MetricKind::kCounter, std::move(source), nullptr, std::move(labels)});
+}
+
+void MetricsRegistry::AddGauge(const std::string& name, Source source, Labels labels) {
+  NC_CHECK(source != nullptr);
+  Add(name, Metric{MetricKind::kGauge, std::move(source), nullptr, std::move(labels)});
+}
+
+void MetricsRegistry::AddHistogram(const std::string& name, const Histogram* histogram,
+                                   Labels labels) {
+  NC_CHECK(histogram != nullptr);
+  Add(name, Metric{MetricKind::kHistogram, nullptr, histogram, std::move(labels)});
+}
+
+const MetricsRegistry::Labels* MetricsRegistry::LabelsOf(const std::string& name) const {
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : &it->second.labels;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, metric] : metrics_) {  // std::map: sorted by name
+    Sample s;
+    s.name = name;
+    s.kind = metric.kind;
+    if (metric.kind == MetricKind::kHistogram) {
+      s.value = static_cast<double>(metric.histogram->count());
+      s.histogram = metric.histogram;
+    } else {
+      s.value = metric.source();
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& w) const {
+  for (const auto& [name, metric] : metrics_) {
+    w.Name(name);
+    w.BeginObject();
+    w.Field("kind", MetricKindName(metric.kind));
+    if (!metric.labels.empty()) {
+      w.Name("labels");
+      w.BeginObject();
+      for (const auto& [k, v] : metric.labels) {
+        w.Field(k, v);
+      }
+      w.EndObject();
+    }
+    if (metric.kind == MetricKind::kHistogram) {
+      metric.histogram->WriteJson(w);
+    } else {
+      w.Field("value", metric.source());
+    }
+    w.EndObject();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsPoller
+// ---------------------------------------------------------------------------
+
+MetricsPoller::MetricsPoller(ScheduleFn schedule, ClockFn clock,
+                             const MetricsRegistry* registry, SimDuration interval)
+    : schedule_(std::move(schedule)),
+      clock_(std::move(clock)),
+      registry_(registry),
+      interval_(interval) {
+  NC_CHECK(schedule_ != nullptr);
+  NC_CHECK(clock_ != nullptr);
+  NC_CHECK(registry_ != nullptr);
+  NC_CHECK(interval_ > 0) << "poll interval must be positive";
+}
+
+void MetricsPoller::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  uint64_t generation = ++generation_;
+  // Baseline reading so the first bin holds the delta over the first
+  // interval, not totals accumulated before Start().
+  last_.clear();
+  for (const MetricsRegistry::Sample& s : registry_->Snapshot()) {
+    if (s.kind != MetricKind::kGauge) {
+      last_[s.name] = s.value;
+    }
+  }
+  schedule_(interval_, [this, generation] {
+    if (running_ && generation == generation_) {
+      Sample();
+    }
+  });
+}
+
+void MetricsPoller::Stop() { running_ = false; }
+
+void MetricsPoller::Sample() {
+  SimTime now = clock_();
+  // Attribute this interval's activity to the window that just elapsed,
+  // [now - interval, now): a sample taken at exactly k*interval fills bin
+  // k-1.
+  SimTime window_start = now >= interval_ ? now - interval_ : 0;
+  for (const MetricsRegistry::Sample& s : registry_->Snapshot()) {
+    double amount;
+    if (s.kind == MetricKind::kGauge) {
+      amount = s.value;
+    } else {
+      double prev = 0.0;
+      auto it = last_.find(s.name);
+      if (it != last_.end()) {
+        prev = it->second;
+      }
+      amount = s.value - prev;
+      last_[s.name] = s.value;
+    }
+    auto [series_it, _] = series_.try_emplace(s.name, interval_);
+    series_it->second.Add(window_start, amount);
+  }
+  ++samples_taken_;
+  uint64_t generation = generation_;
+  schedule_(interval_, [this, generation] {
+    if (running_ && generation == generation_) {
+      Sample();
+    }
+  });
+}
+
+const TimeSeries* MetricsPoller::SeriesFor(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+void MetricsPoller::WriteJson(JsonWriter& w) const {
+  for (const auto& [name, series] : series_) {
+    w.Name(name);
+    series.WriteJson(w);
+  }
+}
+
+}  // namespace netcache

@@ -1,0 +1,159 @@
+// Unified metrics registry for every component in the rack.
+//
+// The repo's telemetry used to live in five unrelated structs
+// (SwitchCounters, ServerStats, ClientStats, ControllerStats,
+// QueryStatistics::Counters) that each experiment harvested by hand. The
+// registry gives them one namespace: components register named,
+// label-tagged counters, gauges and histograms once at construction, and any
+// experiment can then snapshot the whole rack or serialize it to JSON
+// without knowing which struct a number lives in.
+//
+//   registry.AddCounter("switch.cache_hits", &counters_.cache_hits);
+//   registry.AddGauge("server[3].queue_depth", [this] { return QueueDepth(); },
+//                     {{"server", "3"}});
+//   registry.AddHistogram("client[0].latency", &latency_);
+//
+// Metrics are *pull-based*: registration stores a source callback (or a
+// pointer to the live cell), so the hot paths keep bumping their existing
+// struct fields at zero extra cost and the registry only reads them at
+// snapshot time. Names must be unique; snapshots and JSON output are sorted
+// by name, which makes them deterministic for a deterministic simulation.
+//
+// MetricsPoller turns the registry into Fig-11-style dynamics for free: it
+// schedules itself on the Simulator every `interval` of simulated time and
+// bins each counter's delta (and each gauge's sampled value) into a
+// per-metric TimeSeries.
+
+#ifndef NETCACHE_COMMON_METRICS_H_
+#define NETCACHE_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/time_units.h"
+#include "common/timeseries.h"
+
+namespace netcache {
+
+class JsonWriter;
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+const char* MetricKindName(MetricKind kind);
+
+class MetricsRegistry {
+ public:
+  using Labels = std::map<std::string, std::string>;
+  using Source = std::function<double()>;
+
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Counters are monotonically non-decreasing totals. The pointer overload
+  // reads a live struct field; the cell must outlive the registry's use.
+  void AddCounter(const std::string& name, const uint64_t* cell, Labels labels = {});
+  void AddCounter(const std::string& name, Source source, Labels labels = {});
+
+  // Gauges are instantaneous values (queue depth, cache size, sample rate).
+  void AddGauge(const std::string& name, Source source, Labels labels = {});
+
+  // Histograms export their full summary (count/min/max/mean/quantiles).
+  void AddHistogram(const std::string& name, const Histogram* histogram, Labels labels = {});
+
+  bool Contains(const std::string& name) const { return metrics_.count(name) != 0; }
+  size_t size() const { return metrics_.size(); }
+  const Labels* LabelsOf(const std::string& name) const;
+
+  struct Sample {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    // Counter/gauge: the value. Histogram: the observation count.
+    double value = 0.0;
+    const Histogram* histogram = nullptr;  // kHistogram only
+  };
+
+  // Reads every metric once; samples are sorted by name.
+  std::vector<Sample> Snapshot() const;
+
+  // Serializes every metric as one JSON object value keyed by name:
+  //   "switch.cache_hits": {"kind":"counter","value":123}
+  //   "client[0].latency": {"kind":"histogram","count":...,"p99":...}
+  // Written inside an object the caller opened.
+  void WriteJson(JsonWriter& w) const;
+
+ private:
+  struct Metric {
+    MetricKind kind;
+    Source source;                         // counter/gauge
+    const Histogram* histogram = nullptr;  // histogram
+    Labels labels;
+  };
+
+  void Add(const std::string& name, Metric metric);
+
+  std::map<std::string, Metric> metrics_;
+};
+
+// Samples a MetricsRegistry on the simulator clock into per-metric
+// TimeSeries bins. Counters (and histogram counts) are recorded as deltas
+// per interval; gauges as the value observed at the end of the interval. Bin
+// i of every series covers simulated time [i*interval, (i+1)*interval).
+class MetricsPoller {
+ public:
+  // The poller lives below net/ in the layering, so it takes the simulator
+  // through two callbacks instead of a Simulator* ...
+  using ScheduleFn = std::function<void(SimDuration delay, std::function<void()> fn)>;
+  using ClockFn = std::function<SimTime()>;
+
+  MetricsPoller(ScheduleFn schedule, ClockFn clock, const MetricsRegistry* registry,
+                SimDuration interval);
+
+  // ... and this duck-typed convenience constructor accepts any engine with
+  // Schedule(delay, fn) and Now() — i.e. the Simulator — without an include.
+  template <typename Sim>
+  MetricsPoller(Sim* sim, const MetricsRegistry* registry, SimDuration interval)
+      : MetricsPoller(
+            [sim](SimDuration delay, std::function<void()> fn) {
+              sim->Schedule(delay, std::move(fn));
+            },
+            [sim] { return sim->Now(); }, registry, interval) {}
+
+  // Schedules the first sample `interval` from now. Sampling continues
+  // until Stop() (each sample re-arms the next one).
+  void Start();
+  void Stop();
+
+  SimDuration interval() const { return interval_; }
+  size_t samples_taken() const { return samples_taken_; }
+
+  // nullptr until the metric has been sampled at least once.
+  const TimeSeries* SeriesFor(const std::string& name) const;
+  const std::map<std::string, TimeSeries>& series() const { return series_; }
+
+  // Serializes all series as one JSON object value keyed by metric name:
+  //   "switch.cache_hits": {"bin_width_ns":..., "bins":[...]}
+  void WriteJson(JsonWriter& w) const;
+
+ private:
+  void Sample();
+
+  ScheduleFn schedule_;
+  ClockFn clock_;
+  const MetricsRegistry* registry_;
+  SimDuration interval_;
+  bool running_ = false;
+  uint64_t generation_ = 0;  // invalidates scheduled samples after Stop()
+  size_t samples_taken_ = 0;
+  std::map<std::string, double> last_;  // previous reading, for deltas
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_COMMON_METRICS_H_

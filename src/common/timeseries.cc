@@ -1,5 +1,9 @@
 #include "common/timeseries.h"
 
+#include <ostream>
+
+#include "common/json_writer.h"
+
 namespace netcache {
 
 TimeSeries::TimeSeries(uint64_t bin_width) : bin_width_(bin_width) {}
@@ -28,6 +32,25 @@ std::vector<double> TimeSeries::Aggregate(size_t factor) const {
     out[i / factor] += bins_[i];
   }
   return out;
+}
+
+void TimeSeries::WriteCsv(std::ostream& out) const {
+  out << "bin,start_ns,sum\n";
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    out << i << ',' << static_cast<uint64_t>(i) * bin_width_ << ',' << bins_[i] << '\n';
+  }
+}
+
+void TimeSeries::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Field("bin_width_ns", bin_width_);
+  w.Name("bins");
+  w.BeginArray();
+  for (double b : bins_) {
+    w.Double(b);
+  }
+  w.EndArray();
+  w.EndObject();
 }
 
 }  // namespace netcache

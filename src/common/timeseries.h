@@ -9,9 +9,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 namespace netcache {
+
+class JsonWriter;
 
 class TimeSeries {
  public:
@@ -31,7 +34,14 @@ class TimeSeries {
   double BinRate(size_t i) const;
 
   // Aggregates `factor` consecutive bins into one; returns the coarser sums.
+  // A trailing partial group keeps its (partial) sum, so no bins are lost.
   std::vector<double> Aggregate(size_t factor) const;
+
+  // Writes "bin,start_ns,sum" rows (with a header line), one per bin.
+  void WriteCsv(std::ostream& out) const;
+
+  // Writes {"bin_width_ns":..., "bins":[...]} as one JSON value.
+  void WriteJson(JsonWriter& w) const;
 
   uint64_t bin_width() const { return bin_width_; }
 

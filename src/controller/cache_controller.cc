@@ -286,4 +286,25 @@ void CacheController::TrackEvict(const Key& key) {
   cached_keys_.pop_back();
 }
 
+void CacheController::RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
+                                      MetricsRegistry::Labels labels) const {
+  const ControllerStats& s = stats_;
+  registry.AddCounter(prefix + ".reports_received", &s.reports_received, labels);
+  registry.AddCounter(prefix + ".reports_ignored", &s.reports_ignored, labels);
+  registry.AddCounter(prefix + ".insertions", &s.insertions, labels);
+  registry.AddCounter(prefix + ".insertion_failures", &s.insertion_failures, labels);
+  registry.AddCounter(prefix + ".evictions", &s.evictions, labels);
+  registry.AddCounter(prefix + ".defrag_moves", &s.defrag_moves, labels);
+  registry.AddCounter(prefix + ".epochs", &s.epochs, labels);
+  registry.AddCounter(prefix + ".reject_reinserts", &s.reject_reinserts, labels);
+  registry.AddCounter(prefix + ".dirty_flushes", &s.dirty_flushes, labels);
+  registry.AddCounter(prefix + ".threshold_raises", &s.threshold_raises, labels);
+  registry.AddCounter(prefix + ".threshold_drops", &s.threshold_drops, labels);
+  registry.AddGauge(
+      prefix + ".cached_keys", [this] { return static_cast<double>(cached_keys_.size()); },
+      labels);
+  registry.AddGauge(
+      prefix + ".work_queue", [this] { return static_cast<double>(work_.size()); }, labels);
+}
+
 }  // namespace netcache

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/time_units.h"
 #include "dataplane/netcache_switch.h"
@@ -109,6 +110,11 @@ class CacheController {
   size_t NumCached() const { return cached_keys_.size(); }
   const ControllerStats& stats() const { return stats_; }
   const ControllerConfig& config() const { return config_; }
+
+  // Registers every ControllerStats field plus cached-set and work-queue
+  // gauges under `prefix` (e.g. "controller.insertions").
+  void RegisterMetrics(MetricsRegistry& registry, const std::string& prefix = "controller",
+                       MetricsRegistry::Labels labels = {}) const;
 
  private:
   struct Candidate {

@@ -56,6 +56,22 @@ Rack::Rack(const RackConfig& config)
       controller_->RegisterServer(server_ip(i), servers_[i].get());
     }
   }
+
+  // One namespace for the whole rack's telemetry.
+  tor_->RegisterMetrics(metrics_, "switch", {{"component", "switch"}});
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    std::string index = std::to_string(i);
+    servers_[i]->RegisterMetrics(metrics_, "server[" + index + "]",
+                                 {{"component", "server"}, {"index", index}});
+  }
+  for (size_t j = 0; j < clients_.size(); ++j) {
+    std::string index = std::to_string(j);
+    clients_[j]->RegisterMetrics(metrics_, "client[" + index + "]",
+                                 {{"component", "client"}, {"index", index}});
+  }
+  if (controller_ != nullptr) {
+    controller_->RegisterMetrics(metrics_, "controller", {{"component", "controller"}});
+  }
 }
 
 IpAddress Rack::server_ip(size_t i) const {

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "client/client.h"
+#include "common/metrics.h"
 #include "controller/cache_controller.h"
 #include "dataplane/netcache_switch.h"
 #include "net/link.h"
@@ -58,6 +59,13 @@ class Rack {
   void StartController();
 
   Simulator& sim() { return sim_; }
+
+  // Every component's telemetry under one namespace, wired at construction:
+  // "switch.*", "server[i].*", "client[j].*", and (cache_enabled only)
+  // "controller.*". Attach a MetricsPoller for Fig-11-style dynamics.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
   NetCacheSwitch& tor() { return *tor_; }
   StorageServer& server(size_t i) { return *servers_[i]; }
   Client& client(size_t i) { return *clients_[i]; }
@@ -77,6 +85,7 @@ class Rack {
  private:
   RackConfig config_;
   Simulator sim_;
+  MetricsRegistry metrics_;
   HashPartitioner partitioner_;
   std::unique_ptr<NetCacheSwitch> tor_;
   std::vector<std::unique_ptr<StorageServer>> servers_;

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.h"
+#include "common/trace_recorder.h"
 
 namespace netcache {
 
@@ -124,6 +125,10 @@ void NetCacheSwitch::ProcessRead(Packet& pkt, std::vector<Emit>& out) {
   if (action != nullptr && status_.Read(action->key_index) != 0) {
     // Cache hit on a valid entry: serve from the egress pipe's value stages.
     ++counters_.cache_hits;
+    if (TraceEnabled()) {
+      TraceSpan(TraceEvent::kSwitchHit, TraceQueryId(pkt), sim_ != nullptr ? sim_->Now() : 0,
+                config_.switch_ip);
+    }
     stats_.OnCachedRead(action->key_index);  // Alg 1 line 5
     ++pipe_value_reads_[action->pipe];
 
@@ -145,6 +150,10 @@ void NetCacheSwitch::ProcessRead(Packet& pkt, std::vector<Emit>& out) {
     ++counters_.cache_invalid;
   } else {
     ++counters_.cache_misses;
+  }
+  if (TraceEnabled()) {
+    TraceSpan(action != nullptr ? TraceEvent::kSwitchInvalid : TraceEvent::kSwitchMiss,
+              TraceQueryId(pkt), sim_ != nullptr ? sim_->Now() : 0, config_.switch_ip);
   }
   if (stats_.OnUncachedRead(pkt.nc.key)) {  // Alg 1 lines 7-9
     ++counters_.hot_reports;
@@ -169,6 +178,10 @@ void NetCacheSwitch::ProcessWrite(Packet& pkt, std::vector<Emit>& out) {
     status_.Write(action->key_index, 1);
     dirty_.Write(action->key_index, 1);
     ++counters_.write_back_hits;
+    if (TraceEnabled()) {
+      TraceSpan(TraceEvent::kSwitchWriteBack, TraceQueryId(pkt),
+                sim_ != nullptr ? sim_->Now() : 0, config_.switch_ip);
+    }
     pkt.nc.op = OpCode::kPutReply;
     pkt.nc.has_value = false;
     pkt.nc.value = Value{};
@@ -471,6 +484,33 @@ void NetCacheSwitch::ClearCache() {
     NC_CHECK(EvictCacheEntry(key).ok());
   }
   stats_.ResetEpoch();
+}
+
+void NetCacheSwitch::RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
+                                     MetricsRegistry::Labels labels) const {
+  const SwitchCounters& c = counters_;
+  registry.AddCounter(prefix + ".packets", &c.packets, labels);
+  registry.AddCounter(prefix + ".netcache_queries", &c.netcache_queries, labels);
+  registry.AddCounter(prefix + ".reads", &c.reads, labels);
+  registry.AddCounter(prefix + ".writes", &c.writes, labels);
+  registry.AddCounter(prefix + ".cache_hits", &c.cache_hits, labels);
+  registry.AddCounter(prefix + ".cache_invalid", &c.cache_invalid, labels);
+  registry.AddCounter(prefix + ".cache_misses", &c.cache_misses, labels);
+  registry.AddCounter(prefix + ".invalidations", &c.invalidations, labels);
+  registry.AddCounter(prefix + ".cache_updates", &c.cache_updates, labels);
+  registry.AddCounter(prefix + ".update_rejects", &c.update_rejects, labels);
+  registry.AddCounter(prefix + ".write_back_hits", &c.write_back_hits, labels);
+  registry.AddCounter(prefix + ".hot_reports", &c.hot_reports, labels);
+  registry.AddCounter(prefix + ".forwarded", &c.forwarded, labels);
+  registry.AddCounter(prefix + ".unroutable", &c.unroutable, labels);
+  registry.AddCounter(prefix + ".ttl_drops", &c.ttl_drops, labels);
+  registry.AddCounter(prefix + ".pipe_overload_drops", &c.pipe_overload_drops, labels);
+  registry.AddGauge(
+      prefix + ".cache_size", [this] { return static_cast<double>(lookup_.size()); }, labels);
+  registry.AddGauge(
+      prefix + ".cache_capacity",
+      [this] { return static_cast<double>(config_.cache_capacity); }, labels);
+  stats_.RegisterMetrics(registry, prefix + ".stats", labels);
 }
 
 ResourceReport NetCacheSwitch::Resources() const {

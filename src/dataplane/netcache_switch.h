@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/time_units.h"
 #include "dataplane/match_table.h"
@@ -173,6 +174,12 @@ class NetCacheSwitch : public Node {
   const SwitchConfig& config() const { return config_; }
   const SwitchCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = SwitchCounters{}; }
+
+  // Registers every SwitchCounters field, cache occupancy gauges, and the
+  // query-statistics module under `prefix` ("switch.cache_hits", ...). The
+  // switch must outlive any registry snapshot.
+  void RegisterMetrics(MetricsRegistry& registry, const std::string& prefix = "switch",
+                       MetricsRegistry::Labels labels = {}) const;
   uint64_t pipe_value_reads(size_t pipe) const { return pipe_value_reads_[pipe]; }
 
   ResourceReport Resources() const;

@@ -50,4 +50,16 @@ void QueryStatistics::ResetEpoch() {
   hh_.Reset();
 }
 
+void QueryStatistics::RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
+                                      MetricsRegistry::Labels labels) const {
+  registry.AddCounter(prefix + ".sampled", &activity_.sampled, labels);
+  registry.AddCounter(prefix + ".skipped", &activity_.skipped, labels);
+  registry.AddCounter(prefix + ".reports", &activity_.reports, labels);
+  registry.AddGauge(
+      prefix + ".sample_rate", [this] { return sample_rate_; }, labels);
+  registry.AddGauge(
+      prefix + ".hot_threshold", [this] { return static_cast<double>(hh_.hot_threshold()); },
+      labels);
+}
+
 }  // namespace netcache

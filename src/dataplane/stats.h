@@ -13,7 +13,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "sketch/counter_array.h"
 #include "sketch/heavy_hitter.h"
@@ -60,6 +62,12 @@ class QueryStatistics {
     uint64_t reports = 0;
   };
   const Counters& activity() const { return activity_; }
+
+  // Registers the module's activity counters and tuning knobs under
+  // `prefix` (e.g. "switch.stats.sampled"). `this` must outlive `registry`
+  // use; counters survive ResetEpoch() (they are totals, not epoch values).
+  void RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
+                       MetricsRegistry::Labels labels = {}) const;
 
  private:
   bool Sampled();

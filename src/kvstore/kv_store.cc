@@ -25,4 +25,14 @@ Status KvStore::Delete(const Key& key) {
   return Status::Ok();
 }
 
+void KvStore::RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
+                              MetricsRegistry::Labels labels) const {
+  registry.AddCounter(prefix + ".gets", &stats_.gets, labels);
+  registry.AddCounter(prefix + ".hits", &stats_.hits, labels);
+  registry.AddCounter(prefix + ".puts", &stats_.puts, labels);
+  registry.AddCounter(prefix + ".deletes", &stats_.deletes, labels);
+  registry.AddGauge(
+      prefix + ".items", [this] { return static_cast<double>(table_.size()); }, labels);
+}
+
 }  // namespace netcache

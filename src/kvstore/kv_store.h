@@ -7,7 +7,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "kvstore/hash_table.h"
 #include "proto/key.h"
@@ -45,6 +47,11 @@ class KvStore {
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
+
+  // Registers the operation counters and item count under `prefix`
+  // (e.g. "server[3].kv.gets").
+  void RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
+                       MetricsRegistry::Labels labels = {}) const;
 
  private:
   HashDyn<Key, Value, KeyHasher> table_;

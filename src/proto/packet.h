@@ -117,6 +117,14 @@ struct Packet {
 std::vector<uint8_t> SerializePacket(const Packet& pkt);
 Result<Packet> ParsePacket(const std::vector<uint8_t>& bytes);
 
+// Stable per-query trace id, computable at every hop from the packet alone:
+// the issuing client's address and its sequence number. Requests carry the
+// client in ip.src; replies (post address-swap) carry it in ip.dst.
+inline uint64_t TraceQueryId(const Packet& pkt) {
+  IpAddress client = IsReplyOp(pkt.nc.op) ? pkt.ip.dst : pkt.ip.src;
+  return (static_cast<uint64_t>(client) << 32) | pkt.nc.seq;
+}
+
 // Convenience constructors.
 Packet MakeGet(IpAddress client, IpAddress server, const Key& key, uint32_t seq);
 Packet MakePut(IpAddress client, IpAddress server, const Key& key, const Value& value,

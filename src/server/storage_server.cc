@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/trace_recorder.h"
 
 namespace netcache {
 
@@ -69,6 +70,10 @@ void StorageServer::EnqueueOrDrop(const Packet& pkt, bool front) {
   Core& core = cores_[core_index];
   if (core.queue.size() >= config_.queue_capacity / config_.num_cores + 1) {
     ++stats_.dropped;
+    if (TraceEnabled()) {
+      TraceSpan(TraceEvent::kServerDrop, TraceQueryId(pkt), sim_->Now(), config_.ip,
+                core.queue.size());
+    }
     return;
   }
   if (front) {
@@ -87,6 +92,10 @@ void StorageServer::StartNextIfIdle(size_t core_index) {
   core.busy = true;
   Packet pkt = core.queue.front();
   core.queue.pop_front();
+  if (TraceEnabled()) {
+    TraceSpan(TraceEvent::kServerDequeue, TraceQueryId(pkt), sim_->Now(), config_.ip,
+              core_index);
+  }
   sim_->Schedule(ServiceTime(), [this, core_index, pkt = std::move(pkt)] {
     Process(pkt);
     Core& done = cores_[core_index];
@@ -97,6 +106,10 @@ void StorageServer::StartNextIfIdle(size_t core_index) {
 }
 
 void StorageServer::Process(const Packet& pkt) {
+  if (TraceEnabled()) {
+    TraceSpan(TraceEvent::kServerExecute, TraceQueryId(pkt), sim_->Now(), config_.ip,
+              static_cast<uint64_t>(pkt.nc.op));
+  }
   switch (pkt.nc.op) {
     case OpCode::kGet:
       ProcessRead(pkt);
@@ -125,6 +138,10 @@ void StorageServer::ProcessRead(const Packet& pkt) {
     ++stats_.read_misses;
     reply.nc.has_value = false;
     reply.nc.value = Value{};
+  }
+  if (TraceEnabled()) {
+    TraceSpan(TraceEvent::kServerReply, TraceQueryId(reply), sim_->Now(), config_.ip,
+              static_cast<uint64_t>(reply.nc.op));
   }
   Send(0, reply);
 }
@@ -167,6 +184,10 @@ void StorageServer::ProcessWrite(const Packet& pkt) {
   // The paper's design: reply as soon as the local write completes; the
   // switch refresh happens asynchronously (§4.3: lower write latency than
   // standard write-through).
+  if (TraceEnabled()) {
+    TraceSpan(TraceEvent::kServerReply, TraceQueryId(reply), sim_->Now(), config_.ip,
+              static_cast<uint64_t>(reply.nc.op));
+  }
   Send(0, reply);
   if (is_cached && config_.coherence == CoherenceMode::kWriteThroughAsync) {
     BeginCacheUpdate(key, pkt.nc.value, /*has_value=*/!is_delete, nullptr);
@@ -230,6 +251,10 @@ void StorageServer::HandleUpdateAck(const Packet& pkt) {
   }
   ++stats_.cache_update_acks;
   if (it->second.has_held_reply) {
+    if (TraceEnabled()) {
+      TraceSpan(TraceEvent::kServerReply, TraceQueryId(it->second.held_reply), sim_->Now(),
+                config_.ip, static_cast<uint64_t>(it->second.held_reply.nc.op));
+    }
     Send(0, it->second.held_reply);  // sync write-through: reply only now
   }
   pending_updates_.erase(it);
@@ -254,6 +279,26 @@ void StorageServer::HandleUpdateReject(const Packet& pkt) {
   if (update_reject_ && had_value) {
     update_reject_(pkt.nc.key, value);
   }
+}
+
+void StorageServer::RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
+                                    MetricsRegistry::Labels labels) const {
+  const ServerStats& s = stats_;
+  registry.AddCounter(prefix + ".received", &s.received, labels);
+  registry.AddCounter(prefix + ".dropped", &s.dropped, labels);
+  registry.AddCounter(prefix + ".reads", &s.reads, labels);
+  registry.AddCounter(prefix + ".read_misses", &s.read_misses, labels);
+  registry.AddCounter(prefix + ".writes", &s.writes, labels);
+  registry.AddCounter(prefix + ".deferred_writes", &s.deferred_writes, labels);
+  registry.AddCounter(prefix + ".cache_updates_sent", &s.cache_updates_sent, labels);
+  registry.AddCounter(prefix + ".cache_update_acks", &s.cache_update_acks, labels);
+  registry.AddCounter(prefix + ".cache_update_rejects", &s.cache_update_rejects, labels);
+  registry.AddCounter(prefix + ".cache_update_retries", &s.cache_update_retries, labels);
+  registry.AddGauge(
+      prefix + ".queue_depth", [this] { return static_cast<double>(QueueDepth()); }, labels);
+  registry.AddGauge(
+      prefix + ".online", [this] { return online_ ? 1.0 : 0.0; }, labels);
+  store_.RegisterMetrics(registry, prefix + ".kv", labels);
 }
 
 void StorageServer::BlockWrites(const Key& key) { ++blocked_[key].refs; }

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "common/time_units.h"
 #include "kvstore/kv_store.h"
@@ -114,6 +115,11 @@ class StorageServer : public Node {
   const ServerConfig& config() const { return config_; }
   const ServerStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ServerStats{}; }
+
+  // Registers every ServerStats field, the live queue depth, and the
+  // underlying KV store under `prefix` (e.g. "server[3].queue_depth").
+  void RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
+                       MetricsRegistry::Labels labels = {}) const;
   size_t QueueDepth() const;
   size_t CoreOf(const Key& key) const;
   uint64_t core_processed(size_t core) const { return cores_[core].processed; }

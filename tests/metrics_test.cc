@@ -1,0 +1,318 @@
+// Tests for the unified observability layer: JsonWriter, MetricsRegistry,
+// MetricsPoller, and the Histogram/TimeSeries export hooks it builds on.
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "common/json_writer.h"
+#include "common/metrics.h"
+#include "common/timeseries.h"
+#include "core/rack.h"
+#include "workload/generator.h"
+
+namespace netcache {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JsonWriter
+
+TEST(JsonWriterTest, NestedContainersAndFieldTypes) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Field("s", "text");
+  w.Field("i", int64_t{-3});
+  w.Field("u", uint64_t{18446744073709551615ull});
+  w.Field("d", 1.5);
+  w.Field("b", true);
+  w.Name("arr");
+  w.BeginArray();
+  w.Int(1);
+  w.Null();
+  w.BeginObject();
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_TRUE(w.Done());
+  EXPECT_EQ(out.str(),
+            "{\"s\":\"text\",\"i\":-3,\"u\":18446744073709551615,"
+            "\"d\":1.5,\"b\":true,\"arr\":[1,null,{}]}");
+}
+
+TEST(JsonWriterTest, EscapesControlCharactersAndQuotes) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.String("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(out.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(out.str(), "[null,null]");
+}
+
+TEST(JsonWriterTest, DoubleFormattingIsShortestRoundTrip) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginArray();
+  w.Double(0.1);
+  w.Double(3.0);
+  w.EndArray();
+  EXPECT_EQ(out.str(), "[0.1,3]");
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, RegistersAllKindsWithLabels) {
+  MetricsRegistry registry;
+  uint64_t hits = 7;
+  Histogram lat;
+  lat.Record(100);
+  registry.AddCounter("switch.cache_hits", &hits, {{"component", "switch"}});
+  registry.AddGauge("server[3].queue_depth", [] { return 2.0; },
+                    {{"component", "server"}, {"index", "3"}});
+  registry.AddHistogram("client[0].latency", &lat);
+
+  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_TRUE(registry.Contains("switch.cache_hits"));
+  EXPECT_FALSE(registry.Contains("switch.cache_misses"));
+  const MetricsRegistry::Labels* labels = registry.LabelsOf("server[3].queue_depth");
+  ASSERT_NE(labels, nullptr);
+  EXPECT_EQ(labels->at("index"), "3");
+  EXPECT_EQ(registry.LabelsOf("no.such.metric"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndReadsLiveCells) {
+  MetricsRegistry registry;
+  uint64_t c = 1;
+  registry.AddCounter("zz.last", &c);
+  registry.AddGauge("aa.first", [] { return 4.5; });
+
+  std::vector<MetricsRegistry::Sample> snap = registry.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "aa.first");
+  EXPECT_EQ(snap[0].kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(snap[0].value, 4.5);
+  EXPECT_EQ(snap[1].name, "zz.last");
+  EXPECT_DOUBLE_EQ(snap[1].value, 1.0);
+
+  c = 42;  // pull-based: the registry reads the live cell at snapshot time
+  EXPECT_DOUBLE_EQ(registry.Snapshot()[1].value, 42.0);
+}
+
+TEST(MetricsRegistryTest, DuplicateNameDies) {
+  MetricsRegistry registry;
+  uint64_t c = 0;
+  registry.AddCounter("dup", &c);
+  EXPECT_DEATH(registry.AddCounter("dup", &c), "duplicate metric name");
+}
+
+TEST(MetricsRegistryTest, WriteJsonIsDeterministic) {
+  MetricsRegistry registry;
+  uint64_t hits = 60365;
+  Histogram lat;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    lat.Record(v * 10);
+  }
+  registry.AddCounter("switch.cache_hits", &hits, {{"component", "switch"}});
+  registry.AddGauge("switch.cache_size", [] { return 12.0; });
+  registry.AddHistogram("client[0].latency", &lat);
+
+  auto dump = [&registry] {
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.BeginObject();
+    registry.WriteJson(w);
+    w.EndObject();
+    EXPECT_TRUE(w.Done());
+    return out.str();
+  };
+  std::string first = dump();
+  EXPECT_EQ(first, dump());  // byte-identical across snapshots
+  EXPECT_NE(first.find("\"switch.cache_hits\":{\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(first.find("\"labels\":{\"component\":\"switch\"}"), std::string::npos);
+  EXPECT_NE(first.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(first.find("\"p99\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram satellites
+
+TEST(HistogramTest, QuantilesBatchMatchesIndividualQueries) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Record(v);
+  }
+  std::vector<double> qs = {0.999, 0.5, 0.0, 0.9, 1.0, 0.99};  // deliberately unsorted
+  std::vector<uint64_t> batch = h.Quantiles(qs);
+  ASSERT_EQ(batch.size(), qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(batch[i], h.Quantile(qs[i])) << "q=" << qs[i];
+  }
+}
+
+TEST(HistogramTest, QuantileClampsOutOfRange) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.Quantile(-0.5), h.Quantile(0.0));
+  EXPECT_EQ(h.Quantile(2.0), h.Quantile(1.0));
+  std::vector<uint64_t> batch = h.Quantiles({-1.0, 0.0, 1.0, 5.0});
+  EXPECT_EQ(batch[0], batch[1]);
+  EXPECT_EQ(batch[2], batch[3]);
+}
+
+TEST(HistogramTest, QuantilesOnEmptyHistogramAreZero) {
+  Histogram h;
+  for (uint64_t q : h.Quantiles({0.0, 0.5, 1.0})) {
+    EXPECT_EQ(q, 0u);
+  }
+}
+
+TEST(HistogramTest, WriteJsonHasSummaryFields) {
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObject();
+  h.WriteJson(w);
+  w.EndObject();
+  std::string json = out.str();
+  for (const char* field :
+       {"\"count\":2", "\"min\":100", "\"max\":200", "\"mean\":150", "\"p50\":",
+        "\"p90\":", "\"p99\":", "\"p999\":"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field << " missing in " << json;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeries satellites
+
+TEST(TimeSeriesTest, WriteCsvEmitsHeaderAndRows) {
+  TimeSeries ts(100);
+  ts.Add(0, 1.5);
+  ts.Add(250, 3.0);
+  std::ostringstream out;
+  ts.WriteCsv(out);
+  EXPECT_EQ(out.str(),
+            "bin,start_ns,sum\n"
+            "0,0,1.5\n"
+            "1,100,0\n"
+            "2,200,3\n");
+}
+
+// Regression: Aggregate used to be at risk of dropping a trailing partial
+// group when NumBins() is not a multiple of the factor.
+TEST(TimeSeriesTest, AggregateKeepsPartialTailGroup) {
+  TimeSeries ts(10);
+  for (size_t bin = 0; bin < 5; ++bin) {
+    ts.Add(bin * 10, static_cast<double>(bin + 1));  // sums 1..5
+  }
+  ASSERT_EQ(ts.NumBins(), 5u);
+  std::vector<double> coarse = ts.Aggregate(2);
+  ASSERT_EQ(coarse.size(), 3u);  // 2 full groups + the partial tail
+  EXPECT_DOUBLE_EQ(coarse[0], 1 + 2);
+  EXPECT_DOUBLE_EQ(coarse[1], 3 + 4);
+  EXPECT_DOUBLE_EQ(coarse[2], 5);  // tail bin must not be dropped
+}
+
+// ---------------------------------------------------------------------------
+// MetricsPoller against a live rack
+
+RackConfig TestRack() {
+  RackConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_clients = 1;
+  cfg.switch_config.num_pipes = 1;
+  cfg.switch_config.cache_capacity = 1024;
+  cfg.switch_config.indexes_per_pipe = 1024;
+  cfg.switch_config.stats.counter_slots = 1024;
+  cfg.switch_config.stats.hh.sketch_width = 4096;
+  cfg.switch_config.stats.hh.bloom_bits = 8192;
+  cfg.switch_config.stats.hh.hot_threshold = 32;
+  cfg.controller_config.cache_capacity = 64;
+  cfg.server_template.service_rate_qps = 1e6;
+  return cfg;
+}
+
+TEST(MetricsPollerTest, RackRegistersEveryComponent) {
+  Rack rack(TestRack());
+  const MetricsRegistry& m = rack.metrics();
+  EXPECT_TRUE(m.Contains("switch.cache_hits"));
+  EXPECT_TRUE(m.Contains("switch.stats.sampled"));
+  EXPECT_TRUE(m.Contains("server[0].queue_depth"));
+  EXPECT_TRUE(m.Contains("server[3].kv.gets"));
+  EXPECT_TRUE(m.Contains("client[0].latency"));
+  EXPECT_TRUE(m.Contains("controller.insertions"));
+  const MetricsRegistry::Labels* labels = m.LabelsOf("server[2].received");
+  ASSERT_NE(labels, nullptr);
+  EXPECT_EQ(labels->at("component"), "server");
+  EXPECT_EQ(labels->at("index"), "2");
+}
+
+TEST(MetricsPollerTest, BinsMatchSwitchCounterDeltas) {
+  Rack rack(TestRack());
+  rack.Populate(100, 64);
+  Key hot = Key::FromUint64(7);
+  rack.WarmCache({hot});
+
+  // Five Gets per 10 ms interval for 50 ms: every bin must see exactly the
+  // per-interval delta of switch.cache_hits.
+  for (int i = 0; i < 25; ++i) {
+    rack.sim().Schedule(i * 2 * kMillisecond, [&rack, hot] {
+      rack.client(0).Get(rack.OwnerOf(hot), hot, [](const Status&, const Value&) {});
+    });
+  }
+
+  MetricsPoller poller(&rack.sim(), &rack.metrics(), 10 * kMillisecond);
+  poller.Start();
+  rack.sim().RunUntil(50 * kMillisecond);
+  poller.Stop();
+
+  EXPECT_EQ(poller.samples_taken(), 5u);
+  const TimeSeries* hits = poller.SeriesFor("switch.cache_hits");
+  ASSERT_NE(hits, nullptr);
+  ASSERT_EQ(hits->NumBins(), 5u);
+  double total = 0;
+  for (size_t bin = 0; bin < hits->NumBins(); ++bin) {
+    EXPECT_DOUBLE_EQ(hits->BinSum(bin), 5.0) << "bin " << bin;
+    total += hits->BinSum(bin);
+  }
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(rack.tor().counters().cache_hits));
+
+  // Gauges record sampled values, not deltas: the warmed entry stays cached.
+  const TimeSeries* size = poller.SeriesFor("switch.cache_size");
+  ASSERT_NE(size, nullptr);
+  for (size_t bin = 0; bin < size->NumBins(); ++bin) {
+    EXPECT_DOUBLE_EQ(size->BinSum(bin), 1.0) << "bin " << bin;
+  }
+}
+
+TEST(MetricsPollerTest, StopHaltsSampling) {
+  Rack rack(TestRack());
+  MetricsPoller poller(&rack.sim(), &rack.metrics(), 10 * kMillisecond);
+  poller.Start();
+  rack.sim().RunUntil(25 * kMillisecond);
+  poller.Stop();
+  size_t samples = poller.samples_taken();
+  EXPECT_EQ(samples, 2u);
+  rack.sim().RunUntil(100 * kMillisecond);
+  EXPECT_EQ(poller.samples_taken(), samples);
+}
+
+}  // namespace
+}  // namespace netcache

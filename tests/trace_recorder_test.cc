@@ -1,0 +1,202 @@
+// Tests for packet-lifecycle tracing: the SpanRecord ring buffer, the
+// process-global TraceSpan() hook, JSONL round-tripping, and an end-to-end
+// client -> switch -> server -> client span from a live rack.
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/trace_recorder.h"
+#include "core/rack.h"
+#include "workload/generator.h"
+
+namespace netcache {
+namespace {
+
+SpanRecord R(SimTime t, uint64_t qid, TraceEvent ev) {
+  return SpanRecord{t, qid, ev, /*node=*/1, /*detail=*/0};
+}
+
+TEST(TraceRecorderTest, RecordsUpToCapacityInOrder) {
+  TraceRecorder rec(8);
+  for (uint64_t i = 0; i < 3; ++i) {
+    rec.Record(R(i * 10, i, TraceEvent::kClientSend));
+  }
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.recorded(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  std::vector<SpanRecord> events = rec.Events();
+  ASSERT_EQ(events.size(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(events[i].query_id, i);
+    EXPECT_EQ(events[i].time, static_cast<SimTime>(i * 10));
+  }
+}
+
+TEST(TraceRecorderTest, RingWrapsKeepingNewestOldestFirst) {
+  TraceRecorder rec(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    rec.Record(R(i, i, TraceEvent::kSwitchHit));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  std::vector<SpanRecord> events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // The newest 4 records (qids 6..9), oldest first.
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].query_id, 6 + i);
+  }
+}
+
+TEST(TraceRecorderTest, ZeroCapacityCountsButStoresNothing) {
+  TraceRecorder rec(0);
+  rec.Record(R(1, 1, TraceEvent::kClientSend));
+  rec.Record(R(2, 2, TraceEvent::kClientReply));
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.recorded(), 2u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  EXPECT_TRUE(rec.Events().empty());
+}
+
+TEST(TraceRecorderTest, ClearResetsEverything) {
+  TraceRecorder rec(4);
+  rec.Record(R(1, 1, TraceEvent::kClientSend));
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_TRUE(rec.Events().empty());
+}
+
+TEST(TraceRecorderTest, DisabledModeIsANoOp) {
+  ASSERT_EQ(GetTraceRecorder(), nullptr);
+  EXPECT_FALSE(TraceEnabled());
+  // Must not crash with no recorder installed.
+  TraceSpan(TraceEvent::kClientSend, /*query_id=*/1, /*time=*/0, /*node=*/1);
+
+  TraceRecorder rec(4);
+  TraceRecorder* prev = InstallTraceRecorder(&rec);
+  EXPECT_EQ(prev, nullptr);
+#ifdef NETCACHE_DISABLE_TRACING
+  // Compiled out entirely: even an installed recorder sees nothing.
+  EXPECT_FALSE(TraceEnabled());
+  TraceSpan(TraceEvent::kClientSend, 1, 0, 1);
+  EXPECT_EQ(rec.recorded(), 0u);
+  InstallTraceRecorder(nullptr);
+#else
+  EXPECT_TRUE(TraceEnabled());
+  TraceSpan(TraceEvent::kClientSend, 1, 0, 1);
+  EXPECT_EQ(rec.recorded(), 1u);
+
+  EXPECT_EQ(InstallTraceRecorder(nullptr), &rec);
+  EXPECT_FALSE(TraceEnabled());
+  TraceSpan(TraceEvent::kClientSend, 2, 0, 1);
+  EXPECT_EQ(rec.recorded(), 1u);  // uninstalled: nothing reaches the ring
+#endif
+}
+
+TEST(TraceRecorderTest, EventNamesRoundTrip) {
+  for (uint8_t raw = 0; raw <= static_cast<uint8_t>(TraceEvent::kServerReply); ++raw) {
+    TraceEvent ev = static_cast<TraceEvent>(raw);
+    std::optional<TraceEvent> parsed = TraceEventFromName(TraceEventName(ev));
+    ASSERT_TRUE(parsed.has_value()) << TraceEventName(ev);
+    EXPECT_EQ(*parsed, ev);
+  }
+  EXPECT_FALSE(TraceEventFromName("no_such_event").has_value());
+}
+
+TEST(TraceRecorderTest, JsonlRoundTrips) {
+  TraceRecorder rec(16);
+  rec.Record(SpanRecord{1200, (uint64_t{0x0b000001} << 32) | 17, TraceEvent::kSwitchHit,
+                        0x0afffe01, 0});
+  rec.Record(SpanRecord{3400, 42, TraceEvent::kServerDequeue, 0x0a000002, 3});
+  rec.Record(SpanRecord{5600, 42, TraceEvent::kClientTimeout, 0x0b000001, 0});
+
+  std::stringstream io;
+  rec.WriteJsonl(io);
+  std::vector<SpanRecord> parsed = TraceRecorder::ReadJsonl(io);
+  EXPECT_EQ(parsed, rec.Events());
+}
+
+TEST(TraceRecorderTest, ReadJsonlSkipsMalformedLines) {
+  std::stringstream in(
+      "{\"t\":10,\"qid\":1,\"ev\":\"client_send\",\"node\":2,\"detail\":0}\n"
+      "not json at all\n"
+      "{\"t\":20,\"qid\":1,\"ev\":\"bogus_event\",\"node\":2,\"detail\":0}\n"
+      "\n"
+      "{\"t\":30,\"qid\":1,\"ev\":\"client_reply\",\"node\":2,\"detail\":0}\n");
+  std::vector<SpanRecord> parsed = TraceRecorder::ReadJsonl(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].event, TraceEvent::kClientSend);
+  EXPECT_EQ(parsed[1].event, TraceEvent::kClientReply);
+  EXPECT_EQ(parsed[1].time, 30);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a rack run emits a complete span per query.
+
+RackConfig TestRack() {
+  RackConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_clients = 1;
+  cfg.switch_config.num_pipes = 1;
+  cfg.switch_config.cache_capacity = 1024;
+  cfg.switch_config.indexes_per_pipe = 1024;
+  cfg.switch_config.stats.counter_slots = 1024;
+  cfg.switch_config.stats.hh.sketch_width = 4096;
+  cfg.switch_config.stats.hh.bloom_bits = 8192;
+  cfg.switch_config.stats.hh.hot_threshold = 32;
+  cfg.controller_config.cache_capacity = 64;
+  cfg.server_template.service_rate_qps = 1e6;
+  return cfg;
+}
+
+std::vector<TraceEvent> EventsFor(const std::vector<SpanRecord>& events, uint64_t qid) {
+  std::vector<TraceEvent> out;
+  for (const SpanRecord& r : events) {
+    if (r.query_id == qid) {
+      out.push_back(r.event);
+    }
+  }
+  return out;
+}
+
+TEST(TraceRecorderTest, RackGetEmitsCompleteSpans) {
+#ifdef NETCACHE_DISABLE_TRACING
+  GTEST_SKIP() << "tracing compiled out";
+#endif
+  Rack rack(TestRack());
+  rack.Populate(100, 64);
+  Key cached = Key::FromUint64(7);
+  Key uncached = Key::FromUint64(55);
+  rack.WarmCache({cached});
+
+  TraceRecorder rec(1024);
+  InstallTraceRecorder(&rec);
+  rack.client(0).Get(rack.OwnerOf(cached), cached, [](const Status&, const Value&) {});
+  rack.client(0).Get(rack.OwnerOf(uncached), uncached, [](const Status&, const Value&) {});
+  rack.sim().RunUntil(10 * kMillisecond);
+  InstallTraceRecorder(nullptr);
+
+  std::vector<SpanRecord> events = rec.Events();
+  // Timestamps are simulated time, monotonically non-decreasing.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  }
+
+  uint64_t qid_hit = (uint64_t{rack.client_ip(0)} << 32) | 1;   // first seq is 1
+  uint64_t qid_miss = (uint64_t{rack.client_ip(0)} << 32) | 2;
+  EXPECT_EQ(EventsFor(events, qid_hit),
+            (std::vector<TraceEvent>{TraceEvent::kClientSend, TraceEvent::kSwitchHit,
+                                     TraceEvent::kClientReply}));
+  EXPECT_EQ(EventsFor(events, qid_miss),
+            (std::vector<TraceEvent>{TraceEvent::kClientSend, TraceEvent::kSwitchMiss,
+                                     TraceEvent::kServerDequeue, TraceEvent::kServerExecute,
+                                     TraceEvent::kServerReply, TraceEvent::kClientReply}));
+}
+
+}  // namespace
+}  // namespace netcache

@@ -6,9 +6,17 @@
 //   multirack  multi-rack scalability model (NoCache/LeafCache/LeafSpine)
 //   snake      §7.1 snake-test harness
 //
+// Every subcommand accepts --metrics-out=FILE.json for a machine-readable
+// result; `rack` additionally supports time-sampled metrics
+// (--metrics-interval, Fig-11-style per-bin dynamics) and packet-lifecycle
+// tracing (--trace-out=FILE.jsonl, --trace-limit). With a fixed --seed two
+// runs produce byte-identical metrics output.
+//
 // Examples:
 //   netcache_sim rack --servers=16 --rate=50000 --zipf=0.99 --cache=200
 //                     --offered=400000 --duration=0.5
+//                     --metrics-out=m.json --metrics-interval=0.1
+//                     --trace-out=t.jsonl --trace-limit=100000
 //   netcache_sim saturate --partitions=128 --rate=1e7 --zipf=0.95 --cache=10000
 //   netcache_sim multirack --racks=16 --mode=leafspine
 //   netcache_sim snake --ports=64 --queries=1000
@@ -21,6 +29,9 @@
 
 #include "client/workload_driver.h"
 #include "common/cli.h"
+#include "common/json_writer.h"
+#include "common/metrics.h"
+#include "common/trace_recorder.h"
 #include "core/multirack.h"
 #include "core/rack.h"
 #include "core/saturation.h"
@@ -41,9 +52,30 @@ int Usage(const char* program) {
                "           --skewed-writes --write-back\n"
                "multirack: --racks --servers-per-rack --rate --spines --cache\n"
                "           --mode=nocache|leaf|leafspine\n"
-               "snake:     --ports --queries --cache --value-size\n",
+               "snake:     --ports --queries --cache --value-size\n"
+               "\n"
+               "observability (all subcommands):\n"
+               "           --metrics-out=FILE.json   structured result / registry dump\n"
+               "rack only: --metrics-interval=SECS   time-series sampling bin (default 0.1)\n"
+               "           --trace-out=FILE.jsonl    packet-lifecycle span events\n"
+               "           --trace-limit=N           trace ring-buffer capacity (default 65536)\n",
                program);
   return 2;
+}
+
+// Opens `path` for writing, runs `fill(writer)` on a JsonWriter over it, and
+// reports failures on stderr. Returns false on I/O errors.
+template <typename Fill>
+bool WriteJsonFile(const std::string& path, Fill&& fill) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  JsonWriter w(out);
+  fill(w);
+  out << "\n";
+  return out.good();
 }
 
 int RunRack(ArgParser& args) {
@@ -62,12 +94,28 @@ int RunRack(ArgParser& args) {
 
   uint64_t num_keys = static_cast<uint64_t>(args.GetInt("keys", 100000));
   double duration_s = args.GetDouble("duration", 0.5);
+  std::string metrics_out = args.GetString("metrics-out", "");
+  double metrics_interval_s = args.GetDouble("metrics-interval", 0.1);
+  std::string trace_out = args.GetString("trace-out", "");
+  size_t trace_limit = static_cast<size_t>(args.GetInt("trace-limit", 65536));
   if (!args.ok()) {
+    return 2;
+  }
+  if (metrics_interval_s <= 0) {
+    std::fprintf(stderr, "--metrics-interval must be positive\n");
     return 2;
   }
 
   Rack rack(cfg);
   rack.Populate(num_keys, 128);
+
+  // Install the trace ring before any traffic so the first client_send of
+  // each early query is captured too.
+  std::unique_ptr<TraceRecorder> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<TraceRecorder>(trace_limit);
+    InstallTraceRecorder(tracer.get());
+  }
 
   WorkloadConfig wl;
   wl.num_keys = num_keys;
@@ -111,9 +159,21 @@ int RunRack(ArgParser& args) {
       replay ? WorkloadDriver::QuerySource([&replay] { return *replay->Next(); })
              : WorkloadDriver::QuerySource([&gen] { return gen.Next(); });
   WorkloadDriver driver(&rack.sim(), &rack.client(0), std::move(source), rack.OwnerFn(), dc);
+
+  std::unique_ptr<MetricsPoller> poller;
+  if (!metrics_out.empty()) {
+    poller = std::make_unique<MetricsPoller>(
+        &rack.sim(), &rack.metrics(),
+        static_cast<SimDuration>(metrics_interval_s * 1e9));
+    poller->Start();
+  }
+
   driver.Start();
   rack.sim().RunUntil(static_cast<SimTime>(duration_s * 1e9));
   driver.Stop();
+  if (poller != nullptr) {
+    poller->Stop();
+  }
   rack.sim().RunUntil(rack.sim().Now() + 20 * kMillisecond);
 
   const Histogram& lat = rack.client(0).latency();
@@ -143,7 +203,49 @@ int RunRack(ArgParser& args) {
                 static_cast<unsigned long long>(rack.controller().stats().insertions),
                 static_cast<unsigned long long>(rack.controller().stats().evictions));
   }
-  return 0;
+
+  int rc = 0;
+  if (tracer != nullptr) {
+    InstallTraceRecorder(nullptr);
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", trace_out.c_str());
+      rc = 1;
+    } else {
+      tracer->WriteJsonl(out);
+      std::printf("trace           %llu events to %s (%llu overwritten)\n",
+                  static_cast<unsigned long long>(tracer->size()), trace_out.c_str(),
+                  static_cast<unsigned long long>(tracer->dropped()));
+    }
+  }
+  if (!metrics_out.empty()) {
+    bool ok = WriteJsonFile(metrics_out, [&](JsonWriter& w) {
+      w.BeginObject();
+      w.Field("command", "rack");
+      w.Field("sim_time_ns", static_cast<uint64_t>(rack.sim().Now()));
+      w.Field("duration_s", duration_s);
+      w.Field("sent", driver.sent());
+      w.Field("completed", driver.completed());
+      w.Name("metrics");
+      w.BeginObject();
+      rack.metrics().WriteJson(w);
+      w.EndObject();
+      w.Name("timeseries");
+      w.BeginObject();
+      poller->WriteJson(w);
+      w.EndObject();
+      w.EndObject();
+    });
+    if (!ok) {
+      rc = 1;
+    } else {
+      std::printf("metrics         %zu series x %llu samples to %s\n",
+                  poller->series().size(),
+                  static_cast<unsigned long long>(poller->samples_taken()),
+                  metrics_out.c_str());
+    }
+  }
+  return rc;
 }
 
 int RunSaturate(ArgParser& args) {
@@ -157,6 +259,7 @@ int RunSaturate(ArgParser& args) {
   cfg.skewed_writes = args.GetBool("skewed-writes", false);
   cfg.write_back = args.GetBool("write-back", false);
   cfg.exact_ranks = std::max<size_t>(cfg.cache_size, 262'144);
+  std::string metrics_out = args.GetString("metrics-out", "");
   if (!args.ok()) {
     return 2;
   }
@@ -167,6 +270,28 @@ int RunSaturate(ArgParser& args) {
   std::printf("servers     %.3e q/s\n", r.server_qps);
   std::printf("limited by  %s (bottleneck server %zu)\n", r.limited_by.c_str(),
               r.bottleneck_server);
+  if (!metrics_out.empty()) {
+    bool ok = WriteJsonFile(metrics_out, [&](JsonWriter& w) {
+      w.BeginObject();
+      w.Field("command", "saturate");
+      w.Field("total_qps", r.total_qps);
+      w.Field("cache_qps", r.cache_qps);
+      w.Field("server_qps", r.server_qps);
+      w.Field("cache_hit_fraction", r.cache_hit_fraction);
+      w.Field("bottleneck_server", static_cast<uint64_t>(r.bottleneck_server));
+      w.Field("limited_by", r.limited_by);
+      w.Name("per_server_qps");
+      w.BeginArray();
+      for (double qps : r.per_server_qps) {
+        w.Double(qps);
+      }
+      w.EndArray();
+      w.EndObject();
+    });
+    if (!ok) {
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -199,6 +324,25 @@ int RunMultiRack(ArgParser& args) {
   std::printf("tor      %.3e q/s\n", r.tor_qps);
   std::printf("servers  %.3e q/s\n", r.server_qps);
   std::printf("limited by %s\n", r.limited_by.c_str());
+  std::string metrics_out = args.GetString("metrics-out", "");
+  if (!metrics_out.empty()) {
+    bool ok = WriteJsonFile(metrics_out, [&](JsonWriter& w) {
+      w.BeginObject();
+      w.Field("command", "multirack");
+      w.Field("mode", MultiRackModeName(cfg.mode));
+      w.Field("num_racks", static_cast<uint64_t>(cfg.num_racks));
+      w.Field("servers_per_rack", static_cast<uint64_t>(cfg.servers_per_rack));
+      w.Field("total_qps", r.total_qps);
+      w.Field("spine_qps", r.spine_qps);
+      w.Field("tor_qps", r.tor_qps);
+      w.Field("server_qps", r.server_qps);
+      w.Field("limited_by", r.limited_by);
+      w.EndObject();
+    });
+    if (!ok) {
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -229,6 +373,30 @@ int RunSnake(ArgParser& args) {
   std::printf("delivered       %llu (%llu value-exact)\n",
               static_cast<unsigned long long>(r.received),
               static_cast<unsigned long long>(r.value_ok));
+  std::string metrics_out = args.GetString("metrics-out", "");
+  if (!metrics_out.empty()) {
+    MetricsRegistry registry;
+    snake.tor().RegisterMetrics(registry, "switch", {{"component", "switch"}});
+    bool ok = WriteJsonFile(metrics_out, [&](JsonWriter& w) {
+      w.BeginObject();
+      w.Field("command", "snake");
+      w.Field("ports", static_cast<uint64_t>(ports));
+      w.Field("passes", static_cast<uint64_t>(r.passes));
+      w.Field("sent", r.sent);
+      w.Field("received", r.received);
+      w.Field("value_ok", r.value_ok);
+      w.Field("pipeline_reads", r.pipeline_reads);
+      w.Field("amplification", r.amplification);
+      w.Name("metrics");
+      w.BeginObject();
+      registry.WriteJson(w);
+      w.EndObject();
+      w.EndObject();
+    });
+    if (!ok) {
+      return 1;
+    }
+  }
   return 0;
 }
 
