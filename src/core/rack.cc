@@ -1,8 +1,12 @@
 #include "core/rack.h"
 
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
+#include "verify/rack_checkers.h"
 #include "workload/generator.h"
 
 namespace netcache {
@@ -106,6 +110,46 @@ void Rack::WarmCache(const std::vector<Key>& keys) {
 void Rack::StartController() {
   NC_CHECK(config_.cache_enabled) << "StartController on a NoCache rack";
   controller_->Start();
+}
+
+CheckerRunner& Rack::EnableInvariantChecks(SimDuration interval) {
+  if (verifier_ != nullptr) {
+    return *verifier_;
+  }
+  verifier_ = std::make_unique<CheckerRunner>(&sim_);
+
+  // Ground-truth shadow tracking so the sketch-soundness checker has exact
+  // counts to compare the probabilistic structures against. Must be on
+  // before traffic flows; checks pass vacuously for earlier queries.
+  tor_->query_stats().EnableShadowTracking();
+
+  verifier_->AddChecker(std::make_unique<CacheCoherenceChecker>(
+      tor_.get(), [this](const Key& key) -> const StorageServer* {
+        return servers_[partitioner_.PartitionOf(key)].get();
+      }));
+  verifier_->AddChecker(std::make_unique<SlotConsistencyChecker>(tor_.get()));
+  verifier_->AddChecker(std::make_unique<SketchSoundnessChecker>(&tor_->query_stats()));
+
+  std::vector<const Link*> links;
+  for (const auto& link : links_) {
+    links.push_back(link.get());
+  }
+  std::vector<const Client*> clients;
+  for (const auto& client : clients_) {
+    clients.push_back(client.get());
+  }
+  std::vector<const StorageServer*> servers;
+  for (const auto& server : servers_) {
+    servers.push_back(server.get());
+  }
+  verifier_->AddChecker(std::make_unique<PacketConservationChecker>(
+      std::move(links), std::move(clients), std::move(servers), tor_.get()));
+
+  verifier_->RegisterMetrics(metrics_, "verify", {{"component", "verify"}});
+  if (interval > 0) {
+    verifier_->Start(interval);
+  }
+  return *verifier_;
 }
 
 }  // namespace netcache

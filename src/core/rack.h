@@ -23,6 +23,7 @@
 #include "net/link.h"
 #include "net/simulator.h"
 #include "server/storage_server.h"
+#include "verify/checker_runner.h"
 #include "workload/partition.h"
 
 namespace netcache {
@@ -70,8 +71,21 @@ class Rack {
   StorageServer& server(size_t i) { return *servers_[i]; }
   Client& client(size_t i) { return *clients_[i]; }
   CacheController& controller() { return *controller_; }
+  Link& link(size_t i) { return *links_[i]; }
   size_t num_servers() const { return servers_.size(); }
   size_t num_clients() const { return clients_.size(); }
+  size_t num_links() const { return links_.size(); }
+
+  // Builds a CheckerRunner with the four standard checkers (cache coherence,
+  // slot consistency, sketch soundness, packet conservation), enables sketch
+  // shadow tracking, and registers "verify.*" metrics. With `interval` > 0
+  // the runner re-checks every `interval` of simulated time; call
+  // invariant_runner()->RunOnce() for a final sweep at quiesce. Idempotent —
+  // a second call returns the existing runner (the interval of the first
+  // call wins).
+  CheckerRunner& EnableInvariantChecks(SimDuration interval = 0);
+  // Null until EnableInvariantChecks has been called.
+  CheckerRunner* invariant_runner() { return verifier_.get(); }
 
   IpAddress server_ip(size_t i) const;
   IpAddress client_ip(size_t i) const;
@@ -92,6 +106,7 @@ class Rack {
   std::vector<std::unique_ptr<Client>> clients_;
   std::vector<std::unique_ptr<Link>> links_;
   std::unique_ptr<CacheController> controller_;
+  std::unique_ptr<CheckerRunner> verifier_;
 };
 
 }  // namespace netcache

@@ -424,6 +424,21 @@ Result<Value> NetCacheSwitch::ReadCachedValue(const Key& key) const {
   return pipes_[action->pipe].values.ReadValue(action->bitmap, action->value_index, size);
 }
 
+std::vector<Key> NetCacheSwitch::CachedKeys() const {
+  std::vector<Key> keys;
+  keys.reserve(lookup_.size());
+  lookup_.ForEachEntry([&keys](const Key& key, const CacheAction&) { keys.push_back(key); });
+  return keys;
+}
+
+std::optional<CacheAction> NetCacheSwitch::LookupAction(const Key& key) const {
+  const CacheAction* action = lookup_.Match(key);
+  if (action == nullptr) {
+    return std::nullopt;
+  }
+  return *action;
+}
+
 Status NetCacheSwitch::CheckInvariants() const {
   // Key-index accounting: live entries + free list must cover the capacity.
   if (lookup_.size() + free_key_indexes_.size() != config_.cache_capacity) {
@@ -471,6 +486,12 @@ Status NetCacheSwitch::CheckInvariants() const {
   for (size_t p = 0; p < pipes_.size(); ++p) {
     if (pipes_[p].allocator.num_items() != pipe_items[p]) {
       return Status::Internal("allocator holds items absent from the lookup table");
+    }
+    // Deep audit of the Alg-2 bookkeeping itself: no double-assigned slots,
+    // free bits really free, no leaked slots.
+    Status alloc_ok = pipes_[p].allocator.CheckConsistency();
+    if (!alloc_ok.ok()) {
+      return alloc_ok;
     }
   }
   return Status::Ok();

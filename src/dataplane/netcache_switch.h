@@ -171,6 +171,25 @@ class NetCacheSwitch : public Node {
   // Reads a cached (valid or not) value; for tests and the controller.
   Result<Value> ReadCachedValue(const Key& key) const;
 
+  // Every key currently in the cache lookup table (any validity state).
+  std::vector<Key> CachedKeys() const;
+  // The lookup table's action data for a key, for diagnostics and the
+  // invariant checkers' structured dumps.
+  std::optional<CacheAction> LookupAction(const Key& key) const;
+
+  // Query-statistics module access: const for the sketch-soundness checker,
+  // mutable for shadow-tracking enablement and corruption self-tests.
+  const QueryStatistics& query_stats() const { return stats_; }
+  QueryStatistics& query_stats() { return stats_; }
+
+  // Per-pipe slot-allocator view for diagnostics and checker dumps.
+  const SlotAllocator& pipe_allocator(size_t pipe) const { return pipes_[pipe].allocator; }
+  // Test-only mutable internals for the seeded-corruption self-test
+  // (tests/invariant_test.cc): corrupt a value register or the allocator's
+  // free bitmap and prove the matching checker fires.
+  SlotAllocator& TestOnlyPipeAllocator(size_t pipe) { return pipes_[pipe].allocator; }
+  ValueStore& TestOnlyPipeValues(size_t pipe) { return pipes_[pipe].values; }
+
   const SwitchConfig& config() const { return config_; }
   const SwitchCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = SwitchCounters{}; }

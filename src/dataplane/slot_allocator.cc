@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
 
 #include "common/logging.h"
 
@@ -152,6 +153,55 @@ std::vector<SlotMove> SlotAllocator::PlanReorganization(size_t needed_units,
     plan.clear();  // couldn't reach the goal; don't thrash
   }
   return plan;
+}
+
+Status SlotAllocator::CheckConsistency() const {
+  // Rebuild the per-row allocated-bits view from the key map, flagging
+  // overlaps (slot double-assignment) as we go.
+  std::vector<uint32_t> used(mem_.size(), 0);
+  Status failure = Status::Ok();
+  key_map_.ForEach([&](const Key& key, const SlotAllocation& alloc) {
+    if (!failure.ok()) {
+      return;
+    }
+    if (alloc.index >= mem_.size()) {
+      failure = Status::Internal("allocation row out of range for key " + key.ToHex());
+      return;
+    }
+    if (alloc.bitmap == 0 || (alloc.bitmap & ~FullMask()) != 0) {
+      failure = Status::Internal("allocation bitmap malformed for key " + key.ToHex());
+      return;
+    }
+    if ((used[alloc.index] & alloc.bitmap) != 0) {
+      failure = Status::Internal("slot double-assignment in row " +
+                                 std::to_string(alloc.index) + " (key " + key.ToHex() + ")");
+      return;
+    }
+    used[alloc.index] |= alloc.bitmap;
+    if ((mem_[alloc.index] & alloc.bitmap) != 0) {
+      failure = Status::Internal("allocated slots also marked free in row " +
+                                 std::to_string(alloc.index) + " (key " + key.ToHex() + ")");
+    }
+  });
+  if (!failure.ok()) {
+    return failure;
+  }
+  for (size_t row = 0; row < mem_.size(); ++row) {
+    if ((used[row] | mem_[row]) != FullMask()) {
+      return Status::Internal("slot leak: row " + std::to_string(row) +
+                              " has bits neither free nor allocated");
+    }
+    if (row < scan_start_ && mem_[row] != 0) {
+      return Status::Internal("scan cursor skipped free slots in row " + std::to_string(row));
+    }
+  }
+  return Status::Ok();
+}
+
+void SlotAllocator::TestOnlySetFreeBitmap(size_t index, uint32_t free_bits) {
+  NC_CHECK(index < mem_.size());
+  mem_[index] = free_bits & FullMask();
+  scan_start_ = std::min(scan_start_, index);
 }
 
 bool SlotAllocator::Commit(const SlotMove& move) {

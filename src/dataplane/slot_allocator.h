@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/status.h"
 #include "kvstore/hash_table.h"
 #include "proto/key.h"
 
@@ -73,6 +74,18 @@ class SlotAllocator {
   // caller's job). Returns false if the plan is stale (source changed or
   // target bits taken).
   bool Commit(const SlotMove& move);
+
+  // Full structural audit of the Alg-2 bookkeeping: every allocation lies in
+  // range and on bits the free map does not also claim, no two allocations
+  // overlap, every slot is either free or allocated (none leak), and the
+  // first-fit scan cursor has not skipped a row with free slots. O(items +
+  // rows); used by the slot-consistency invariant checker and soak tests.
+  Status CheckConsistency() const;
+
+  // Test-only corruption hook for the invariant-checker self-test: overwrite
+  // row `index`'s free bitmap, e.g. marking allocated slots free so a later
+  // Insert double-assigns them.
+  void TestOnlySetFreeBitmap(size_t index, uint32_t free_bits);
 
  private:
   uint32_t FullMask() const { return num_stages_ == 32 ? ~0u : (1u << num_stages_) - 1; }

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/rng.h"
@@ -68,6 +69,18 @@ class QueryStatistics {
   // use; counters survive ResetEpoch() (they are totals, not epoch values).
   void RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
                        MetricsRegistry::Labels labels = {}) const;
+
+  // ---- sketch-soundness verification (see sketch/heavy_hitter.h) ----
+  // Turns on exact shadow tracking inside the heavy-hitter detector so
+  // CheckSketchSoundness can prove the Fig-7 guarantees against ground truth.
+  void EnableShadowTracking() { hh_.EnableShadowTracking(); }
+  bool CheckSketchSoundness(std::vector<std::string>* problems) const {
+    return hh_.CheckSoundness(problems);
+  }
+  const HeavyHitterDetector& detector() const { return hh_; }
+  // Test-only: lets the seeded-corruption self-test break the sketch/Bloom
+  // state underneath the shadow tracking.
+  HeavyHitterDetector& TestOnlyDetector() { return hh_; }
 
  private:
   bool Sampled();

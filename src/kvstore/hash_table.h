@@ -6,6 +6,11 @@
 // This is the storage-server substrate: simple, allocation-per-node (like
 // TommyDS objects), single-threaded per shard (shards provide concurrency,
 // see sharded_store.h, mirroring per-core sharding with RSS).
+//
+// Thread safety: externally synchronized. Owners that share a table across
+// threads hold it behind a Mutex and annotate the member NC_GUARDED_BY (see
+// common/thread_annotations.h; sharded_store.h and storage_server.h are the
+// two annotated owners), so `clang -Wthread-safety` checks the discipline.
 
 #ifndef NETCACHE_KVSTORE_HASH_TABLE_H_
 #define NETCACHE_KVSTORE_HASH_TABLE_H_
@@ -104,6 +109,25 @@ class HashDyn {
         fn(node->key, node->value);
       }
     }
+  }
+
+  // Structural audit: the size counter matches the live node count, every
+  // node's cached hash is current, and every node sits in the bucket its
+  // hash selects. Diagnostics for invariant checkers and soak tests.
+  bool CheckIntegrity() const {
+    size_t counted = 0;
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+      for (const Node* node = buckets_[b].get(); node != nullptr; node = node->next.get()) {
+        ++counted;
+        if (node->hash != hash_(node->key)) {
+          return false;
+        }
+        if ((node->hash & (buckets_.size() - 1)) != b) {
+          return false;
+        }
+      }
+    }
+    return counted == size_;
   }
 
   // Length of the longest chain (diagnostics; tests assert it stays small).

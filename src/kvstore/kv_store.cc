@@ -12,6 +12,14 @@ Result<Value> KvStore::Get(const Key& key) const {
   return *v;
 }
 
+Result<Value> KvStore::Peek(const Key& key) const {
+  const Value* v = table_.Find(key);
+  if (v == nullptr) {
+    return Status::NotFound("key not in store");
+  }
+  return *v;
+}
+
 void KvStore::Put(const Key& key, const Value& value) {
   ++stats_.puts;
   table_.Upsert(key, value);

@@ -24,6 +24,11 @@ class KvStore {
   // Returns the value or kNotFound.
   Result<Value> Get(const Key& key) const;
 
+  // Same lookup without touching the gets/hits counters. For observers
+  // (invariant checkers, test assertions) that must not perturb the
+  // metrics a run exports.
+  Result<Value> Peek(const Key& key) const;
+
   // Inserts or overwrites.
   void Put(const Key& key, const Value& value);
 

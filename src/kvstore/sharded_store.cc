@@ -1,14 +1,15 @@
 #include "kvstore/sharded_store.h"
 
-#include <algorithm>
-
 #include "common/logging.h"
 
 namespace netcache {
 
-ShardedStore::ShardedStore(size_t num_shards, uint64_t seed)
-    : seed_(seed), shards_(num_shards), accesses_(num_shards, 0) {
+ShardedStore::ShardedStore(size_t num_shards, uint64_t seed) : seed_(seed) {
   NC_CHECK(num_shards > 0);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
 size_t ShardedStore::ShardOf(const Key& key) const {
@@ -16,31 +17,45 @@ size_t ShardedStore::ShardOf(const Key& key) const {
 }
 
 Result<Value> ShardedStore::Get(const Key& key) {
-  size_t s = ShardOf(key);
-  ++accesses_[s];
-  return shards_[s].Get(key);
+  Shard& shard = *shards_[ShardOf(key)];
+  MutexLock lock(shard.mu);
+  ++shard.accesses;
+  return shard.store.Get(key);
 }
 
 void ShardedStore::Put(const Key& key, const Value& value) {
-  size_t s = ShardOf(key);
-  ++accesses_[s];
-  shards_[s].Put(key, value);
+  Shard& shard = *shards_[ShardOf(key)];
+  MutexLock lock(shard.mu);
+  ++shard.accesses;
+  shard.store.Put(key, value);
 }
 
 Status ShardedStore::Delete(const Key& key) {
-  size_t s = ShardOf(key);
-  ++accesses_[s];
-  return shards_[s].Delete(key);
+  Shard& shard = *shards_[ShardOf(key)];
+  MutexLock lock(shard.mu);
+  ++shard.accesses;
+  return shard.store.Delete(key);
 }
 
 size_t ShardedStore::size() const {
   size_t total = 0;
-  for (const auto& s : shards_) {
-    total += s.size();
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total += shard->store.size();
   }
   return total;
 }
 
-void ShardedStore::ResetAccessCounts() { std::fill(accesses_.begin(), accesses_.end(), 0); }
+uint64_t ShardedStore::shard_accesses(size_t i) const {
+  MutexLock lock(shards_[i]->mu);
+  return shards_[i]->accesses;
+}
+
+void ShardedStore::ResetAccessCounts() {
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    shard->accesses = 0;
+  }
+}
 
 }  // namespace netcache

@@ -30,6 +30,7 @@ void Link::Transmit(int from_end, const Packet& pkt) {
   NC_CHECK(ends_[0].node != nullptr && ends_[1].node != nullptr) << "link not connected";
   Direction& dir = dirs_[from_end];
   size_t bytes = pkt.WireSize();
+  ++dir.stats.offered;
 
   if (config_.loss_rate > 0.0 && loss_rng_.NextBernoulli(config_.loss_rate)) {
     ++dir.stats.lost;
@@ -40,6 +41,7 @@ void Link::Transmit(int from_end, const Packet& pkt) {
     return;
   }
   dir.queued_bytes += bytes;
+  ++dir.stats.in_flight;
 
   SimTime start = std::max(sim_->Now(), dir.busy_until);
   SimTime tx_done = start + SerializationDelay(bytes);
@@ -49,6 +51,7 @@ void Link::Transmit(int from_end, const Packet& pkt) {
   // Serialization finishes: free queue space. Delivery after propagation.
   sim_->ScheduleAt(tx_done, [this, from_end, bytes] { dirs_[from_end].queued_bytes -= bytes; });
   sim_->ScheduleAt(tx_done + config_.propagation, [this, from_end, to, pkt] {
+    --dirs_[from_end].stats.in_flight;
     ++dirs_[from_end].stats.delivered;
     dirs_[from_end].stats.bytes += pkt.WireSize();
     to.node->HandlePacket(pkt, to.port);

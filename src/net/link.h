@@ -41,12 +41,21 @@ class Link {
   void Transmit(int from_end, const Packet& pkt);
 
   struct DirectionStats {
+    uint64_t offered = 0;    // every Transmit attempt
     uint64_t delivered = 0;
     uint64_t dropped = 0;   // queue overflow
     uint64_t lost = 0;      // random loss injection
+    uint64_t in_flight = 0; // accepted but not yet handed to the far node
     uint64_t bytes = 0;
   };
+  // Conservation invariant, checked by the packet-conservation checker at
+  // any instant between events: offered == delivered + dropped + lost +
+  // in_flight.
   const DirectionStats& stats(int from_end) const { return dirs_[from_end].stats; }
+
+  // Test-only mutable stats, used by the seeded-corruption self-test to
+  // break the conservation equation and prove the checker fires.
+  DirectionStats& TestOnlyStats(int from_end) { return dirs_[from_end].stats; }
 
   const LinkConfig& config() const { return config_; }
 

@@ -37,6 +37,14 @@ size_t StorageServer::QueueDepth() const {
   return depth;
 }
 
+size_t StorageServer::BusyCores() const {
+  size_t busy = 0;
+  for (const Core& core : cores_) {
+    busy += core.busy ? 1 : 0;
+  }
+  return busy;
+}
+
 void StorageServer::HandlePacket(const Packet& pkt, uint32_t /*in_port*/) {
   ++stats_.received;
   if (!online_ || !pkt.is_netcache) {
@@ -76,6 +84,7 @@ void StorageServer::EnqueueOrDrop(const Packet& pkt, bool front) {
     }
     return;
   }
+  ++stats_.enqueued;
   if (front) {
     core.queue.push_front(pkt);
   } else {
@@ -130,7 +139,10 @@ void StorageServer::ProcessRead(const Packet& pkt) {
   Packet reply = pkt;
   reply.SwapSrcDst();
   reply.nc.op = OpCode::kGetReply;
-  Result<Value> value = store_.Get(pkt.nc.key);
+  Result<Value> value = [&] {
+    MutexLock lock(store_mu_);
+    return store_.Get(pkt.nc.key);
+  }();
   if (value.ok()) {
     reply.nc.has_value = true;
     reply.nc.value = *value;
@@ -162,11 +174,15 @@ void StorageServer::ProcessWrite(const Packet& pkt) {
   bool is_cached = pkt.nc.op == OpCode::kCachedPut || pkt.nc.op == OpCode::kCachedDelete;
 
   // The server updates the value atomically and serializes queries (§4.3);
-  // our FIFO service loop provides the serialization.
-  if (is_delete) {
-    store_.Delete(key).ok();  // deleting an absent key is a no-op
-  } else {
-    store_.Put(key, pkt.nc.value);
+  // our FIFO service loop provides the serialization, and the store mutex
+  // keeps the concurrent control channel (ControlFetch/ControlApply) out.
+  {
+    MutexLock lock(store_mu_);
+    if (is_delete) {
+      store_.Delete(key).ok();  // deleting an absent key is a no-op
+    } else {
+      store_.Put(key, pkt.nc.value);
+    }
   }
 
   Packet reply = pkt;
@@ -285,6 +301,7 @@ void StorageServer::RegisterMetrics(MetricsRegistry& registry, const std::string
                                     MetricsRegistry::Labels labels) const {
   const ServerStats& s = stats_;
   registry.AddCounter(prefix + ".received", &s.received, labels);
+  registry.AddCounter(prefix + ".enqueued", &s.enqueued, labels);
   registry.AddCounter(prefix + ".dropped", &s.dropped, labels);
   registry.AddCounter(prefix + ".reads", &s.reads, labels);
   registry.AddCounter(prefix + ".read_misses", &s.read_misses, labels);
@@ -298,6 +315,7 @@ void StorageServer::RegisterMetrics(MetricsRegistry& registry, const std::string
       prefix + ".queue_depth", [this] { return static_cast<double>(QueueDepth()); }, labels);
   registry.AddGauge(
       prefix + ".online", [this] { return online_ ? 1.0 : 0.0; }, labels);
+  MutexLock lock(store_mu_);
   store_.RegisterMetrics(registry, prefix + ".kv", labels);
 }
 

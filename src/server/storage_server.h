@@ -29,6 +29,7 @@
 
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/time_units.h"
 #include "kvstore/kv_store.h"
 #include "net/node.h"
@@ -68,6 +69,7 @@ struct ServerConfig {
 
 struct ServerStats {
   uint64_t received = 0;
+  uint64_t enqueued = 0;       // accepted into a core's service queue
   uint64_t dropped = 0;        // queue overflow (overload shedding)
   uint64_t reads = 0;
   uint64_t read_misses = 0;
@@ -87,10 +89,19 @@ class StorageServer : public Node {
   void HandlePacket(const Packet& pkt, uint32_t in_port) override;
 
   // ---- control channel (used by the controller) ----
+  // The control channel is the one path specified to run concurrently with
+  // the data path (the controller is a separate process, §4.2), so the store
+  // is mutex-protected and every access is annotated for -Wthread-safety.
   // Fetches the current value for cache insertion (§4.3).
-  Result<Value> ControlFetch(const Key& key) const { return store_.Get(key); }
+  Result<Value> ControlFetch(const Key& key) const NC_EXCLUDES(store_mu_) {
+    MutexLock lock(store_mu_);
+    return store_.Get(key);
+  }
   // Applies a value flushed back from the switch (write-back mode, §5).
-  void ControlApply(const Key& key, const Value& value) { store_.Put(key, value); }
+  void ControlApply(const Key& key, const Value& value) NC_EXCLUDES(store_mu_) {
+    MutexLock lock(store_mu_);
+    store_.Put(key, value);
+  }
   // Blocks/unblocks writes to `key` during a controller-driven insertion.
   void BlockWrites(const Key& key);
   void UnblockWrites(const Key& key);
@@ -108,9 +119,26 @@ class StorageServer : public Node {
   void set_online(bool online) { online_ = online; }
   bool online() const { return online_; }
 
-  // Direct store access for pre-population and verification.
-  KvStore& store() { return store_; }
-  const KvStore& store() const { return store_; }
+  // Direct store access for pre-population and verification. Exempt from the
+  // analysis: callers (Populate, tests, invariant checkers) run while the
+  // simulation is quiescent, with no concurrent control-channel activity.
+  KvStore& store() NC_NO_THREAD_SAFETY_ANALYSIS { return store_; }
+  const KvStore& store() const NC_NO_THREAD_SAFETY_ANALYSIS { return store_; }
+
+  // Coherence-protocol state of one key, for the cache-coherence checker: a
+  // kCacheUpdate awaiting the switch ack, or writes blocked by a
+  // controller-driven insertion (§4.3). While either is true the switch and
+  // store may legitimately disagree.
+  bool HasPendingUpdate(const Key& key) const { return pending_updates_.count(key) != 0; }
+  bool WritesBlocked(const Key& key) const { return blocked_.count(key) != 0; }
+  // Writes parked behind a block for `key` (structured dumps).
+  size_t DeferredWriteCount(const Key& key) const {
+    auto it = blocked_.find(key);
+    return it == blocked_.end() ? 0 : it->second.deferred.size();
+  }
+  // Cores currently serving a query (packet-conservation accounting:
+  // enqueued == processed + queued + in-service).
+  size_t BusyCores() const;
 
   const ServerConfig& config() const { return config_; }
   const ServerStats& stats() const { return stats_; }
@@ -159,7 +187,8 @@ class StorageServer : public Node {
 
   Simulator* sim_;
   ServerConfig config_;
-  KvStore store_;
+  mutable Mutex store_mu_;
+  KvStore store_ NC_GUARDED_BY(store_mu_);
   bool online_ = true;
 
   std::vector<Core> cores_;

@@ -12,6 +12,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/rng.h"
 #include "sketch/bloom.h"
@@ -55,11 +59,43 @@ class HeavyHitterDetector {
   const CountMinSketch& sketch() const { return sketch_; }
   const BloomFilter& bloom() const { return bloom_; }
 
+  // ---- soundness verification (sketch-soundness invariant checker) ----
+  //
+  // With shadow tracking enabled, the detector keeps exact ground truth next
+  // to the probabilistic structures: the true per-key count of sampled
+  // offers, the set of keys inserted into the Bloom filter, and the
+  // (estimate, threshold) observed at each hot report. CheckSoundness then
+  // proves the Fig-7 guarantees: the CM estimate never undercounts, the
+  // Bloom filter never false-negatives, and every reported key's estimate
+  // really crossed the threshold in force at report time. The shadow state
+  // is cleared on Reset() with everything else.
+  void EnableShadowTracking() { shadow_enabled_ = true; }
+  bool shadow_enabled() const { return shadow_enabled_; }
+
+  // Appends one human-readable message per broken guarantee to `problems`.
+  // Returns true when everything is sound.
+  bool CheckSoundness(std::vector<std::string>* problems) const;
+
+  // Test-only mutable access, used by the seeded-corruption self-test to
+  // break the structures underneath the shadow state.
+  CountMinSketch& TestOnlySketch() { return sketch_; }
+  BloomFilter& TestOnlyBloom() { return bloom_; }
+
  private:
+  struct ReportRecord {
+    uint32_t estimate = 0;   // CM estimate at the moment of the report
+    uint32_t threshold = 0;  // hot threshold in force at the moment of the report
+  };
+
   HeavyHitterConfig config_;
   CountMinSketch sketch_;
   BloomFilter bloom_;
   Rng rng_;
+
+  bool shadow_enabled_ = false;
+  std::unordered_map<Key, uint64_t, KeyHasher> shadow_counts_;
+  std::unordered_set<Key, KeyHasher> shadow_bloom_;
+  std::unordered_map<Key, ReportRecord, KeyHasher> shadow_reports_;
 };
 
 }  // namespace netcache

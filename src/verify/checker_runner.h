@@ -1,0 +1,81 @@
+// Executes a set of InvariantCheckers at a configurable cadence.
+//
+// Usage (the Rack wires this up in EnableInvariantChecks):
+//   CheckerRunner runner(&sim);
+//   runner.AddChecker(std::make_unique<CacheCoherenceChecker>(...));
+//   runner.Start(50 * kMillisecond);   // periodic, on the simulated clock
+//   ...
+//   runner.RunOnce();                  // final sweep at quiesce
+//   NC_CHECK(runner.total_violations() == 0);
+//
+// Every violation is logged at ERROR with its structured dump, counted per
+// checker, and exposed through the MetricsRegistry as "verify.*" series.
+
+#ifndef NETCACHE_VERIFY_CHECKER_RUNNER_H_
+#define NETCACHE_VERIFY_CHECKER_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/time_units.h"
+#include "net/simulator.h"
+#include "verify/invariant_checker.h"
+
+namespace netcache {
+
+class CheckerRunner {
+ public:
+  // `sim` may be null when the runner is only driven manually via RunOnce()
+  // (unit tests, the snake harness); Start() requires it.
+  explicit CheckerRunner(Simulator* sim = nullptr);
+
+  void AddChecker(std::unique_ptr<InvariantChecker> checker);
+
+  // Runs every checker once against the current state. Returns the number of
+  // violations found in this pass; each one is logged with its dump.
+  size_t RunOnce();
+
+  // Runs RunOnce() every `interval` of simulated time until Stop(). The
+  // first pass fires one interval from now.
+  void Start(SimDuration interval);
+  void Stop();
+
+  uint64_t runs() const { return runs_; }
+  uint64_t checks_run() const { return checks_run_; }
+  uint64_t total_violations() const { return total_violations_; }
+  uint64_t violations_for(const std::string& checker_name) const;
+  size_t num_checkers() const { return entries_.size(); }
+
+  // Violations found by the most recent RunOnce() pass.
+  const std::vector<Violation>& last_violations() const { return last_violations_; }
+
+  // Registers "verify.runs", "verify.checks", "verify.violations", and one
+  // "verify.<checker>.violations" counter per checker. Call after the last
+  // AddChecker; the runner must outlive registry reads.
+  void RegisterMetrics(MetricsRegistry& registry, const std::string& prefix = "verify",
+                       MetricsRegistry::Labels labels = {}) const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<InvariantChecker> checker;
+    uint64_t violations = 0;
+  };
+
+  void ScheduleNext(SimDuration interval);
+
+  Simulator* sim_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  bool running_ = false;
+  uint64_t generation_ = 0;  // invalidates scheduled passes after Stop()
+  uint64_t runs_ = 0;
+  uint64_t checks_run_ = 0;
+  uint64_t total_violations_ = 0;
+  std::vector<Violation> last_violations_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_VERIFY_CHECKER_RUNNER_H_

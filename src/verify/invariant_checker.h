@@ -1,0 +1,47 @@
+// Runtime system-invariant checking (PR 2).
+//
+// The paper's correctness claims rest on invariants the simulation can and
+// should prove on every run: write-through coherence between switch and
+// store (§4.3), Algorithm 2's slot-allocation bookkeeping (§4.4.2), the
+// over-count-only / no-false-negative sketch properties (§4.4.3, Fig 7), and
+// plain packet conservation across the rack. An InvariantChecker inspects
+// one of those domains and reports violations; a CheckerRunner (see
+// checker_runner.h) executes a set of checkers at a configurable cadence.
+//
+// Checkers are read-only observers: running them must not perturb the
+// simulation, so two same-seed runs with and without --check-invariants
+// produce identical metrics output.
+
+#ifndef NETCACHE_VERIFY_INVARIANT_CHECKER_H_
+#define NETCACHE_VERIFY_INVARIANT_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+namespace netcache {
+
+// One invariant violation. `summary` is a one-line statement of the broken
+// invariant; `detail` is the structured dump (offending key, switch slot
+// contents, store value, pending-op state) that makes the report actionable.
+struct Violation {
+  std::string checker;
+  std::string summary;
+  std::string detail;
+};
+
+class InvariantChecker {
+ public:
+  virtual ~InvariantChecker() = default;
+
+  // Stable identifier, also used as the per-checker metric name
+  // ("verify.<name>.violations").
+  virtual std::string name() const = 0;
+
+  // Appends every violation found in the current system state to `out`.
+  // Must not mutate the system under test.
+  virtual void Check(std::vector<Violation>* out) const = 0;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_VERIFY_INVARIANT_CHECKER_H_

@@ -1,0 +1,208 @@
+#include "verify/rack_checkers.h"
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "proto/value.h"
+
+namespace netcache {
+
+namespace {
+
+// Short hex preview of a value for structured dumps.
+std::string ValuePreview(const Value& value) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s;
+  size_t shown = value.size() < 16 ? value.size() : 16;
+  s.reserve(2 * shown + 16);
+  for (size_t i = 0; i < shown; ++i) {
+    s.push_back(kHex[value.data()[i] >> 4]);
+    s.push_back(kHex[value.data()[i] & 0xf]);
+  }
+  if (shown < value.size()) {
+    s += "...";
+  }
+  s += " (" + std::to_string(value.size()) + "B)";
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cache coherence (§4.3)
+// ---------------------------------------------------------------------------
+
+CacheCoherenceChecker::CacheCoherenceChecker(const NetCacheSwitch* tor, OwnerFn owner)
+    : tor_(tor), owner_(std::move(owner)) {
+  NC_CHECK(tor_ != nullptr);
+  NC_CHECK(owner_ != nullptr);
+}
+
+void CacheCoherenceChecker::Check(std::vector<Violation>* out) const {
+  for (const Key& key : tor_->CachedKeys()) {
+    // An invalid entry never serves reads, so it is allowed to be stale: the
+    // write-through protocol invalidates on the write path and revalidates
+    // only when the data-plane update lands (§4.3).
+    if (!tor_->IsValid(key)) {
+      continue;
+    }
+    // Write-back mode (§5): a dirty entry is *supposed* to be newer than the
+    // store until the controller flushes it.
+    if (tor_->IsDirty(key)) {
+      continue;
+    }
+    const StorageServer* server = owner_(key);
+    if (server == nullptr) {
+      continue;
+    }
+    // In-flight §4.3 machinery makes transient divergence legitimate: an
+    // unacked kCacheUpdate, or writes blocked during a controller insertion.
+    if (server->HasPendingUpdate(key) || server->WritesBlocked(key)) {
+      continue;
+    }
+    Result<Value> cached = tor_->ReadCachedValue(key);
+    // Peek, not Get: the checker must not move the kv.gets/kv.hits metrics
+    // a run exports.
+    Result<Value> stored = server->store().Peek(key);
+    bool mismatch =
+        !cached.ok() || !stored.ok() || !(*cached == *stored);
+    if (!mismatch) {
+      continue;
+    }
+    std::ostringstream dump;
+    dump << "  key           " << key.ToHex() << "\n";
+    if (auto action = tor_->LookupAction(key); action.has_value()) {
+      dump << "  switch slot   pipe=" << static_cast<int>(action->pipe)
+           << " row=" << action->value_index << " bitmap=0x" << std::hex << action->bitmap
+           << std::dec << " (" << std::popcount(action->bitmap) << " units)"
+           << " key_index=" << action->key_index << "\n";
+    }
+    dump << "  switch value  " << (cached.ok() ? ValuePreview(*cached) : "<unreadable>")
+         << "\n";
+    dump << "  store value   " << (stored.ok() ? ValuePreview(*stored) : "<missing>") << "\n";
+    dump << "  pending ops   update_in_flight=" << (server->HasPendingUpdate(key) ? 1 : 0)
+         << " writes_blocked=" << (server->WritesBlocked(key) ? 1 : 0)
+         << " deferred_writes=" << server->DeferredWriteCount(key);
+    out->push_back(Violation{
+        "", "valid cached value diverges from the authoritative store", dump.str()});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slot-allocator consistency (Alg 2, Fig 6b)
+// ---------------------------------------------------------------------------
+
+SlotConsistencyChecker::SlotConsistencyChecker(const NetCacheSwitch* tor) : tor_(tor) {
+  NC_CHECK(tor_ != nullptr);
+}
+
+void SlotConsistencyChecker::Check(std::vector<Violation>* out) const {
+  Status st = tor_->CheckInvariants();
+  if (st.ok()) {
+    return;
+  }
+  std::ostringstream dump;
+  dump << "  cache         " << tor_->CacheSize() << "/" << tor_->CacheCapacity()
+       << " entries\n";
+  for (size_t p = 0; p < tor_->config().num_pipes; ++p) {
+    const SlotAllocator& alloc = tor_->pipe_allocator(p);
+    dump << "  pipe " << p << "        items=" << alloc.num_items()
+         << " free_units=" << alloc.FreeUnits()
+         << " largest_free_run=" << alloc.LargestFreeRun() << "\n";
+  }
+  dump << "  detail        " << st.ToString();
+  out->push_back(Violation{"", "switch cache bookkeeping inconsistent", dump.str()});
+}
+
+// ---------------------------------------------------------------------------
+// Sketch soundness (Fig 7, §4.4.3)
+// ---------------------------------------------------------------------------
+
+SketchSoundnessChecker::SketchSoundnessChecker(const QueryStatistics* stats) : stats_(stats) {
+  NC_CHECK(stats_ != nullptr);
+}
+
+void SketchSoundnessChecker::Check(std::vector<Violation>* out) const {
+  std::vector<std::string> problems;
+  if (stats_->CheckSketchSoundness(&problems)) {
+    return;
+  }
+  for (const std::string& problem : problems) {
+    out->push_back(Violation{"", problem,
+                             "  hot_threshold " + std::to_string(stats_->hot_threshold()) +
+                                 "\n  sample_rate   " +
+                                 std::to_string(stats_->sample_rate())});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packet conservation
+// ---------------------------------------------------------------------------
+
+PacketConservationChecker::PacketConservationChecker(std::vector<const Link*> links,
+                                                     std::vector<const Client*> clients,
+                                                     std::vector<const StorageServer*> servers,
+                                                     const NetCacheSwitch* tor)
+    : links_(std::move(links)),
+      clients_(std::move(clients)),
+      servers_(std::move(servers)),
+      tor_(tor) {}
+
+void PacketConservationChecker::Check(std::vector<Violation>* out) const {
+  for (size_t i = 0; i < links_.size(); ++i) {
+    for (int end = 0; end < 2; ++end) {
+      const Link::DirectionStats& s = links_[i]->stats(end);
+      uint64_t accounted = s.delivered + s.dropped + s.lost + s.in_flight;
+      if (s.offered != accounted) {
+        std::ostringstream dump;
+        dump << "  link " << i << " dir " << end << ": offered=" << s.offered
+             << " delivered=" << s.delivered << " dropped=" << s.dropped
+             << " lost=" << s.lost << " in_flight=" << s.in_flight;
+        out->push_back(
+            Violation{"", "link direction loses or invents packets", dump.str()});
+      }
+    }
+  }
+  for (size_t j = 0; j < clients_.size(); ++j) {
+    const ClientStats& s = clients_[j]->stats();
+    uint64_t sent = s.gets_sent + s.puts_sent + s.deletes_sent;
+    uint64_t accounted = s.replies + s.timeouts + clients_[j]->Outstanding();
+    if (sent != accounted) {
+      std::ostringstream dump;
+      dump << "  client " << j << ": sent=" << sent << " replies=" << s.replies
+           << " timeouts=" << s.timeouts << " outstanding=" << clients_[j]->Outstanding();
+      out->push_back(Violation{"", "client queries unaccounted for", dump.str()});
+    }
+  }
+  for (size_t i = 0; i < servers_.size(); ++i) {
+    const ServerStats& s = servers_[i]->stats();
+    uint64_t processed = 0;
+    for (size_t c = 0; c < servers_[i]->config().num_cores; ++c) {
+      processed += servers_[i]->core_processed(c);
+    }
+    uint64_t accounted = processed + servers_[i]->QueueDepth() + servers_[i]->BusyCores();
+    if (s.enqueued != accounted) {
+      std::ostringstream dump;
+      dump << "  server " << i << ": enqueued=" << s.enqueued << " processed=" << processed
+           << " queued=" << servers_[i]->QueueDepth()
+           << " in_service=" << servers_[i]->BusyCores();
+      out->push_back(Violation{"", "server queries unaccounted for", dump.str()});
+    }
+  }
+  if (tor_ != nullptr) {
+    const SwitchCounters& c = tor_->counters();
+    uint64_t accounted = c.forwarded + c.unroutable + c.ttl_drops;
+    if (c.packets != accounted) {
+      std::ostringstream dump;
+      dump << "  switch: packets=" << c.packets << " forwarded=" << c.forwarded
+           << " unroutable=" << c.unroutable << " ttl_drops=" << c.ttl_drops;
+      out->push_back(Violation{"", "switch packets unaccounted for", dump.str()});
+    }
+  }
+}
+
+}  // namespace netcache

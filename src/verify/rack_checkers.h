@@ -1,0 +1,94 @@
+// The four standard rack-level invariant checkers (see invariant_checker.h):
+//
+//   cache_coherence     switch ValueStore contents == authoritative KvStore
+//                       value for every valid cached key, unless the §4.3
+//                       write-through protocol has an update in flight
+//   slot_consistency    lookup table / SlotAllocator / register bitmaps all
+//                       agree; no double-assigned or leaked slots (Alg 2)
+//   sketch_soundness    CM estimate >= true count, Bloom never
+//                       false-negative, hot reports really crossed the
+//                       threshold (Fig 7) — needs shadow tracking enabled
+//   packet_conservation offered == delivered + dropped + lost + in-flight on
+//                       every link direction, plus matching per-client and
+//                       per-server/switch accounting
+//
+// Rack::EnableInvariantChecks wires all four into a CheckerRunner; tests can
+// also instantiate them directly against a bare switch.
+
+#ifndef NETCACHE_VERIFY_RACK_CHECKERS_H_
+#define NETCACHE_VERIFY_RACK_CHECKERS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "dataplane/netcache_switch.h"
+#include "net/link.h"
+#include "proto/key.h"
+#include "server/storage_server.h"
+#include "verify/invariant_checker.h"
+
+namespace netcache {
+
+class CacheCoherenceChecker : public InvariantChecker {
+ public:
+  // `owner` maps a key to its authoritative storage server (the rack's hash
+  // partitioning); it must stay valid for the checker's lifetime.
+  using OwnerFn = std::function<const StorageServer*(const Key&)>;
+
+  CacheCoherenceChecker(const NetCacheSwitch* tor, OwnerFn owner);
+
+  std::string name() const override { return "cache_coherence"; }
+  void Check(std::vector<Violation>* out) const override;
+
+ private:
+  const NetCacheSwitch* tor_;
+  OwnerFn owner_;
+};
+
+class SlotConsistencyChecker : public InvariantChecker {
+ public:
+  explicit SlotConsistencyChecker(const NetCacheSwitch* tor);
+
+  std::string name() const override { return "slot_consistency"; }
+  void Check(std::vector<Violation>* out) const override;
+
+ private:
+  const NetCacheSwitch* tor_;
+};
+
+class SketchSoundnessChecker : public InvariantChecker {
+ public:
+  // The statistics module must have shadow tracking enabled (see
+  // QueryStatistics::EnableShadowTracking) before traffic flows, or the
+  // checks pass vacuously.
+  explicit SketchSoundnessChecker(const QueryStatistics* stats);
+
+  std::string name() const override { return "sketch_soundness"; }
+  void Check(std::vector<Violation>* out) const override;
+
+ private:
+  const QueryStatistics* stats_;
+};
+
+class PacketConservationChecker : public InvariantChecker {
+ public:
+  PacketConservationChecker(std::vector<const Link*> links,
+                            std::vector<const Client*> clients,
+                            std::vector<const StorageServer*> servers,
+                            const NetCacheSwitch* tor);
+
+  std::string name() const override { return "packet_conservation"; }
+  void Check(std::vector<Violation>* out) const override;
+
+ private:
+  std::vector<const Link*> links_;
+  std::vector<const Client*> clients_;
+  std::vector<const StorageServer*> servers_;
+  const NetCacheSwitch* tor_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_VERIFY_RACK_CHECKERS_H_

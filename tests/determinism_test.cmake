@@ -1,0 +1,30 @@
+# Runs netcache_sim rack twice with the same seed and asserts the metrics
+# JSON is byte-identical. Invariant checking stays on for both runs: the
+# checkers are read-only, so they must not perturb the simulation.
+#
+# Invoked by CTest as:
+#   cmake -DSIM=<netcache_sim> -DWORK_DIR=<dir> -P determinism_test.cmake
+
+set(FLAGS rack --servers=4 --offered=150000 --duration=0.2 --seed=1234
+    --metrics-interval=0.05 --check-invariants=0.02 --write-ratio=0.1)
+
+foreach(run a b)
+  execute_process(
+    COMMAND ${SIM} ${FLAGS} --metrics-out=${WORK_DIR}/determinism_${run}.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "run ${run} exited ${rc}:\n${out}\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/determinism_a.json ${WORK_DIR}/determinism_b.json
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+      "same-seed runs produced different metrics JSON "
+      "(${WORK_DIR}/determinism_a.json vs determinism_b.json)")
+endif()

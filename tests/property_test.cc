@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <bit>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -16,6 +17,8 @@
 #include "dataplane/slot_allocator.h"
 #include "dataplane/value_store.h"
 #include "proto/packet.h"
+#include "verify/checker_runner.h"
+#include "verify/rack_checkers.h"
 
 namespace netcache {
 namespace {
@@ -71,6 +74,7 @@ TEST_P(ParserFuzzTest, ParsedGarbageNeverCrashesTheSwitch) {
   cfg.indexes_per_pipe = 64;
   cfg.stats.counter_slots = 64;
   NetCacheSwitch sw(nullptr, "fuzz", cfg);
+  sw.query_stats().EnableShadowTracking();  // arm the sketch-soundness audit
   ASSERT_TRUE(sw.AddRoute(0x0a000001, 0).ok());
   ASSERT_TRUE(sw.InsertCacheEntry(K(1), Value::Filler(1, 32), 0x0a000001).ok());
 
@@ -87,7 +91,13 @@ TEST_P(ParserFuzzTest, ParsedGarbageNeverCrashesTheSwitch) {
       sw.ProcessPacket(*parsed, static_cast<uint32_t>(rng.NextBounded(8)));
     }
   }
+  // Full invariant sweep, including the Alg-2 structural audit and sketch
+  // soundness, after the garbage storm.
   EXPECT_TRUE(sw.CheckInvariants().ok());
+  CheckerRunner runner;
+  runner.AddChecker(std::make_unique<SlotConsistencyChecker>(&sw));
+  runner.AddChecker(std::make_unique<SketchSoundnessChecker>(&sw.query_stats()));
+  EXPECT_EQ(runner.RunOnce(), 0u);
 }
 
 // ------------------------------------------------- value store vs model
@@ -235,7 +245,11 @@ TEST_P(AllocatorOracleTest, IdenticalToBruteForceFirstFit) {
     } else {
       ASSERT_EQ(alloc.Evict(K(id)), oracle.Evict(id)) << "step " << step;
     }
+    if (step % 500 == 0) {
+      ASSERT_TRUE(alloc.CheckConsistency().ok()) << "step " << step;
+    }
   }
+  EXPECT_TRUE(alloc.CheckConsistency().ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorOracleTest, ::testing::Values(7, 77, 777, 7777));

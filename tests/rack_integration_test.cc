@@ -135,6 +135,7 @@ TEST(RackIntegrationTest, HotKeyGetsAdoptedAndServedFromCache) {
   Rack rack(TestRack());
   rack.Populate(1000, 64);
   rack.StartController();
+  CheckerRunner& verifier = rack.EnableInvariantChecks(1 * kMillisecond);
 
   // Hammer one key via real client traffic.
   int done = 0;
@@ -158,6 +159,12 @@ TEST(RackIntegrationTest, HotKeyGetsAdoptedAndServedFromCache) {
   uint64_t server_reads_after = rack.server(0).stats().reads + rack.server(1).stats().reads +
                                 rack.server(2).stats().reads + rack.server(3).stats().reads;
   EXPECT_EQ(server_reads_after, server_reads_before);
+
+  // Cache adoption went through insertion, stats reports, and coherence
+  // traffic; no invariant may have been violated along the way.
+  verifier.Stop();
+  EXPECT_EQ(verifier.RunOnce(), 0u);
+  EXPECT_EQ(verifier.total_violations(), 0u);
 }
 
 TEST(RackIntegrationTest, NoCacheRackNeverHits) {
@@ -204,6 +211,7 @@ TEST(RackIntegrationTest, MixedWorkloadDrainsConsistently) {
   rack.Populate(20, 64);
   rack.WarmCache({K(0), K(1), K(2), K(3)});
   rack.StartController();
+  CheckerRunner& verifier = rack.EnableInvariantChecks(500 * kMicrosecond);
 
   Rng rng(123);
   std::vector<Value> reference(20);
@@ -237,6 +245,11 @@ TEST(RackIntegrationTest, MixedWorkloadDrainsConsistently) {
     rack.sim().RunUntil(rack.sim().Now() + 5 * kMillisecond);
     EXPECT_EQ(got, reference[id]) << "key " << id;
   }
+
+  verifier.Stop();
+  EXPECT_EQ(verifier.RunOnce(), 0u);
+  EXPECT_EQ(verifier.total_violations(), 0u);
+  EXPECT_GT(verifier.runs(), 1u);
 }
 
 }  // namespace

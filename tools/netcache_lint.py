@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""netcache_lint: repo-specific static checks for the NetCache codebase.
+
+Rules (see docs/STATIC_ANALYSIS.md for the rationale):
+
+  determinism-rng     No direct randomness (rand, srand, std::random_device,
+                      std::mt19937, drand48, ...) outside src/common/rng.*.
+                      All randomness must flow through the seeded Rng so that
+                      same-seed runs stay byte-identical.
+  determinism-clock   No wall-clock reads (std::chrono ::now clocks, time(),
+                      gettimeofday, clock_gettime) outside
+                      src/common/time_units.h. Simulated time comes from
+                      Simulator::Now().
+  no-naked-assert     No bare assert(); use NC_CHECK from common/logging.h,
+                      which logs context and fires in release builds too.
+                      (static_assert is fine.)
+  include-guards      Headers under src/ use NETCACHE_<PATH>_H_ include
+                      guards, not #pragma once, and the guard matches the
+                      file's path.
+  no-stdio-logging    No std::cout/std::cerr/printf logging inside src/;
+                      library code logs through NC_LOG. Tools, examples,
+                      benchmarks, and tests may print.
+  no-using-namespace  No `using namespace std;` anywhere.
+
+Usage: python3 tools/netcache_lint.py [--root DIR]
+Prints findings as `path:line: [rule] message` and exits 1 if any.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".h", ".cc", ".cpp")
+
+RNG_PATTERN = re.compile(
+    r"(?<![\w.])(?:rand|srand|rand_r|drand48|lrand48|random)\s*\("
+    r"|std::random_device"
+    r"|std::mt19937"
+    r"|std::minstd_rand"
+    r"|std::default_random_engine"
+)
+
+CLOCK_PATTERN = re.compile(
+    r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+    r"|(?<![\w.])(?:time|gettimeofday|clock_gettime|clock|localtime|gmtime)\s*\("
+)
+
+ASSERT_PATTERN = re.compile(r"(?<!\w)assert\s*\(")
+
+STDIO_PATTERN = re.compile(
+    r"std::cout|std::cerr|(?<!\w)(?:printf|fprintf|puts|fputs)\s*\("
+)
+
+USING_NAMESPACE_STD = re.compile(r"using\s+namespace\s+std\s*;")
+
+
+def strip_comments_and_strings(line):
+    """Best-effort removal of string/char literals and // comments.
+
+    Keeps the line length-stable where possible is NOT attempted; findings
+    report the original line number only, so mangling columns is fine.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest is a line comment
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            end = line.find("*/", i + 2)
+            if end == -1:
+                break
+            i = end + 2
+            continue
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append(quote + quote)  # keep an empty literal as a token
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def relpath(path, root):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def guard_for(rel):
+    """src/dataplane/value_store.h -> NETCACHE_DATAPLANE_VALUE_STORE_H_."""
+    assert rel.startswith("src/")
+    stem = rel[len("src/"):]
+    token = re.sub(r"[^A-Za-z0-9]", "_", stem).upper()
+    return "NETCACHE_" + token + "_"
+
+
+def check_file(path, rel, findings):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw_lines = f.read().splitlines()
+
+    in_src = rel.startswith("src/")
+    in_tools = rel.startswith("tools/")
+    lines = [(i + 1, strip_comments_and_strings(l)) for i, l in enumerate(raw_lines)]
+
+    if (in_src or in_tools) and rel not in (
+        "src/common/rng.h",
+        "src/common/rng.cc",
+    ):
+        for num, text in lines:
+            if RNG_PATTERN.search(text):
+                findings.append(
+                    (rel, num, "determinism-rng",
+                     "direct randomness; use the seeded Rng in common/rng.h"))
+
+    if (in_src or in_tools) and rel != "src/common/time_units.h":
+        for num, text in lines:
+            if CLOCK_PATTERN.search(text):
+                findings.append(
+                    (rel, num, "determinism-clock",
+                     "wall-clock read; simulated time comes from Simulator::Now()"))
+
+    for num, text in lines:
+        if ASSERT_PATTERN.search(text):
+            findings.append(
+                (rel, num, "no-naked-assert",
+                 "bare assert(); use NC_CHECK from common/logging.h"))
+
+    if in_src and not any(
+        rel.startswith(p)
+        for p in ("src/common/logging.", "src/common/json_writer.")
+    ):
+        for num, text in lines:
+            if STDIO_PATTERN.search(text):
+                findings.append(
+                    (rel, num, "no-stdio-logging",
+                     "stdio logging in library code; use NC_LOG"))
+
+    for num, text in lines:
+        if USING_NAMESPACE_STD.search(text):
+            findings.append(
+                (rel, num, "no-using-namespace",
+                 "`using namespace std;` pollutes every includer"))
+
+    if in_src and rel.endswith(".h"):
+        check_include_guard(rel, raw_lines, findings)
+
+
+def check_include_guard(rel, raw_lines, findings):
+    guard = guard_for(rel)
+    ifndef_re = re.compile(r"^\s*#\s*ifndef\s+(\S+)")
+    define_re = re.compile(r"^\s*#\s*define\s+(\S+)")
+    ifndef_line = None
+    ifndef_name = None
+    for num, line in enumerate(raw_lines, start=1):
+        if re.match(r"^\s*#\s*pragma\s+once", line):
+            findings.append(
+                (rel, num, "include-guards",
+                 "#pragma once; use a NETCACHE_..._H_ guard"))
+            return
+        m = ifndef_re.match(line)
+        if m:
+            ifndef_line = num
+            ifndef_name = m.group(1)
+            break
+        if line.strip() and not line.lstrip().startswith("//"):
+            break  # first non-comment line is not a guard
+    if ifndef_line is None:
+        findings.append((rel, 1, "include-guards", "missing include guard"))
+        return
+    if ifndef_name != guard:
+        findings.append(
+            (rel, ifndef_line, "include-guards",
+             "guard %s does not match expected %s" % (ifndef_name, guard)))
+        return
+    # The #define must immediately follow.
+    if ifndef_line >= len(raw_lines):
+        findings.append((rel, ifndef_line, "include-guards", "guard has no #define"))
+        return
+    m = define_re.match(raw_lines[ifndef_line])
+    if not m or m.group(1) != guard:
+        findings.append(
+            (rel, ifndef_line + 1, "include-guards",
+             "#define after #ifndef must define %s" % guard))
+    # Closing #endif should carry the guard name as a trailing comment.
+    for num in range(len(raw_lines), 0, -1):
+        line = raw_lines[num - 1].strip()
+        if not line:
+            continue
+        if line.startswith("#endif"):
+            if guard not in line:
+                findings.append(
+                    (rel, num, "include-guards",
+                     "closing #endif should carry `// %s`" % guard))
+        else:
+            findings.append(
+                (rel, num, "include-guards",
+                 "file does not end with the guard's #endif"))
+        break
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script's directory)")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+
+    findings = []
+    scanned = 0
+    for top in ("src", "tools", "tests", "examples", "bench"):
+        top_dir = os.path.join(root, top)
+        if not os.path.isdir(top_dir):
+            continue
+        for dirpath, _, filenames in os.walk(top_dir):
+            for name in sorted(filenames):
+                if not name.endswith(CXX_EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                check_file(path, relpath(path, root), findings)
+                scanned += 1
+
+    findings.sort()
+    for rel, num, rule, msg in findings:
+        print("%s:%d: [%s] %s" % (rel, num, rule, msg))
+    print("netcache_lint: %d file(s) scanned, %d finding(s)"
+          % (scanned, len(findings)), file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,10 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
 #include "client/workload_driver.h"
 #include "common/cli.h"
 #include "common/json_writer.h"
@@ -36,6 +40,8 @@
 #include "core/rack.h"
 #include "core/saturation.h"
 #include "core/snake.h"
+#include "verify/checker_runner.h"
+#include "verify/rack_checkers.h"
 #include "workload/trace.h"
 
 namespace netcache {
@@ -56,11 +62,51 @@ int Usage(const char* program) {
                "\n"
                "observability (all subcommands):\n"
                "           --metrics-out=FILE.json   structured result / registry dump\n"
+               "           --check-invariants[=SECS] runtime invariant checking; on rack,\n"
+               "                                     re-check every SECS simulated seconds\n"
+               "                                     (default 0.05) plus a final sweep;\n"
+               "                                     exits 1 on any violation\n"
                "rack only: --metrics-interval=SECS   time-series sampling bin (default 0.1)\n"
                "           --trace-out=FILE.jsonl    packet-lifecycle span events\n"
                "           --trace-limit=N           trace ring-buffer capacity (default 65536)\n",
                program);
   return 2;
+}
+
+// Parses --check-invariants[=SECS]. Returns true when the flag is present and
+// stores the re-check interval (simulated seconds; 0.05 when given bare) in
+// *interval_s. Stores a negative value on a malformed interval.
+bool ParseCheckInvariants(ArgParser& args, double* interval_s) {
+  if (!args.Has("check-invariants")) {
+    return false;
+  }
+  // Bare `--check-invariants` is stored as "true" by the parser; GetDouble on
+  // it would record a parse error, so read the raw string.
+  std::string raw = args.GetString("check-invariants", "true");
+  if (raw == "true") {
+    *interval_s = 0.05;
+    return true;
+  }
+  char* end = nullptr;
+  double secs = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0' || !(secs > 0)) {
+    std::fprintf(stderr, "--check-invariants interval '%s' is not a positive number\n",
+                 raw.c_str());
+    *interval_s = -1;
+    return true;
+  }
+  *interval_s = secs;
+  return true;
+}
+
+// Prints the checker-runner summary line and returns the process exit code
+// contribution: 1 when any invariant was violated, 0 otherwise.
+int ReportInvariantResults(const CheckerRunner& runner) {
+  std::printf("invariants      %llu checks over %llu sweeps, %llu violations\n",
+              static_cast<unsigned long long>(runner.checks_run()),
+              static_cast<unsigned long long>(runner.runs()),
+              static_cast<unsigned long long>(runner.total_violations()));
+  return runner.total_violations() > 0 ? 1 : 0;
 }
 
 // Opens `path` for writing, runs `fill(writer)` on a JsonWriter over it, and
@@ -98,6 +144,8 @@ int RunRack(ArgParser& args) {
   double metrics_interval_s = args.GetDouble("metrics-interval", 0.1);
   std::string trace_out = args.GetString("trace-out", "");
   size_t trace_limit = static_cast<size_t>(args.GetInt("trace-limit", 65536));
+  double check_interval_s = 0;
+  bool check_invariants = ParseCheckInvariants(args, &check_interval_s);
   if (!args.ok()) {
     return 2;
   }
@@ -105,9 +153,15 @@ int RunRack(ArgParser& args) {
     std::fprintf(stderr, "--metrics-interval must be positive\n");
     return 2;
   }
+  if (check_invariants && check_interval_s < 0) {
+    return 2;
+  }
 
   Rack rack(cfg);
   rack.Populate(num_keys, 128);
+  if (check_invariants) {
+    rack.EnableInvariantChecks(static_cast<SimDuration>(check_interval_s * 1e9));
+  }
 
   // Install the trace ring before any traffic so the first client_send of
   // each early query is captured too.
@@ -175,6 +229,12 @@ int RunRack(ArgParser& args) {
     poller->Stop();
   }
   rack.sim().RunUntil(rack.sim().Now() + 20 * kMillisecond);
+  if (check_invariants) {
+    // Final sweep at quiesce: all packets drained, so conservation and
+    // coherence must hold exactly.
+    rack.invariant_runner()->Stop();
+    rack.invariant_runner()->RunOnce();
+  }
 
   const Histogram& lat = rack.client(0).latency();
   const SwitchCounters& sc = rack.tor().counters();
@@ -205,6 +265,9 @@ int RunRack(ArgParser& args) {
   }
 
   int rc = 0;
+  if (check_invariants) {
+    rc = std::max(rc, ReportInvariantResults(*rack.invariant_runner()));
+  }
   if (tracer != nullptr) {
     InstallTraceRecorder(nullptr);
     std::ofstream out(trace_out);
@@ -260,10 +323,58 @@ int RunSaturate(ArgParser& args) {
   cfg.write_back = args.GetBool("write-back", false);
   cfg.exact_ranks = std::max<size_t>(cfg.cache_size, 262'144);
   std::string metrics_out = args.GetString("metrics-out", "");
+  double check_interval_s = 0;
+  bool check_invariants = ParseCheckInvariants(args, &check_interval_s);
   if (!args.ok()) {
     return 2;
   }
+  if (check_invariants && check_interval_s < 0) {
+    return 2;
+  }
   SaturationResult r = SolveSaturation(cfg);
+  int rc = 0;
+  if (check_invariants) {
+    // Closed-form model sanity: no simulated time here, so validate the
+    // solver's outputs against the model's own conservation laws.
+    uint64_t violations = 0;
+    auto violation = [&violations](const char* msg) {
+      std::fprintf(stderr, "[invariant:model_sanity] %s\n", msg);
+      ++violations;
+    };
+    if (!(r.cache_hit_fraction >= 0.0 && r.cache_hit_fraction <= 1.0)) {
+      violation("cache_hit_fraction outside [0, 1]");
+    }
+    if (!std::isfinite(r.total_qps) || r.total_qps < 0 ||
+        !std::isfinite(r.cache_qps) || r.cache_qps < 0 ||
+        !std::isfinite(r.server_qps) || r.server_qps < 0) {
+      violation("non-finite or negative throughput component");
+    }
+    double tol = 1e-6 * std::max(r.total_qps, 1.0);
+    if (std::abs(r.total_qps - (r.cache_qps + r.server_qps)) > tol) {
+      violation("total_qps != cache_qps + server_qps (query conservation)");
+    }
+    double per_server_sum = 0;
+    for (double qps : r.per_server_qps) {
+      per_server_sum += qps;
+      if (!std::isfinite(qps) || qps < 0) {
+        violation("per-server load non-finite or negative");
+      }
+      if (qps > cfg.server_rate_qps * (1.0 + 1e-6)) {
+        violation("per-server load exceeds server capacity at the solution");
+      }
+    }
+    if (r.per_server_qps.size() != cfg.num_partitions) {
+      violation("per_server_qps size != num_partitions");
+    }
+    if (r.bottleneck_server >= cfg.num_partitions) {
+      violation("bottleneck_server out of range");
+    }
+    std::printf("invariants      %d checks, %llu violations\n", 7,
+                static_cast<unsigned long long>(violations));
+    if (violations > 0) {
+      rc = 1;
+    }
+  }
   std::printf("total       %.3e q/s\n", r.total_qps);
   std::printf("cache       %.3e q/s (hit fraction %.3f)\n", r.cache_qps,
               r.cache_hit_fraction);
@@ -292,7 +403,7 @@ int RunSaturate(ArgParser& args) {
       return 1;
     }
   }
-  return 0;
+  return rc;
 }
 
 int RunMultiRack(ArgParser& args) {
@@ -313,10 +424,40 @@ int RunMultiRack(ArgParser& args) {
     std::fprintf(stderr, "unknown --mode '%s'\n", mode.c_str());
     return 2;
   }
+  double check_interval_s = 0;
+  bool check_invariants = ParseCheckInvariants(args, &check_interval_s);
   if (!args.ok()) {
     return 2;
   }
+  if (check_invariants && check_interval_s < 0) {
+    return 2;
+  }
   MultiRackResult r = SolveMultiRack(cfg);
+  int rc = 0;
+  if (check_invariants) {
+    uint64_t violations = 0;
+    auto violation = [&violations](const char* msg) {
+      std::fprintf(stderr, "[invariant:model_sanity] %s\n", msg);
+      ++violations;
+    };
+    if (!std::isfinite(r.total_qps) || r.total_qps < 0 || !std::isfinite(r.spine_qps) ||
+        r.spine_qps < 0 || !std::isfinite(r.tor_qps) || r.tor_qps < 0 ||
+        !std::isfinite(r.server_qps) || r.server_qps < 0) {
+      violation("non-finite or negative throughput component");
+    }
+    double tol = 1e-6 * std::max(r.total_qps, 1.0);
+    if (std::abs(r.total_qps - (r.spine_qps + r.tor_qps + r.server_qps)) > tol) {
+      violation("total_qps != spine + tor + server (query conservation)");
+    }
+    if (r.limited_by.empty()) {
+      violation("limited_by not reported");
+    }
+    std::printf("invariants      %d checks, %llu violations\n", 3,
+                static_cast<unsigned long long>(violations));
+    if (violations > 0) {
+      rc = 1;
+    }
+  }
   std::printf("%s, %zu racks x %zu servers:\n", MultiRackModeName(cfg.mode), cfg.num_racks,
               cfg.servers_per_rack);
   std::printf("total    %.3e q/s\n", r.total_qps);
@@ -343,7 +484,7 @@ int RunMultiRack(ArgParser& args) {
       return 1;
     }
   }
-  return 0;
+  return rc;
 }
 
 int RunSnake(ArgParser& args) {
@@ -351,7 +492,12 @@ int RunSnake(ArgParser& args) {
   uint64_t queries = static_cast<uint64_t>(args.GetInt("queries", 1000));
   size_t cache = static_cast<size_t>(args.GetInt("cache", 1024));
   size_t value_size = static_cast<size_t>(args.GetInt("value-size", 128));
+  double check_interval_s = 0;
+  bool check_invariants = ParseCheckInvariants(args, &check_interval_s);
   if (!args.ok()) {
+    return 2;
+  }
+  if (check_invariants && check_interval_s < 0) {
     return 2;
   }
   SwitchConfig cfg;
@@ -360,12 +506,27 @@ int RunSnake(ArgParser& args) {
   cfg.indexes_per_pipe = cfg.cache_capacity;
   cfg.stats.counter_slots = cfg.cache_capacity;
   SnakeHarness snake(cfg, ports);
+  if (check_invariants) {
+    // Shadow tracking must precede traffic so the soundness checker has
+    // ground-truth counts for every sampled query.
+    snake.tor().query_stats().EnableShadowTracking();
+  }
   Status st = snake.CacheItems(cache, value_size);
   if (!st.ok()) {
     std::fprintf(stderr, "cache population failed: %s\n", st.ToString().c_str());
     return 1;
   }
   SnakeResult r = snake.Run(queries, 1 * kMicrosecond);
+  int rc = 0;
+  if (check_invariants) {
+    // The snake has no servers or clients; the switch-local invariants
+    // (slot-allocator consistency, sketch soundness) are the meaningful ones.
+    CheckerRunner runner;
+    runner.AddChecker(std::make_unique<SlotConsistencyChecker>(&snake.tor()));
+    runner.AddChecker(std::make_unique<SketchSoundnessChecker>(&snake.tor().query_stats()));
+    runner.RunOnce();
+    rc = ReportInvariantResults(runner);
+  }
   std::printf("ports           %zu (%zu pipeline passes per query)\n", ports, r.passes);
   std::printf("injected        %llu\n", static_cast<unsigned long long>(r.sent));
   std::printf("pipeline reads  %llu (x%.0f amplification)\n",
@@ -397,7 +558,7 @@ int RunSnake(ArgParser& args) {
       return 1;
     }
   }
-  return 0;
+  return rc;
 }
 
 int Main(int argc, char** argv) {
