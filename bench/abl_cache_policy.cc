@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/zipf.h"
@@ -176,7 +177,15 @@ class NetCachePolicy : public CacheBase {
   std::unordered_map<uint64_t, uint32_t> counter_;
 };
 
-void Run() {
+void AddPolicyTrial(bench::BenchHarness& harness, const char* name,
+                    const PolicyResult& r) {
+  harness.AddTrial(name)
+      .Metric("hit_ratio", r.hit_ratio)
+      .Metric("updates_wanted", static_cast<double>(r.updates_wanted))
+      .Metric("updates_applied", static_cast<double>(r.updates_applied));
+}
+
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Ablation: cache-update policy under a 10K updates/s control plane "
       "(zipf-0.99, 10K cache, popularity shuffled at t=0)");
@@ -198,6 +207,7 @@ void Run() {
   std::printf("%-12s | %10.3f %16zu %16zu%s\n", "lru-everyq", r1.hit_ratio,
               r1.updates_wanted, r1.updates_applied,
               r1.updates_wanted > kUpdateBudget ? "  (budget exhausted)" : "");
+  AddPolicyTrial(harness, "lru-everyq", r1);
 
   LfuPolicy lfu;
   lfu.Warm(old_top);
@@ -205,12 +215,14 @@ void Run() {
   std::printf("%-12s | %10.3f %16zu %16zu%s\n", "lfu-everyq", r2.hit_ratio,
               r2.updates_wanted, r2.updates_applied,
               r2.updates_wanted > kUpdateBudget ? "  (budget exhausted)" : "");
+  AddPolicyTrial(harness, "lfu-everyq", r2);
 
   NetCachePolicy nc;
   nc.Warm(old_top);
   PolicyResult r3 = Replay(nc, pop, zipf);
   std::printf("%-12s | %10.3f %16zu %16zu\n", "netcache", r3.hit_ratio, r3.updates_wanted,
               r3.updates_applied);
+  AddPolicyTrial(harness, "netcache", r3);
 
   bench::PrintNote("");
   bench::PrintNote("LRU wants an update for EVERY miss (~1M/s here) — 100x beyond what the");
@@ -222,7 +234,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "abl_cache_policy");
+  netcache::Run(harness);
+  return harness.Finish();
 }

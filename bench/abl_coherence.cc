@@ -15,8 +15,10 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "core/rack.h"
+#include "core/sweep.h"
 
 namespace netcache {
 namespace {
@@ -27,6 +29,8 @@ struct Outcome {
   double write_avg_us = 0;
   double write_p99_us = 0;
   double read_hit_pct = 0;
+  uint64_t events = 0;
+  double wall_ms = 0;
 };
 
 Outcome RunMode(CoherenceMode mode) {
@@ -79,27 +83,47 @@ Outcome RunMode(CoherenceMode mode) {
   out.write_p99_us = static_cast<double>(write_latency.Quantile(0.99)) / 1e3;
   out.read_hit_pct = 100.0 * static_cast<double>(rack.tor().counters().cache_hits) /
                      static_cast<double>(reads_sent);
+  out.events = rack.sim().events_processed();
   return out;
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Ablation: §4.3 coherence designs (1 hot cached key, 100 reads/ms + "
       "1 write/ms, 10 ms/op control plane)");
   std::printf("%-28s | %12s %12s %12s\n", "design", "write avg", "write p99", "read hits");
   struct Row {
     const char* name;
+    const char* label;
     CoherenceMode mode;
   };
   const std::vector<Row> rows = {
-      {"write-through async (paper)", CoherenceMode::kWriteThroughAsync},
-      {"write-through sync", CoherenceMode::kWriteThroughSync},
-      {"write-around", CoherenceMode::kWriteAround},
+      {"write-through async (paper)", "write-through-async", CoherenceMode::kWriteThroughAsync},
+      {"write-through sync", "write-through-sync", CoherenceMode::kWriteThroughSync},
+      {"write-around", "write-around", CoherenceMode::kWriteAround},
   };
-  for (const Row& row : rows) {
-    Outcome o = RunMode(row.mode);
-    std::printf("%-28s | %10.1fus %10.1fus %11.1f%%\n", row.name, o.write_avg_us,
+  std::vector<Outcome> outcomes =
+      RunSweep(rows, harness.sweep_options(),
+               [](const Row& row, uint64_t /*seed*/, size_t /*index*/) {
+        auto start = std::chrono::steady_clock::now();
+        Outcome o = RunMode(row.mode);
+        std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - start;
+        o.wall_ms = elapsed.count();
+        return o;
+      });
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    std::printf("%-28s | %10.1fus %10.1fus %11.1f%%\n", rows[i].name, o.write_avg_us,
                 o.write_p99_us, o.read_hit_pct);
+    bench::TrialRecord rec;
+    rec.label = rows[i].label;
+    rec.Metric("write_avg_us", o.write_avg_us)
+        .Metric("write_p99_us", o.write_p99_us)
+        .Metric("read_hit_pct", o.read_hit_pct);
+    rec.wall_ms = o.wall_ms;
+    rec.events = o.events;
+    harness.AddTrialRecord(std::move(rec));
   }
   bench::PrintNote("");
   bench::PrintNote("The async design keeps write latency at the plain server round trip AND");
@@ -111,7 +135,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "abl_coherence");
+  netcache::Run(harness);
+  return harness.Finish();
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "core/saturation.h"
 #include "workload/consistent_hash.h"
@@ -55,7 +56,7 @@ ChOutcome SolveWithRing(size_t vnodes) {
   return ChOutcome{kServerRate / max_load, max_share * kServers};
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Ablation: consistent hashing + virtual nodes vs NetCache (§8; 128 "
       "servers x 10 MQPS, zipf-0.99, read-only)");
@@ -66,6 +67,10 @@ void Run() {
     std::snprintf(name, sizeof(name), "consistent hash, %zu vns", vnodes);
     std::printf("%-26s | %14s %19.2fx\n", name, bench::Qps(o.total_qps).c_str(),
                 o.ownership_spread);
+    harness.AddTrial("vnodes=" + std::to_string(vnodes))
+        .Config("vnodes", static_cast<double>(vnodes))
+        .Metric("qps", o.total_qps)
+        .Metric("ownership_spread", o.ownership_spread);
   }
 
   SaturationConfig nc;
@@ -75,8 +80,10 @@ void Run() {
   nc.zipf_alpha = 0.99;
   nc.cache_size = 10'000;
   nc.exact_ranks = kExact;
-  std::printf("%-26s | %14s %20s\n", "NetCache (10K cache)",
-              bench::Qps(SolveSaturation(nc).total_qps).c_str(), "n/a");
+  double nc_qps = SolveSaturation(nc).total_qps;
+  std::printf("%-26s | %14s %20s\n", "NetCache (10K cache)", bench::Qps(nc_qps).c_str(),
+              "n/a");
+  harness.AddTrial("netcache").Metric("qps", nc_qps);
 
   bench::PrintNote("");
   bench::PrintNote("Virtual nodes drive keyspace ownership toward 1.0x (their purpose) yet");
@@ -88,7 +95,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "abl_consistent_hash");
+  netcache::Run(harness);
+  return harness.Finish();
 }

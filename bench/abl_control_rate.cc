@@ -9,9 +9,11 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "client/workload_driver.h"
 #include "core/rack.h"
+#include "core/sweep.h"
 
 namespace netcache {
 namespace {
@@ -19,7 +21,13 @@ namespace {
 constexpr uint64_t kNumKeys = 20'000;
 constexpr size_t kCacheItems = 300;
 
-std::vector<double> RunHotIn(SimDuration control_op_latency) {
+struct HotInResult {
+  std::vector<double> bins;
+  uint64_t events = 0;
+  double wall_ms = 0;
+};
+
+std::vector<double> RunHotIn(SimDuration control_op_latency, uint64_t* events_out) {
   RackConfig cfg;
   cfg.num_servers = 8;
   cfg.num_clients = 1;
@@ -68,10 +76,11 @@ std::vector<double> RunHotIn(SimDuration control_op_latency) {
   for (size_t i = 0; i < 12; ++i) {
     bins.push_back(driver.goodput().BinSum(i));
   }
+  *events_out = rack.sim().events_processed();
   return bins;
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Ablation: control-plane speed vs hot-in recovery (8 x 10 KQPS, 300-item "
       "cache, 150-key hot-in at t=5s)");
@@ -80,14 +89,42 @@ void Run() {
     std::printf("  t=%-2ds", s);
   }
   std::printf("\n");
-  for (SimDuration latency : {100 * kMicrosecond, 1 * kMillisecond, 10 * kMillisecond,
-                              50 * kMillisecond}) {
-    std::vector<double> bins = RunHotIn(latency);
-    std::printf("%11.1f ms   |", static_cast<double>(latency) / 1e6);
+  const std::vector<SimDuration> latencies = {100 * kMicrosecond, 1 * kMillisecond,
+                                              10 * kMillisecond, 50 * kMillisecond};
+  std::vector<HotInResult> results =
+      RunSweep(latencies, harness.sweep_options(),
+               [](SimDuration latency, uint64_t /*seed*/, size_t /*index*/) {
+        auto start = std::chrono::steady_clock::now();
+        HotInResult r;
+        r.bins = RunHotIn(latency, &r.events);
+        std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - start;
+        r.wall_ms = elapsed.count();
+        return r;
+      });
+  for (size_t i = 0; i < latencies.size(); ++i) {
+    const std::vector<double>& bins = results[i].bins;
+    std::printf("%11.1f ms   |", static_cast<double>(latencies[i]) / 1e6);
     for (int s = 3; s < 12; ++s) {
       std::printf(" %5.0fK", bins[static_cast<size_t>(s)] / 1e3);
     }
     std::printf("\n");
+    // Recovery quality: goodput in the two seconds after the flip relative to
+    // the pre-flip second.
+    double pre = bins[4];
+    double post = (bins[5] + bins[6]) / 2.0;
+    char label[48];
+    std::snprintf(label, sizeof(label), "ctrl_latency_ms=%.1f",
+                  static_cast<double>(latencies[i]) / 1e6);
+    bench::TrialRecord rec;
+    rec.label = label;
+    rec.Config("control_op_latency_ms", static_cast<double>(latencies[i]) / 1e6)
+        .Metric("pre_flip_goodput", pre)
+        .Metric("post_flip_goodput", post)
+        .Metric("recovery_ratio", pre > 0 ? post / pre : 0);
+    rec.wall_ms = results[i].wall_ms;
+    rec.events = results[i].events;
+    harness.AddTrialRecord(std::move(rec));
   }
   bench::PrintNote("");
   bench::PrintNote("At 0.1 ms/op (10K updates/s, the paper's assumption) goodput recovers");
@@ -99,7 +136,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "abl_control_rate");
+  netcache::Run(harness);
+  return harness.Finish();
 }

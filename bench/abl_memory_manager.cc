@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "dataplane/slot_allocator.h"
@@ -41,7 +42,7 @@ const char* MixName(int mix) {
   }
 }
 
-void FillToFailure(int mix) {
+void FillToFailure(bench::BenchHarness& harness, int mix) {
   SlotAllocator alloc(kStages, kRows);
   Rng rng(7);
   uint64_t id = 0;
@@ -53,9 +54,12 @@ void FillToFailure(int mix) {
   }
   std::printf("  %-18s fill-to-failure utilization: %5.1f%%  (%zu items)\n", MixName(mix),
               100.0 * alloc.Utilization(), alloc.num_items());
+  harness.AddTrial(std::string("fill/") + MixName(mix))
+      .Metric("utilization", alloc.Utilization())
+      .Metric("items", static_cast<double>(alloc.num_items()));
 }
 
-void ChurnUtilization(int mix, bool defrag) {
+void ChurnUtilization(bench::BenchHarness& harness, int mix, bool defrag) {
   SlotAllocator alloc(kStages, kRows);
   Rng rng(8);
   std::vector<std::pair<uint64_t, size_t>> live;  // (key id, units)
@@ -93,18 +97,24 @@ void ChurnUtilization(int mix, bool defrag) {
   std::printf("  %-18s churn (%s): utilization %5.1f%%, failures %6zu, defrag moves %zu\n",
               MixName(mix), defrag ? "with defrag" : "no defrag  ",
               100.0 * alloc.Utilization(), failures, defrag_moves);
+  harness.AddTrial(std::string("churn/") + MixName(mix) +
+                   (defrag ? "/defrag" : "/no-defrag"))
+      .Config("defrag", defrag ? 1 : 0)
+      .Metric("utilization", alloc.Utilization())
+      .Metric("failures", static_cast<double>(failures))
+      .Metric("defrag_moves", static_cast<double>(defrag_moves));
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader("Ablation: Alg-2 first-fit memory manager (8 stages x 4096 rows)");
   std::printf("\n(a) fill an empty pipe until the first failed insert\n");
   for (int mix : {0, 1, 2}) {
-    FillToFailure(mix);
+    FillToFailure(harness, mix);
   }
   std::printf("\n(b) sustained insert/evict churn, 200K ops, ~52%% inserts\n");
   for (int mix : {0, 1, 2}) {
-    ChurnUtilization(mix, false);
-    ChurnUtilization(mix, true);
+    ChurnUtilization(harness, mix, false);
+    ChurnUtilization(harness, mix, true);
   }
   bench::PrintNote("");
   bench::PrintNote("Non-contiguous bitmaps make first-fit nearly fragmentation-free for");
@@ -116,7 +126,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "abl_memory_manager");
+  netcache::Run(harness);
+  return harness.Finish();
 }

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "core/saturation.h"
 
@@ -27,25 +28,33 @@ SaturationResult Solve(size_t partitions, double rate, size_t cache) {
   return SolveSaturation(cfg);
 }
 
-void Run() {
+void Row(bench::BenchHarness& harness, const char* title, const char* label,
+         size_t partitions, double rate) {
+  SaturationResult none = Solve(partitions, rate, 0);
+  SaturationResult c1k = Solve(partitions, rate, 1000);
+  SaturationResult c10k = Solve(partitions, rate, 10'000);
+  SaturationResult c64k = Solve(partitions, rate, 64'000);
+  std::printf("%-26s | %12s %12s %12s %12s\n", title, bench::Qps(none.total_qps).c_str(),
+              bench::Qps(c1k.total_qps).c_str(), bench::Qps(c10k.total_qps).c_str(),
+              bench::Qps(c64k.total_qps).c_str());
+  harness.AddTrial(label)
+      .Config("partitions", static_cast<double>(partitions))
+      .Metric("nocache_qps", none.total_qps)
+      .Metric("cache1k_qps", c1k.total_qps)
+      .Metric("cache10k_qps", c10k.total_qps)
+      .Metric("cache64k_qps", c64k.total_qps);
+}
+
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Ablation: per-core sharding (128 servers x 16 cores, zipf-0.99, read-only)");
   std::printf("%-26s | %12s %12s %12s %12s\n", "serving model", "NoCache", "NC-1K", "NC-10K",
               "NC-64K");
 
   // Per-server partitions: 128 x 10 MQPS.
-  std::printf("%-26s | %12s %12s %12s %12s\n", "per-server (128 parts)",
-              bench::Qps(Solve(128, 10e6, 0).total_qps).c_str(),
-              bench::Qps(Solve(128, 10e6, 1000).total_qps).c_str(),
-              bench::Qps(Solve(128, 10e6, 10'000).total_qps).c_str(),
-              bench::Qps(Solve(128, 10e6, 64'000).total_qps).c_str());
-
+  Row(harness, "per-server (128 parts)", "per-server", 128, 10e6);
   // Per-core partitions: 2048 x 0.625 MQPS (same aggregate hardware).
-  std::printf("%-26s | %12s %12s %12s %12s\n", "per-core  (2048 parts)",
-              bench::Qps(Solve(2048, 10e6 / 16, 0).total_qps).c_str(),
-              bench::Qps(Solve(2048, 10e6 / 16, 1000).total_qps).c_str(),
-              bench::Qps(Solve(2048, 10e6 / 16, 10'000).total_qps).c_str(),
-              bench::Qps(Solve(2048, 10e6 / 16, 64'000).total_qps).c_str());
+  Row(harness, "per-core  (2048 parts)", "per-core", 2048, 10e6 / 16);
 
   bench::PrintNote("");
   bench::PrintNote("NoCache collapses ~16x harder with per-core sharding (one core, not one");
@@ -57,7 +66,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "abl_percore_sharding");
+  netcache::Run(harness);
+  return harness.Finish();
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "common/zipf.h"
 #include "core/saturation.h"
@@ -63,19 +64,26 @@ double SolveReplication(size_t replicas) {
   return kServerRate / max_load;
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Ablation: selective replication vs in-network caching (§1 alternative; "
       "128 servers x 10 MQPS, zipf-0.99, top-10K hot set)");
   std::printf("%-26s | %12s %16s\n", "scheme", "throughput", "extra item copies");
-  std::printf("%-26s | %12s %16s\n", "no replication (NoCache)",
-              bench::Qps(SolveReplication(1)).c_str(), "0");
+  double base = SolveReplication(1);
+  std::printf("%-26s | %12s %16s\n", "no replication (NoCache)", bench::Qps(base).c_str(),
+              "0");
+  harness.AddTrial("replication=1").Config("replicas", 1).Metric("qps", base);
   for (size_t r : {2ul, 4ul, 8ul, 16ul, 32ul}) {
+    double qps = SolveReplication(r);
     char copies[32];
     std::snprintf(copies, sizeof(copies), "%zu", kHotSet * (r - 1));
     char name[32];
     std::snprintf(name, sizeof(name), "replication x%zu", r);
-    std::printf("%-26s | %12s %16s\n", name, bench::Qps(SolveReplication(r)).c_str(), copies);
+    std::printf("%-26s | %12s %16s\n", name, bench::Qps(qps).c_str(), copies);
+    harness.AddTrial("replication=" + std::to_string(r))
+        .Config("replicas", static_cast<double>(r))
+        .Metric("qps", qps)
+        .Metric("extra_copies", static_cast<double>(kHotSet * (r - 1)));
   }
 
   SaturationConfig nc;
@@ -85,8 +93,10 @@ void Run() {
   nc.zipf_alpha = 0.99;
   nc.cache_size = kHotSet;
   nc.exact_ranks = kExact;
-  std::printf("%-26s | %12s %16s\n", "NetCache (10K in switch)",
-              bench::Qps(SolveSaturation(nc).total_qps).c_str(), "10000 (on-chip)");
+  double nc_qps = SolveSaturation(nc).total_qps;
+  std::printf("%-26s | %12s %16s\n", "NetCache (10K in switch)", bench::Qps(nc_qps).c_str(),
+              "10000 (on-chip)");
+  harness.AddTrial("netcache").Metric("qps", nc_qps);
 
   bench::PrintNote("");
   bench::PrintNote("Even 32-way replication (310K extra server-resident copies, plus the §1");
@@ -98,7 +108,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "abl_selective_replication");
+  netcache::Run(harness);
+  return harness.Finish();
 }

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/zipf.h"
@@ -73,7 +74,7 @@ Outcome RunEpoch(size_t sketch_width, double sample_rate, uint32_t threshold) {
   return out;
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Ablation: heavy-hitter precision/recall vs sketch width & sample rate "
       "(zipf-0.99, 1M keys, 2M queries/epoch, threshold 128)");
@@ -84,6 +85,14 @@ void Run() {
       Outcome o = RunEpoch(width, sample, 128);
       std::printf("%-10zu %-8.2f | %9.3f %9.3f %9zu %9zu\n", width, sample, o.precision,
                   o.recall, o.reports, o.truly_hot);
+      char label[48];
+      std::snprintf(label, sizeof(label), "width=%zu/sample=%.2f", width, sample);
+      harness.AddTrial(label)
+          .Config("sketch_width", static_cast<double>(width))
+          .Config("sample_rate", sample)
+          .Metric("precision", o.precision)
+          .Metric("recall", o.recall)
+          .Metric("reports", static_cast<double>(o.reports));
     }
   }
   bench::PrintNote("");
@@ -95,7 +104,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "abl_sketch_accuracy");
+  netcache::Run(harness);
+  return harness.Finish();
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "core/saturation.h"
 
@@ -29,7 +30,7 @@ SaturationResult Solve(double w, size_t cache, bool write_back) {
   return SolveSaturation(cfg);
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Ablation: in-switch write handling (§5) under skewed writes "
       "(zipf-0.99 reads AND writes, 128 servers, 10K cached items)");
@@ -40,6 +41,13 @@ void Run() {
     SaturationResult wb = Solve(w, 10'000, true);
     std::printf("%-6.2f | %14s %16s %16s\n", w, bench::Qps(none.total_qps).c_str(),
                 bench::Qps(wt.total_qps).c_str(), bench::Qps(wb.total_qps).c_str());
+    char label[32];
+    std::snprintf(label, sizeof(label), "w=%.2f", w);
+    harness.AddTrial(label)
+        .Config("write_ratio", w)
+        .Metric("nocache_qps", none.total_qps)
+        .Metric("write_through_qps", wt.total_qps)
+        .Metric("write_back_qps", wb.total_qps);
   }
   bench::PrintNote("");
   bench::PrintNote("Write-through (the paper's design) collapses to NoCache as skewed");
@@ -51,7 +59,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "abl_write_back");
+  netcache::Run(harness);
+  return harness.Finish();
 }

@@ -1,0 +1,82 @@
+#include "bench/bench_harness.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/cli.h"
+#include "common/json_writer.h"
+
+namespace netcache {
+namespace bench {
+
+BenchHarness::BenchHarness(int argc, char** argv, std::string name)
+    : name_(std::move(name)) {
+  ArgParser args(argc, argv);
+  json_path_ = args.GetString("json", "");
+  seed_ = static_cast<uint64_t>(args.GetInt("seed", 42));
+  threads_ = static_cast<size_t>(args.GetInt("threads", 0));
+  serial_ = args.GetBool("serial", false);
+}
+
+TrialRecord& BenchHarness::AddTrial(const std::string& label) {
+  trials_.push_back(TrialRecord{});
+  trials_.back().label = label;
+  return trials_.back();
+}
+
+void BenchHarness::AddTrialRecord(TrialRecord record) {
+  trials_.push_back(std::move(record));
+}
+
+int BenchHarness::Finish() const {
+  if (json_path_.empty()) {
+    return 0;
+  }
+  std::ofstream out(json_path_);
+  if (!out) {
+    std::fprintf(stderr, "bench_harness: cannot open '%s' for writing\n", json_path_.c_str());
+    return 1;
+  }
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Field("bench", name_);
+  w.Field("seed", seed_);
+  w.Name("trials");
+  w.BeginArray();
+  for (const TrialRecord& t : trials_) {
+    w.BeginObject();
+    w.Field("label", t.label);
+    w.Name("config");
+    w.BeginObject();
+    for (const auto& [key, value] : t.config) {
+      w.Field(key, value);
+    }
+    w.EndObject();
+    w.Name("metrics");
+    w.BeginObject();
+    for (const auto& [key, value] : t.metrics) {
+      w.Field(key, value);
+    }
+    w.EndObject();
+    if (t.wall_ms > 0) {
+      w.Field("wall_ms", t.wall_ms);
+      if (t.events > 0) {
+        w.Field("events", t.events);
+        w.Field("events_per_sec", static_cast<double>(t.events) / (t.wall_ms / 1e3));
+      }
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  out << "\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "bench_harness: write to '%s' failed\n", json_path_.c_str());
+    return 1;
+  }
+  std::printf("json            trial results to %s\n", json_path_.c_str());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace netcache

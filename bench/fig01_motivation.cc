@@ -14,13 +14,14 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "core/saturation.h"
 
 namespace netcache {
 namespace {
 
-void PartA() {
+void PartA(bench::BenchHarness& harness) {
   std::printf("\n(a) caching-layer sizing, M ~= N * T/T'  (N = 128 storage nodes)\n");
   std::printf("%-34s %12s %12s %8s\n", "configuration", "T (store)", "T' (cache)", "M");
   struct Row {
@@ -37,13 +38,17 @@ void PartA() {
     double m = 128.0 * row.t / row.tp;
     std::printf("%-34s %12s %12s %8.2f\n", row.name, bench::Qps(row.t).c_str(),
                 bench::Qps(row.tp).c_str(), m);
+    harness.AddTrial(std::string("sizing/") + row.name)
+        .Config("store_qps", row.t)
+        .Config("cache_qps", row.tp)
+        .Metric("cache_nodes_needed", m);
   }
   bench::PrintNote("");
   bench::PrintNote("DRAM-over-flash needs ~1 cache node; DRAM-over-DRAM needs a cache layer");
   bench::PrintNote("as big as the store (cost + M-way coherence); the switch needs one box.");
 }
 
-void PartB() {
+void PartB(bench::BenchHarness& harness) {
   std::printf("\n(b) saturation model: one cache front of rate T' over 128 x 10 MQPS\n");
   std::printf("%-34s | %12s %9s\n", "cache technology (T')", "system tput", "gain");
   SaturationConfig cfg;
@@ -56,6 +61,7 @@ void PartB() {
   cfg.cache_size = 0;
   double base = SolveSaturation(cfg).total_qps;
   std::printf("%-34s | %12s %8s\n", "none (NoCache)", bench::Qps(base).c_str(), "1.0x");
+  harness.AddTrial("saturation/nocache").Metric("total_qps", base).Metric("gain", 1.0);
 
   cfg.cache_size = 10'000;
   struct Tech {
@@ -72,6 +78,10 @@ void PartB() {
     SaturationResult r = SolveSaturation(cfg);
     std::printf("%-34s | %12s %8.1fx  (limited by %s)\n", tech.name,
                 bench::Qps(r.total_qps).c_str(), r.total_qps / base, r.limited_by.c_str());
+    harness.AddTrial(std::string("saturation/") + tech.name)
+        .Config("cache_capacity_qps", tech.capacity)
+        .Metric("total_qps", r.total_qps)
+        .Metric("gain", r.total_qps / base);
   }
   bench::PrintNote("");
   bench::PrintNote("A server-class cache front is itself the bottleneck for an in-memory");
@@ -82,11 +92,12 @@ void PartB() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "fig01_motivation");
   netcache::bench::PrintHeader(
       "Figure 1 / §2: why the load-balancing cache must be orders of "
       "magnitude faster than the store");
-  netcache::PartA();
-  netcache::PartB();
-  return 0;
+  netcache::PartA(harness);
+  netcache::PartB(harness);
+  return harness.Finish();
 }

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/bench_harness.h"
 #include "common/rng.h"
 #include "core/snake.h"
 #include "dataplane/netcache_switch.h"
@@ -153,7 +154,7 @@ void PrintLineRateDerivation() {
   std::printf("  single-cycle dedicated SRAM read).\n\n");
 }
 
-void RunSnakeDemo() {
+void RunSnakeDemo(bench::BenchHarness& harness) {
   std::printf("Snake-test harness (64 ports, as in §7.1):\n");
   SwitchConfig cfg;
   cfg.num_pipes = 1;
@@ -162,6 +163,13 @@ void RunSnakeDemo() {
   SnakeHarness snake(cfg, 64);
   NC_CHECK(snake.CacheItems(1024, 128).ok());
   SnakeResult r = snake.Run(/*queries=*/2000, /*pacing=*/1 * kMicrosecond);
+  harness.AddTrial("snake/64ports")
+      .Config("queries", 2000)
+      .Config("ports", 64)
+      .Metric("pipeline_reads", static_cast<double>(r.pipeline_reads))
+      .Metric("amplification", r.amplification)
+      .Metric("received", static_cast<double>(r.received))
+      .Metric("value_ok", static_cast<double>(r.value_ok));
   std::printf("  injected %llu queries -> %llu pipeline passes (x%.0f amplification),\n",
               static_cast<unsigned long long>(r.sent),
               static_cast<unsigned long long>(r.pipeline_reads), r.amplification);
@@ -176,10 +184,11 @@ void RunSnakeDemo() {
 }  // namespace netcache
 
 int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "fig09_switch_microbench");
   netcache::PrintLineRateDerivation();
-  netcache::RunSnakeDemo();
+  netcache::RunSnakeDemo(harness);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return harness.Finish();
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "core/saturation.h"
 
@@ -26,7 +27,7 @@ SaturationConfig PaperRack() {
   return cfg;
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Figure 10(a): throughput, NoCache vs NetCache (128 servers x 10 MQPS, "
       "10K cached items, read-only)");
@@ -54,6 +55,13 @@ void Run() {
                 bench::Qps(base.total_qps).c_str(), bench::Qps(nc.total_qps).c_str(),
                 bench::Qps(nc.cache_qps).c_str(), bench::Qps(nc.server_qps).c_str(),
                 nc.total_qps / base.total_qps);
+    harness.AddTrial(row.name)
+        .Config("zipf_alpha", row.alpha)
+        .Metric("nocache_qps", base.total_qps)
+        .Metric("netcache_qps", nc.total_qps)
+        .Metric("cache_qps", nc.cache_qps)
+        .Metric("server_qps", nc.server_qps)
+        .Metric("gain", nc.total_qps / base.total_qps);
   }
   bench::PrintNote("");
   bench::PrintNote("Paper: NoCache collapses to 22.5% (zipf-0.95) / 15.6% (zipf-0.99) of");
@@ -63,7 +71,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "fig10a_throughput");
+  netcache::Run(harness);
+  return harness.Finish();
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "core/saturation.h"
 
@@ -26,7 +27,8 @@ SaturationConfig PaperRack(double alpha, size_t cache) {
   return cfg;
 }
 
-void PrintDistribution(const char* label, const SaturationResult& r) {
+void PrintDistribution(const char* label, const SaturationResult& r,
+                       bench::BenchHarness& harness, double alpha, size_t cache) {
   std::vector<double> loads = r.per_server_qps;
   std::sort(loads.begin(), loads.end());
   double min = loads.front();
@@ -40,6 +42,14 @@ void PrintDistribution(const char* label, const SaturationResult& r) {
   std::printf("%-22s total=%10s  min=%9s mean=%9s max=%9s  max/mean=%5.2f\n", label,
               bench::Qps(r.total_qps).c_str(), bench::Qps(min).c_str(),
               bench::Qps(mean).c_str(), bench::Qps(max).c_str(), max / mean);
+  harness.AddTrial(label)
+      .Config("zipf_alpha", alpha)
+      .Config("cache_size", static_cast<double>(cache))
+      .Metric("total_qps", r.total_qps)
+      .Metric("min_qps", min)
+      .Metric("mean_qps", mean)
+      .Metric("max_qps", max)
+      .Metric("imbalance", max / mean);
 
   // Sorted-load sparkline: 16 buckets of 8 servers each, scaled to max.
   std::printf("  load profile: ");
@@ -56,7 +66,7 @@ void PrintDistribution(const char* label, const SaturationResult& r) {
   std::printf("  (sorted servers, low -> high)\n");
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Figure 10(b): per-server throughput at saturation (128 servers x 10 MQPS)");
 
@@ -64,13 +74,13 @@ void Run() {
     SaturationResult r = SolveSaturation(PaperRack(alpha, 0));
     char label[64];
     std::snprintf(label, sizeof(label), "NoCache  zipf-%.2f", alpha);
-    PrintDistribution(label, r);
+    PrintDistribution(label, r, harness, alpha, 0);
   }
   for (double alpha : {0.9, 0.95, 0.99}) {
     SaturationResult r = SolveSaturation(PaperRack(alpha, 10'000));
     char label[64];
     std::snprintf(label, sizeof(label), "NetCache zipf-%.2f", alpha);
-    PrintDistribution(label, r);
+    PrintDistribution(label, r, harness, alpha, 10'000);
   }
   bench::PrintNote("");
   bench::PrintNote("Paper: without the cache a handful of servers saturate while the rest");
@@ -80,7 +90,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "fig10b_server_breakdown");
+  netcache::Run(harness);
+  return harness.Finish();
 }

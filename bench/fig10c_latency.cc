@@ -12,9 +12,11 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "client/workload_driver.h"
 #include "core/rack.h"
+#include "core/sweep.h"
 
 namespace netcache {
 namespace {
@@ -24,6 +26,8 @@ struct Point {
   double avg_us;
   double p99_us;
   double goodput_qps;
+  uint64_t events;
+  double wall_ms;
 };
 
 Point RunPoint(bool cache_enabled, double rate_qps) {
@@ -79,22 +83,61 @@ Point RunPoint(bool cache_enabled, double rate_qps) {
   p.avg_us = lat.Mean() / 1e3;
   p.p99_us = static_cast<double>(lat.Quantile(0.99)) / 1e3;
   p.goodput_qps = static_cast<double>(driver.completed() - completed_before) / 0.3;
+  p.events = rack.sim().events_processed();
+  p.wall_ms = 0;
   return p;
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Figure 10(c): latency vs throughput (scaled rack: 16 servers x 50 KQPS, "
       "zipf-0.99, 200 cached items)");
   std::printf("%-12s | %10s %10s %12s | %10s %10s %12s\n", "offered", "NoC-avg",
               "NoC-p99", "NoC-goodput", "NC-avg", "NC-p99", "NC-goodput");
+
+  // 18 independent DES trials (9 rates x {NoCache, NetCache}) fanned out over
+  // worker threads; results come back in submission order so stdout and JSON
+  // are identical whether run serially or with --threads=N.
+  struct Trial {
+    double rate;
+    bool cache;
+  };
+  std::vector<Trial> grid;
   for (double rate : {25e3, 50e3, 100e3, 150e3, 200e3, 300e3, 500e3, 800e3, 1.2e6}) {
-    Point none = RunPoint(false, rate);
-    Point nc = RunPoint(true, rate);
+    grid.push_back(Trial{rate, false});
+    grid.push_back(Trial{rate, true});
+  }
+  std::vector<Point> points =
+      RunSweep(grid, harness.sweep_options(),
+               [](const Trial& t, uint64_t /*seed*/, size_t /*index*/) {
+        auto start = std::chrono::steady_clock::now();
+        Point p = RunPoint(t.cache, t.rate);
+        std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - start;
+        p.wall_ms = elapsed.count();
+        return p;
+      });
+
+  for (size_t i = 0; i + 1 < points.size(); i += 2) {
+    const Point& none = points[i];
+    const Point& nc = points[i + 1];
     std::printf("%-12s | %8.1fus %8.1fus %12s | %8.1fus %8.1fus %12s\n",
-                bench::Qps(rate).c_str(), none.avg_us, none.p99_us,
+                bench::Qps(none.offered_qps).c_str(), none.avg_us, none.p99_us,
                 bench::Qps(none.goodput_qps).c_str(), nc.avg_us, nc.p99_us,
                 bench::Qps(nc.goodput_qps).c_str());
+    for (const Point* p : {&none, &nc}) {
+      bench::TrialRecord rec;
+      rec.label = std::string(p == &nc ? "netcache" : "nocache") + "/offered=" +
+                  bench::Qps(p->offered_qps);
+      rec.Config("offered_qps", p->offered_qps)
+          .Config("cache_enabled", p == &nc ? 1 : 0)
+          .Metric("avg_us", p->avg_us)
+          .Metric("p99_us", p->p99_us)
+          .Metric("goodput_qps", p->goodput_qps);
+      rec.wall_ms = p->wall_ms;
+      rec.events = p->events;
+      harness.AddTrialRecord(std::move(rec));
+    }
   }
   bench::PrintNote("");
   bench::PrintNote("Paper: NoCache holds ~15 us up to 0.2 BQPS then saturates (queues grow");
@@ -106,7 +149,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "fig10c_latency");
+  netcache::Run(harness);
+  return harness.Finish();
 }

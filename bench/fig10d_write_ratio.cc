@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "core/saturation.h"
 
@@ -25,7 +26,7 @@ SaturationConfig PaperRack(double write_ratio, bool skewed_writes, size_t cache)
   return cfg;
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Figure 10(d): throughput vs write ratio (zipf-0.99 reads, 128 servers, "
       "10K cached items)");
@@ -39,6 +40,14 @@ void Run() {
     std::printf("%-6.3f | %14s %14s | %14s %14s\n", w, bench::Qps(nc_u.total_qps).c_str(),
                 bench::Qps(base_u.total_qps).c_str(), bench::Qps(nc_s.total_qps).c_str(),
                 bench::Qps(base_s.total_qps).c_str());
+    char label[32];
+    std::snprintf(label, sizeof(label), "w=%.3f", w);
+    harness.AddTrial(label)
+        .Config("write_ratio", w)
+        .Metric("netcache_uniform_qps", nc_u.total_qps)
+        .Metric("nocache_uniform_qps", base_u.total_qps)
+        .Metric("netcache_skewed_qps", nc_s.total_qps)
+        .Metric("nocache_skewed_qps", base_s.total_qps);
   }
   bench::PrintNote("");
   bench::PrintNote("Paper: uniform writes reduce NetCache linearly while lifting NoCache;");
@@ -48,7 +57,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "fig10d_write_ratio");
+  netcache::Run(harness);
+  return harness.Finish();
 }

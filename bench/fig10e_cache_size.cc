@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "core/saturation.h"
 
@@ -21,7 +22,7 @@ SaturationConfig PaperRack(double alpha, size_t cache) {
   return cfg;
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Figure 10(e): throughput vs cache size (128 servers x 10 MQPS, read-only)");
   std::printf("%-8s | %12s %12s %12s | %12s %12s %12s\n", "cache", "z0.9-total",
@@ -34,6 +35,12 @@ void Run() {
                 bench::Qps(r90.total_qps).c_str(), bench::Qps(r90.cache_qps).c_str(),
                 bench::Qps(r90.server_qps).c_str(), bench::Qps(r99.total_qps).c_str(),
                 bench::Qps(r99.cache_qps).c_str(), bench::Qps(r99.server_qps).c_str());
+    harness.AddTrial("cache=" + std::to_string(cache))
+        .Config("cache_size", static_cast<double>(cache))
+        .Metric("zipf90_total_qps", r90.total_qps)
+        .Metric("zipf90_cache_qps", r90.cache_qps)
+        .Metric("zipf99_total_qps", r99.total_qps)
+        .Metric("zipf99_cache_qps", r99.cache_qps);
   }
   bench::PrintNote("");
   bench::PrintNote("Paper: 1,000 items suffice to balance 128 servers; growth beyond is the");
@@ -44,7 +51,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "fig10e_cache_size");
+  netcache::Run(harness);
+  return harness.Finish();
 }

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "core/multirack.h"
 
@@ -28,7 +29,7 @@ MultiRackConfig Base(size_t racks, MultiRackMode mode) {
   return cfg;
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Figure 10(f): scalability to 32 racks (128 servers/rack, zipf-0.99, "
       "read-only)");
@@ -41,6 +42,12 @@ void Run() {
     std::printf("%-8zu %-8zu | %14s %14s %14s\n", racks, racks * 128,
                 bench::Qps(none.total_qps).c_str(), bench::Qps(leaf.total_qps).c_str(),
                 bench::Qps(spine.total_qps).c_str());
+    harness.AddTrial("racks=" + std::to_string(racks))
+        .Config("racks", static_cast<double>(racks))
+        .Config("servers", static_cast<double>(racks * 128))
+        .Metric("nocache_qps", none.total_qps)
+        .Metric("leafcache_qps", leaf.total_qps)
+        .Metric("leafspine_qps", spine.total_qps);
   }
 
   // Who binds each configuration at 32 racks?
@@ -59,7 +66,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "fig10f_scalability");
+  netcache::Run(harness);
+  return harness.Finish();
 }

@@ -1,15 +1,28 @@
 // Microbenchmarks of the core data structures (google-benchmark): the
 // components whose per-packet cost determines the software pipeline rate.
+//
+// The *EventQueue* and *PacketAlloc* groups bound the simulator hot path:
+// BM_EventQueue_StdFunction replays the heap discipline the simulator used
+// before the zero-allocation rework (std::function events, swap-based sift)
+// while BM_EventQueue_InlineFunction drives the real Simulator; their ratio
+// is the events/sec speedup the rework bought. Run with
+// --benchmark_min_time=0.2 on older google-benchmark builds.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <functional>
 #include <unordered_map>
+#include <vector>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "common/zipf.h"
 #include "dataplane/value_store.h"
 #include "kvstore/flat_table.h"
 #include "kvstore/hash_table.h"
+#include "net/packet_pool.h"
+#include "net/simulator.h"
 #include "proto/packet.h"
 #include "sketch/bloom.h"
 #include "sketch/count_min.h"
@@ -110,6 +123,141 @@ void BM_PacketSerializeParse(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PacketSerializeParse);
+
+// --- Simulator event-queue hot path ---
+//
+// Both variants run the same workload: a rolling backlog of 64 events, each
+// executing a 32-byte-capture closure and rescheduling itself at a random
+// future time. items/s is therefore Mevents/s of the event loop.
+
+// Pre-rework representation: std::function events (32-byte captures exceed
+// libstdc++'s 16-byte SBO, so every schedule heap-allocates) in a (time, seq)
+// min-heap maintained with the standard swap-based push/pop_heap.
+void BM_EventQueue_StdFunction(benchmark::State& state) {
+  struct Ev {
+    uint64_t at;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  auto later = [](const Ev& x, const Ev& y) {
+    return x.at != y.at ? x.at > y.at : x.seq > y.seq;
+  };
+  std::vector<Ev> heap;
+  heap.reserve(128);
+  uint64_t now = 0;
+  uint64_t seq = 0;
+  uint64_t sink = 0;
+  Rng rng(11);
+  uint64_t* sink_ptr = &sink;
+  Rng* rng_ptr = &rng;
+  auto push = [&](uint64_t delay) {
+    uint64_t b = rng.Next();
+    heap.push_back(Ev{now + delay, seq++, [sink_ptr, rng_ptr, b] {
+                        *sink_ptr += b + rng_ptr->Next();
+                      }});
+    std::push_heap(heap.begin(), heap.end(), later);
+  };
+  for (int i = 0; i < 64; ++i) {
+    push(1 + rng.NextBounded(1000));
+  }
+  for (auto _ : state) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    Ev ev = std::move(heap.back());
+    heap.pop_back();
+    now = ev.at;
+    ev.fn();
+    push(1 + rng.NextBounded(1000));
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueue_StdFunction);
+
+// Keeps a self-rescheduling event chain alive inside the real Simulator; the
+// 32-byte capture stays inline in the InlineFunction small buffer.
+void ScheduleChainEvent(Simulator* sim, uint64_t* sink, Rng* rng) {
+  uint64_t b = rng->Next();
+  sim->Schedule(1 + rng->NextBounded(1000), [sim, sink, rng, b] {
+    *sink += b + rng->Next();
+    ScheduleChainEvent(sim, sink, rng);
+  });
+}
+
+void BM_EventQueue_InlineFunction(benchmark::State& state) {
+  Simulator sim;
+  uint64_t sink = 0;
+  Rng rng(11);
+  for (int i = 0; i < 64; ++i) {
+    ScheduleChainEvent(&sim, &sink, &rng);
+  }
+  for (auto _ : state) {
+    sim.RunUntil(sim.Now() + 32 * 1000);  // ~a few thousand events per tick
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(sim.events_processed()));
+}
+BENCHMARK(BM_EventQueue_InlineFunction);
+
+// --- Packet allocation: per-simulator freelist vs operator new ---
+
+void BM_PacketAlloc_Heap(benchmark::State& state) {
+  Packet proto = MakePut(1, 2, Key::FromUint64(3), Value::Filler(3, 128), 4);
+  for (auto _ : state) {
+    Packet* p = new Packet(proto);
+    benchmark::DoNotOptimize(p);
+    delete p;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketAlloc_Heap);
+
+void BM_PacketAlloc_Pool(benchmark::State& state) {
+  PacketPool pool;
+  Packet proto = MakePut(1, 2, Key::FromUint64(3), Value::Filler(3, 128), 4);
+  for (auto _ : state) {
+    Packet* p = pool.Acquire();
+    *p = proto;
+    benchmark::DoNotOptimize(p);
+    pool.Release(p);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketAlloc_Pool);
+
+// --- Switch route table: FlatTable vs std::unordered_map on IpAddress ---
+//
+// Note: sequential uint32 keys under libstdc++'s identity std::hash are
+// unordered_map's best case (one node per bucket, allocation-order locality).
+// FlatTable pays a Mix64 per probe but is immune to degenerate key patterns
+// and wins on the 16-byte Key tables above; the switch uses it for both.
+
+void BM_RouteStdUnorderedMapFind(benchmark::State& state) {
+  std::unordered_map<IpAddress, uint32_t> routes;
+  for (uint32_t i = 0; i < 4096; ++i) {
+    routes[0x0a000000u + i] = i % 64;
+  }
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routes.find(0x0a000000u + static_cast<uint32_t>(rng.NextBounded(4096))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RouteStdUnorderedMapFind);
+
+void BM_RouteFlatTableFind(benchmark::State& state) {
+  FlatTable<IpAddress, uint32_t, UintHasher> routes;
+  for (uint32_t i = 0; i < 4096; ++i) {
+    routes.Upsert(0x0a000000u + i, i % 64);
+  }
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        routes.Find(0x0a000000u + static_cast<uint32_t>(rng.NextBounded(4096))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RouteFlatTableFind);
 
 }  // namespace
 }  // namespace netcache

@@ -9,14 +9,23 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "client/workload_driver.h"
 #include "core/rack.h"
+#include "core/sweep.h"
 
 namespace netcache {
 namespace {
 
-std::vector<uint64_t> CollectLatencies(bool cache_enabled, double rate_qps) {
+struct LatencyRun {
+  std::vector<uint64_t> latencies;
+  uint64_t events = 0;
+  double wall_ms = 0;
+};
+
+std::vector<uint64_t> CollectLatencies(bool cache_enabled, double rate_qps,
+                                       uint64_t* events_out) {
   RackConfig cfg;
   cfg.num_servers = 16;
   cfg.num_clients = 1;
@@ -73,16 +82,29 @@ std::vector<uint64_t> CollectLatencies(bool cache_enabled, double rate_qps) {
   rack.sim().RunUntil(rack.sim().Now() + 500 * kMillisecond);
   driver.Stop();
   rack.sim().RunUntil(rack.sim().Now() + 50 * kMillisecond);
+  *events_out = rack.sim().events_processed();
   return latencies;
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Abstract claim: 'reduces the latency of up to 40% of queries by 50%' "
       "(16 servers x 50 KQPS, zipf-0.99 over 100K keys, 64 cached items,\n"
       "100 KQPS offered — uncongested, so only cache hits change)");
-  std::vector<uint64_t> base = CollectLatencies(false, 100e3);
-  std::vector<uint64_t> nc = CollectLatencies(true, 100e3);
+  const std::vector<bool> systems = {false, true};
+  std::vector<LatencyRun> runs =
+      RunSweep(systems, harness.sweep_options(),
+               [](bool cached, uint64_t /*seed*/, size_t /*index*/) {
+        auto start = std::chrono::steady_clock::now();
+        LatencyRun run;
+        run.latencies = CollectLatencies(cached, 100e3, &run.events);
+        std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - start;
+        run.wall_ms = elapsed.count();
+        return run;
+      });
+  std::vector<uint64_t>& base = runs[0].latencies;
+  std::vector<uint64_t>& nc = runs[1].latencies;
   std::sort(base.begin(), base.end());
   std::sort(nc.begin(), nc.end());
 
@@ -110,6 +132,22 @@ void Run() {
   }
   std::printf("\n  quantiles with latency reduced by >= 50%%: %.0f%% of queries\n",
               100.0 * static_cast<double>(halved) / static_cast<double>(n));
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const std::vector<uint64_t>& v = i == 0 ? base : nc;
+    bench::TrialRecord rec;
+    rec.label = i == 0 ? "nocache" : "netcache";
+    rec.Config("cache_enabled", static_cast<double>(i))
+        .Metric("p50_us", quantile(v, 0.50))
+        .Metric("p90_us", quantile(v, 0.90))
+        .Metric("p99_us", quantile(v, 0.99));
+    if (i == 1) {
+      rec.Metric("halved_fraction",
+                 static_cast<double>(halved) / static_cast<double>(n));
+    }
+    rec.wall_ms = runs[i].wall_ms;
+    rec.events = runs[i].events;
+    harness.AddTrialRecord(std::move(rec));
+  }
   bench::PrintNote("");
   bench::PrintNote("Paper: up to 40% of queries see their latency halved — the cache-hit");
   bench::PrintNote("fraction of a load-balancing cache, which §1 bounds below 50%.");
@@ -118,7 +156,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "tab_latency_cdf");
+  netcache::Run(harness);
+  return harness.Finish();
 }

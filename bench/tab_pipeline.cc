@@ -5,29 +5,38 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "dataplane/pipeline.h"
 
 namespace netcache {
 namespace {
 
-void Report(const char* title, const std::vector<TableSpec>& program) {
+void Report(bench::BenchHarness& harness, const char* label, const char* title,
+            const std::vector<TableSpec>& program) {
   std::printf("\n-- %s --\n", title);
   PlacementResult r = PipelineCompiler::Place(PipeSpec{}, program);
   std::printf("%s", r.ToString(program).c_str());
   if (r.feasible) {
     std::printf("  => fits in %zu of 12 stages\n", r.StagesUsed());
   }
+  harness.AddTrial(label)
+      .Metric("feasible", r.feasible ? 1 : 0)
+      .Metric("stages_used", static_cast<double>(r.StagesUsed()));
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader("Pipeline placement: the NetCache P4 program on a 12-stage pipe");
 
-  Report("ingress program (cache lookup + routing)", NetCacheIngressProgram());
-  Report("egress program (status, stats, 8 x 128-bit value stages)", NetCacheEgressProgram());
-  Report("§5 what-if: 256-bit register slots (4 value stages for 128 B)",
+  Report(harness, "ingress", "ingress program (cache lookup + routing)",
+         NetCacheIngressProgram());
+  Report(harness, "egress", "egress program (status, stats, 8 x 128-bit value stages)",
+         NetCacheEgressProgram());
+  Report(harness, "whatif_256bit_slots",
+         "§5 what-if: 256-bit register slots (4 value stages for 128 B)",
          NetCacheEgressProgram(64 * 1024, 4, 64 * 1024, 256));
-  Report("§5 what-if: 256-byte values via 16 x 128-bit stages (no recirculation)",
+  Report(harness, "whatif_256B_values",
+         "§5 what-if: 256-byte values via 16 x 128-bit stages (no recirculation)",
          NetCacheEgressProgram(64 * 1024, 16, 64 * 1024, 128));
 
   bench::PrintNote("");
@@ -39,7 +48,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "tab_pipeline");
+  netcache::Run(harness);
+  return harness.Finish();
 }

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "dataplane/netcache_switch.h"
 
@@ -18,7 +19,7 @@ void PrintRow(const char* item, size_t bits, size_t total) {
               100.0 * static_cast<double>(bits) / static_cast<double>(total));
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader("Table (from §6): switch data-plane resource usage");
 
   SwitchConfig cfg;  // defaults are the prototype's published dimensions
@@ -41,6 +42,13 @@ void Run() {
               100.0 * r.FractionOf(kTofinoSramBits),
               r.FractionOf(kTofinoSramBits) < 0.5 ? "< 50% (paper's claim holds)"
                                                   : ">= 50% (!!)");
+  harness.AddTrial("prototype")
+      .Metric("lookup_kb", static_cast<double>(r.lookup_bits) / 8.0 / 1024.0)
+      .Metric("value_kb", static_cast<double>(r.value_bits) / 8.0 / 1024.0)
+      .Metric("sketch_kb", static_cast<double>(r.sketch_bits) / 8.0 / 1024.0)
+      .Metric("bloom_kb", static_cast<double>(r.bloom_bits) / 8.0 / 1024.0)
+      .Metric("total_mb", static_cast<double>(r.total_bits) / 8.0 / 1024.0 / 1024.0)
+      .Metric("sram_fraction", r.FractionOf(kTofinoSramBits));
   bench::PrintNote("");
   bench::PrintNote("Paper: \"our data plane implementation uses less than 50% of the");
   bench::PrintNote("on-chip memory available in the Tofino ASIC\" (§6).");
@@ -49,7 +57,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "tab_resources");
+  netcache::Run(harness);
+  return harness.Finish();
 }

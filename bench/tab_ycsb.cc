@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "core/saturation.h"
 #include "workload/ycsb.h"
@@ -12,7 +13,7 @@
 namespace netcache {
 namespace {
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "YCSB mixes on a NetCache rack (128 servers x 10 MQPS, 10K cached items)");
   std::printf("%-28s %6s %6s | %12s %12s %8s\n", "workload", "write", "skewW", "NoCache",
@@ -42,6 +43,12 @@ void Run() {
                 wl->write_ratio * 100, wl->skewed_writes ? "yes" : "no",
                 bench::Qps(base.total_qps).c_str(), bench::Qps(nc.total_qps).c_str(),
                 nc.total_qps / base.total_qps);
+    harness.AddTrial(YcsbWorkloadName(w))
+        .Config("write_ratio", wl->write_ratio)
+        .Config("zipf_alpha", wl->zipf_alpha)
+        .Metric("nocache_qps", base.total_qps)
+        .Metric("netcache_qps", nc.total_qps)
+        .Metric("gain", nc.total_qps / base.total_qps);
   }
   bench::PrintNote("");
   bench::PrintNote("Read-dominated zipfian mixes (B, C) benefit most; update-heavy zipfian");
@@ -52,7 +59,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "tab_ycsb");
+  netcache::Run(harness);
+  return harness.Finish();
 }

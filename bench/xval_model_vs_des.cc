@@ -10,10 +10,12 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_harness.h"
 #include "bench/bench_util.h"
 #include "client/workload_driver.h"
 #include "core/rack.h"
 #include "core/saturation.h"
+#include "core/sweep.h"
 
 namespace netcache {
 namespace {
@@ -27,6 +29,8 @@ struct Scenario {
 struct Measured {
   double goodput;
   double hit_fraction;
+  uint64_t events;
+  double wall_ms;
 };
 
 constexpr size_t kServers = 8;
@@ -82,10 +86,12 @@ Measured RunDes(const Scenario& sc) {
   m.hit_fraction = served > 0 ? static_cast<double>(rack.tor().counters().cache_hits - hits0) /
                                     static_cast<double>(served)
                               : 0.0;
+  m.events = rack.sim().events_processed();
+  m.wall_ms = 0;
   return m;
 }
 
-void Run() {
+void Run(bench::BenchHarness& harness) {
   bench::PrintHeader(
       "Cross-validation: capacity model vs packet-level DES "
       "(8 servers x 10 KQPS, 20K keys)");
@@ -98,7 +104,19 @@ void Run() {
       {"zipf-0.99, 100 cached", 0.99, 100},
       {"zipf-0.99, 400 cached", 0.99, 400},
   };
-  for (const Scenario& sc : scenarios) {
+  // The DES runs dominate the wall clock and are independent: fan them out.
+  std::vector<Measured> des_runs =
+      RunSweep(scenarios, harness.sweep_options(),
+               [](const Scenario& sc, uint64_t /*seed*/, size_t /*index*/) {
+        auto start = std::chrono::steady_clock::now();
+        Measured m = RunDes(sc);
+        std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - start;
+        m.wall_ms = elapsed.count();
+        return m;
+      });
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& sc = scenarios[i];
     SaturationConfig mc;
     mc.num_partitions = kServers;
     mc.server_rate_qps = kRate;
@@ -108,11 +126,23 @@ void Run() {
     mc.exact_ranks = 4096;
     mc.switch_capacity_qps = 1e9;  // the DES switch is unbounded here
     SaturationResult model = SolveSaturation(mc);
-    Measured des = RunDes(sc);
+    const Measured& des = des_runs[i];
     std::printf("%-24s | %11s %11s %6.2f | %7.1f%% %7.1f%%\n", sc.name,
                 bench::Qps(model.total_qps).c_str(), bench::Qps(des.goodput).c_str(),
                 des.goodput / model.total_qps, 100 * model.cache_hit_fraction,
                 100 * des.hit_fraction);
+    bench::TrialRecord rec;
+    rec.label = sc.name;
+    rec.Config("zipf_alpha", sc.zipf)
+        .Config("cache_size", static_cast<double>(sc.cache))
+        .Metric("model_qps", model.total_qps)
+        .Metric("des_qps", des.goodput)
+        .Metric("des_model_ratio", des.goodput / model.total_qps)
+        .Metric("model_hit_fraction", model.cache_hit_fraction)
+        .Metric("des_hit_fraction", des.hit_fraction);
+    rec.wall_ms = des.wall_ms;
+    rec.events = des.events;
+    harness.AddTrialRecord(std::move(rec));
   }
   bench::PrintNote("");
   bench::PrintNote("The adaptive client settles slightly below the analytic saturation");
@@ -124,7 +154,8 @@ void Run() {
 }  // namespace
 }  // namespace netcache
 
-int main() {
-  netcache::Run();
-  return 0;
+int main(int argc, char** argv) {
+  netcache::bench::BenchHarness harness(argc, argv, "xval_model_vs_des");
+  netcache::Run(harness);
+  return harness.Finish();
 }

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Compare two bench-harness JSON files and fail on metric regressions.
+
+Every bench under bench/ accepts --json=PATH and writes
+    {"bench": ..., "seed": ..., "trials": [{"label", "config", "metrics",
+     "wall_ms"?, "events"?, "events_per_sec"?}, ...]}
+(see bench/bench_harness.h). This script diffs a candidate file against a
+baseline, matching trials by label and metrics by name:
+
+    python3 scripts/bench_regress.py BENCH_baseline.json new.json
+    python3 scripts/bench_regress.py --tolerance 0.05 old.json new.json
+    python3 scripts/bench_regress.py --perf --perf-tolerance 0.3 old.json new.json
+
+Model metrics (the "metrics" map) are deterministic for a fixed seed, so the
+default tolerance is tight; any |new - old| > tolerance * max(|old|, eps)
+is a regression. Wall-clock numbers (wall_ms, events_per_sec) vary with the
+machine and are only compared when --perf is given, against the looser
+--perf-tolerance, and only in the slower direction (faster is never flagged).
+
+Exit status: 0 when everything matches, 1 on any regression, missing trial,
+or missing metric. New trials/metrics present only in the candidate are
+reported but do not fail (they are additions, not regressions).
+"""
+
+import argparse
+import json
+import sys
+
+EPS = 1e-12
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_regress: cannot read {path}: {e}")
+    if not isinstance(doc, dict) or "trials" not in doc:
+        sys.exit(f"bench_regress: {path} is not a bench-harness JSON file")
+    return doc
+
+
+def trial_map(doc, path):
+    trials = {}
+    for t in doc["trials"]:
+        label = t.get("label", "")
+        if label in trials:
+            sys.exit(f"bench_regress: duplicate trial label {label!r} in {path}")
+        trials[label] = t
+    return trials
+
+
+def rel_delta(old, new):
+    return (new - old) / max(abs(old), EPS)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline JSON (e.g. BENCH_baseline.json)")
+    ap.add_argument("candidate", help="candidate JSON from a fresh run")
+    ap.add_argument(
+        "--tolerance", type=float, default=0.01,
+        help="relative tolerance for model metrics (default: %(default)s; "
+        "deterministic benches should match far tighter than this)")
+    ap.add_argument(
+        "--perf", action="store_true",
+        help="also compare wall_ms / events_per_sec (machine-dependent; "
+        "off by default so CI on shared runners stays stable)")
+    ap.add_argument(
+        "--perf-tolerance", type=float, default=0.5,
+        help="allowed relative slowdown for --perf comparisons "
+        "(default: %(default)s)")
+    args = ap.parse_args()
+
+    base_doc = load(args.baseline)
+    cand_doc = load(args.candidate)
+    if base_doc.get("bench") != cand_doc.get("bench"):
+        print(f"note: comparing different benches: {base_doc.get('bench')!r} "
+              f"vs {cand_doc.get('bench')!r}")
+    base = trial_map(base_doc, args.baseline)
+    cand = trial_map(cand_doc, args.candidate)
+
+    failures = []
+    compared = 0
+
+    for label, bt in base.items():
+        ct = cand.get(label)
+        if ct is None:
+            failures.append(f"trial {label!r}: missing from candidate")
+            continue
+        for name, old in bt.get("metrics", {}).items():
+            if name not in ct.get("metrics", {}):
+                failures.append(f"trial {label!r}: metric {name!r} missing "
+                                "from candidate")
+                continue
+            new = ct["metrics"][name]
+            compared += 1
+            delta = rel_delta(old, new)
+            if abs(delta) > args.tolerance:
+                failures.append(
+                    f"trial {label!r}: {name} {old:g} -> {new:g} "
+                    f"({delta:+.2%}, tolerance ±{args.tolerance:.2%})")
+        if args.perf:
+            # Slower wall_ms / lower events_per_sec is a regression;
+            # the other direction is an improvement and never flagged.
+            old_ms, new_ms = bt.get("wall_ms"), ct.get("wall_ms")
+            if old_ms and new_ms:
+                compared += 1
+                delta = rel_delta(old_ms, new_ms)
+                if delta > args.perf_tolerance:
+                    failures.append(
+                        f"trial {label!r}: wall_ms {old_ms:g} -> {new_ms:g} "
+                        f"({delta:+.2%} slower, tolerance "
+                        f"+{args.perf_tolerance:.2%})")
+            old_eps, new_eps = bt.get("events_per_sec"), ct.get("events_per_sec")
+            if old_eps and new_eps:
+                compared += 1
+                delta = rel_delta(old_eps, new_eps)
+                if delta < -args.perf_tolerance:
+                    failures.append(
+                        f"trial {label!r}: events_per_sec {old_eps:g} -> "
+                        f"{new_eps:g} ({delta:+.2%}, tolerance "
+                        f"-{args.perf_tolerance:.2%})")
+
+    additions = [label for label in cand if label not in base]
+    if additions:
+        print(f"note: {len(additions)} trial(s) only in candidate "
+              f"(not compared): {', '.join(repr(a) for a in additions)}")
+
+    if failures:
+        print(f"bench_regress: {len(failures)} regression(s) against "
+              f"{args.baseline}:")
+        for f in failures:
+            print(f"  FAIL {f}")
+        return 1
+    print(f"bench_regress: OK — {compared} value(s) within tolerance "
+          f"across {len(base)} trial(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

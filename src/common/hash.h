@@ -42,6 +42,13 @@ inline uint64_t SeededHash(uint64_t x, uint64_t seed) {
 
 uint64_t SeededHashBytes(const void* data, size_t len, uint64_t seed);
 
+// Hasher functor for integer keys in the open-addressing tables. The identity
+// hash libstdc++ uses for integers clusters catastrophically under a
+// power-of-two mask; Mix64 spreads every input bit.
+struct UintHasher {
+  size_t operator()(uint64_t v) const { return static_cast<size_t>(Mix64(v)); }
+};
+
 }  // namespace netcache
 
 #endif  // NETCACHE_COMMON_HASH_H_

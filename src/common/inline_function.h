@@ -1,0 +1,174 @@
+// A move-only callable wrapper with small-buffer-optimized storage.
+//
+// std::function heap-allocates any capture larger than the implementation's
+// tiny SBO window (typically two pointers), and the simulator schedules one
+// closure per event — millions per simulated second — so those allocations
+// dominate the event-loop profile. InlineFunction stores captures up to
+// `kInlineBytes` in-place; larger captures fall back to a single heap
+// allocation, so it remains a drop-in replacement rather than a footgun.
+// Pair it with the per-simulator PacketPool (net/packet_pool.h) so hot-path
+// closures capture a pooled Packet* instead of a ~190-byte Packet by value.
+//
+// Differences from std::function, on purpose:
+//   - move-only (events fire once; copyability would force copyable captures);
+//   - no target_type/target introspection;
+//   - calling an empty InlineFunction is an NC_CHECK failure, not bad_function_call.
+
+#ifndef NETCACHE_COMMON_INLINE_FUNCTION_H_
+#define NETCACHE_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace netcache {
+
+// Default inline capture budget. 48 bytes holds the hot-path closures (a
+// `this` pointer, a pooled Packet*, a port, a couple of scalars) with room to
+// spare while keeping the simulator's Event struct cache-friendly.
+inline constexpr size_t kInlineFunctionBytes = 48;
+
+template <typename Signature, size_t kInlineBytes = kInlineFunctionBytes>
+class InlineFunction;  // undefined; only the R(Args...) partial below exists
+
+template <typename R, typename... Args, size_t kInlineBytes>
+class InlineFunction<R(Args...), kInlineBytes> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    using Decayed = std::decay_t<F>;
+    if constexpr (FitsInline<Decayed>()) {
+      ::new (static_cast<void*>(&storage_)) Decayed(std::forward<F>(fn));
+      ops_ = &InlineOps<Decayed>::table;
+    } else {
+      // Oversized capture: one heap allocation, pointer parked in the buffer.
+      *BoxSlot() = new Decayed(std::forward<F>(fn));
+      ops_ = &BoxedOps<Decayed>::table;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  R operator()(Args... args) {
+    NC_CHECK(ops_ != nullptr) << "calling an empty InlineFunction";
+    return ops_->invoke(&storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // True when the current target lives in the inline buffer (no heap).
+  // Diagnostics for tests and the allocation-counting microbenchmarks.
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+  template <typename F>
+  static constexpr bool FitsInline() {
+    return sizeof(F) <= kInlineBytes && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+ private:
+  using Storage = std::aligned_storage_t<kInlineBytes, alignof(std::max_align_t)>;
+
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    void (*move)(void* dst, void* src);  // move-construct dst from src
+    void (*destroy)(void* storage);
+    bool inline_storage;
+    // Relocation = memcpy of the buffer, source forgotten without running its
+    // destructor. True for trivially-copyable inline targets and for the boxed
+    // fallback (the buffer holds a raw pointer). Lets MoveFrom skip the
+    // indirect call — heap sifts in the event queue move events constantly.
+    bool trivially_relocatable;
+    // True when the target's destructor is a no-op, so Reset can skip the
+    // indirect destroy call.
+    bool trivially_destructible;
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static R Invoke(void* storage, Args&&... args) {
+      return (*std::launder(reinterpret_cast<F*>(storage)))(std::forward<Args>(args)...);
+    }
+    static void Move(void* dst, void* src) {
+      F* from = std::launder(reinterpret_cast<F*>(src));
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void Destroy(void* storage) { std::launder(reinterpret_cast<F*>(storage))->~F(); }
+    static constexpr Ops table{&Invoke, &Move, &Destroy, /*inline_storage=*/true,
+                               /*trivially_relocatable=*/std::is_trivially_copyable_v<F>,
+                               /*trivially_destructible=*/std::is_trivially_destructible_v<F>};
+  };
+
+  template <typename F>
+  struct BoxedOps {
+    static F* Unbox(void* storage) {
+      return *std::launder(reinterpret_cast<F**>(storage));
+    }
+    static R Invoke(void* storage, Args&&... args) {
+      return (*Unbox(storage))(std::forward<Args>(args)...);
+    }
+    static void Move(void* dst, void* src) {
+      using Box = F*;
+      ::new (dst) Box(Unbox(src));  // steal the box pointer
+      *std::launder(reinterpret_cast<F**>(src)) = nullptr;
+    }
+    static void Destroy(void* storage) { delete Unbox(storage); }
+    static constexpr Ops table{&Invoke, &Move, &Destroy, /*inline_storage=*/false,
+                               /*trivially_relocatable=*/true,
+                               /*trivially_destructible=*/false};
+  };
+
+  void** BoxSlot() { return reinterpret_cast<void**>(&storage_); }
+
+  void MoveFrom(InlineFunction& other) {
+    const Ops* ops = other.ops_;
+    if (ops != nullptr) {
+      if (ops->trivially_relocatable) {
+        std::memcpy(&storage_, &other.storage_, sizeof(storage_));
+      } else {
+        ops->move(&storage_, &other.storage_);
+      }
+      ops_ = ops;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      if (!ops_->trivially_destructible) {
+        ops_->destroy(&storage_);
+      }
+      ops_ = nullptr;
+    }
+  }
+
+  Storage storage_;
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_COMMON_INLINE_FUNCTION_H_

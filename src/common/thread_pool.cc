@@ -1,0 +1,58 @@
+#include "common/thread_pool.h"
+
+#include "common/logging.h"
+
+namespace netcache {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  NC_CHECK(num_threads > 0) << "a thread pool needs at least one worker";
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::Post(std::function<void()> task) {
+  NC_CHECK(task != nullptr) << "posting an empty task";
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NC_CHECK(!shutdown_) << "posting to a thread pool that is shutting down";
+    queue_.push_back(std::move(task));
+    ++tasks_posted_;
+  }
+  cv_.notify_one();
+}
+
+uint64_t ThreadPool::tasks_posted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_posted_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown requested and the queue has drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace netcache

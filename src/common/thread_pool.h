@@ -1,0 +1,76 @@
+// Fixed-size worker pool for running independent simulation trials.
+//
+// The discrete-event simulator is strictly single-threaded (net/simulator.h),
+// so parallelism in this project lives one level up: each worker runs a whole
+// (config, seed) trial with its own Simulator, and the pool only moves task
+// closures across threads. Results travel back through std::future, which
+// also carries any exception a trial throws (core/sweep.h re-throws it on the
+// caller's thread in submission order).
+//
+// Shutdown semantics: the destructor drains every queued task before joining
+// the workers. Work posted before destruction always runs; posting after the
+// destructor has begun is a fatal error.
+
+#ifndef NETCACHE_COMMON_THREAD_POOL_H_
+#define NETCACHE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace netcache {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+
+  // Drains all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Fire-and-forget: `task` runs on some worker thread, in FIFO dispatch
+  // order (tasks are handed to workers in the order they were posted).
+  void Post(std::function<void()> task);
+
+  // Runs `fn` on a worker and returns a future with its result. A throwing
+  // task does not kill the worker: the exception is captured in the future
+  // and re-thrown to whoever calls get().
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    Post([task] { (*task)(); });
+    return result;
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Tasks accepted via Post/Submit since construction.
+  uint64_t tasks_posted() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  bool shutdown_ = false;                    // guarded by mu_
+  uint64_t tasks_posted_ = 0;                // guarded by mu_
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_COMMON_THREAD_POOL_H_

@@ -103,9 +103,13 @@ SnakeResult SnakeHarness::Run(uint64_t queries, SimDuration pacing) {
   NC_CHECK(cached_items_ > 0) << "call CacheItems first";
   switch_->ResetCounters();
   for (uint64_t i = 0; i < queries; ++i) {
-    Packet get = MakeGet(kSenderIp, kReceiverIp, Key::FromUint64(i % cached_items_),
-                         static_cast<uint32_t>(i));
-    sim_.ScheduleAt(i * pacing, [this, get] { sender_->Send(0, get); });
+    Packet* get = sim_.packet_pool().Acquire();
+    *get = MakeGet(kSenderIp, kReceiverIp, Key::FromUint64(i % cached_items_),
+                   static_cast<uint32_t>(i));
+    sim_.ScheduleAt(i * pacing, [this, get] {
+      sender_->Send(0, *get);
+      sim_.packet_pool().Release(get);
+    });
   }
   sim_.RunAll();
 

@@ -1,0 +1,32 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace netcache {
+
+uint64_t DeriveTrialSeed(uint64_t root_seed, size_t trial_index) {
+  // Two SplitMix64 steps: the first whitens the root seed, the second folds
+  // in the index. A trial seed of zero is remapped so downstream generators
+  // that treat 0 as "unseeded" still get entropy.
+  uint64_t state = root_seed;
+  uint64_t whitened = SplitMix64(state);
+  state = whitened ^ (0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(trial_index) + 1));
+  uint64_t seed = SplitMix64(state);
+  return seed != 0 ? seed : 0x6e657463616368ull;  // "netcach"
+}
+
+size_t ResolveSweepThreads(const SweepOptions& options, size_t num_trials) {
+  if (options.serial || num_trials <= 1) {
+    return 1;
+  }
+  size_t threads = options.threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  return std::min(threads, num_trials);
+}
+
+}  // namespace netcache

@@ -1,0 +1,89 @@
+// Parallel experiment engine: run independent (config, seed) trials across
+// worker threads with output byte-identical to a serial run.
+//
+// Determinism contract:
+//   - every trial gets its own Simulator/Rack (the DES core is single-
+//     threaded) and a private seed derived from (root_seed, trial_index) —
+//     never from thread identity or scheduling order;
+//   - results are assembled in submission order, so results[i] always belongs
+//     to configs[i] no matter which worker finished first;
+//   - therefore RunSweep(configs, {.serial = true}) and any --threads=N run
+//     produce identical result vectors, and tools that print them produce
+//     byte-identical output (proved end-to-end by tests/determinism_test).
+//
+// The trial callable is shared by all workers concurrently: it must not
+// mutate shared state (capture configuration by value or const reference and
+// build everything mutable inside the trial).
+
+#ifndef NETCACHE_CORE_SWEEP_H_
+#define NETCACHE_CORE_SWEEP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace netcache {
+
+struct SweepOptions {
+  // Worker threads. 0 = one per hardware thread; 1 (or serial=true) runs the
+  // trials inline on the calling thread.
+  size_t threads = 0;
+  // Force serial execution regardless of `threads` (the reference ordering
+  // parallel runs are checked against).
+  bool serial = false;
+  // Root of the per-trial seed derivation.
+  uint64_t root_seed = 42;
+};
+
+// Derives the private seed of trial `trial_index` from `root_seed` via
+// SplitMix64 mixing. Distinct indexes give decorrelated streams, and the
+// derivation depends only on (root_seed, trial_index) — not on threads.
+uint64_t DeriveTrialSeed(uint64_t root_seed, size_t trial_index);
+
+// Number of workers a sweep over `num_trials` trials will actually use.
+size_t ResolveSweepThreads(const SweepOptions& options, size_t num_trials);
+
+// Runs fn(configs[i], DeriveTrialSeed(root_seed, i), i) for every i and
+// returns the results in index order. With >1 resolved threads the trials run
+// on a ThreadPool; a trial's exception is re-thrown on the calling thread
+// when its slot is reached (earlier results are still assembled).
+template <typename Config, typename TrialFn>
+auto RunSweep(const std::vector<Config>& configs, const SweepOptions& options, TrialFn&& fn)
+    -> std::vector<decltype(fn(configs[size_t{0}], uint64_t{0}, size_t{0}))> {
+  using TrialResult = decltype(fn(configs[size_t{0}], uint64_t{0}, size_t{0}));
+  std::vector<TrialResult> results;
+  results.reserve(configs.size());
+
+  size_t threads = ResolveSweepThreads(options, configs.size());
+  if (threads <= 1) {
+    for (size_t i = 0; i < configs.size(); ++i) {
+      results.push_back(fn(configs[i], DeriveTrialSeed(options.root_seed, i), i));
+    }
+    return results;
+  }
+
+  std::vector<std::future<TrialResult>> futures;
+  futures.reserve(configs.size());
+  {
+    ThreadPool pool(threads);
+    for (size_t i = 0; i < configs.size(); ++i) {
+      const Config& config = configs[i];
+      uint64_t seed = DeriveTrialSeed(options.root_seed, i);
+      futures.push_back(pool.Submit([&fn, &config, seed, i] { return fn(config, seed, i); }));
+    }
+    // Assemble in submission order — the whole determinism story. get() also
+    // re-throws a failed trial's exception on this thread.
+    for (std::future<TrialResult>& future : futures) {
+      results.push_back(future.get());
+    }
+  }
+  return results;
+}
+
+}  // namespace netcache
+
+#endif  // NETCACHE_CORE_SWEEP_H_

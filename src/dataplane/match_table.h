@@ -4,6 +4,11 @@
 // data. Entry count is bounded by the table's provisioned size, mirroring
 // the SRAM allocated to the table at compile time; control-plane inserts
 // beyond capacity fail with kResourceExhausted.
+//
+// The substrate is the open-addressing FlatTable (robin-hood linear probing)
+// rather than the chained HashDyn: Match() is the first stop of every
+// NetCache packet, and flat probing avoids the per-lookup pointer chase —
+// the software stand-in for the hardware's single-cycle exact-match SRAM.
 
 #ifndef NETCACHE_DATAPLANE_MATCH_TABLE_H_
 #define NETCACHE_DATAPLANE_MATCH_TABLE_H_
@@ -12,7 +17,7 @@
 #include <cstdint>
 
 #include "common/status.h"
-#include "kvstore/hash_table.h"
+#include "kvstore/flat_table.h"
 #include "proto/key.h"
 
 namespace netcache {
@@ -72,7 +77,7 @@ class ExactMatchTable {
 
  private:
   size_t capacity_;
-  HashDyn<Key, Action, KeyHasher> entries_;
+  FlatTable<Key, Action, KeyHasher> entries_;
   mutable uint64_t lookups_ = 0;
   mutable uint64_t hits_ = 0;
 };

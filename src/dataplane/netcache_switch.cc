@@ -54,7 +54,14 @@ void NetCacheSwitch::HandlePacket(const Packet& pkt, uint32_t in_port) {
       pipe_busy_until_[pipe] = start + slot;
       delay = (start + slot) - sim_->Now() + config_.pipeline_latency;
     }
-    sim_->Schedule(delay, [this, emit = std::move(emit)] { Send(emit.port, emit.pkt); });
+    // Park the outgoing packet in the pool so the emit closure stays within
+    // the inline-event capture budget (no per-emit heap allocation).
+    Packet* out_pkt = sim_->packet_pool().Acquire();
+    *out_pkt = std::move(emit.pkt);
+    sim_->Schedule(delay, [this, port = emit.port, out_pkt] {
+      Send(port, *out_pkt);
+      sim_->packet_pool().Release(out_pkt);
+    });
   }
 }
 
@@ -68,7 +75,7 @@ std::vector<NetCacheSwitch::Emit> NetCacheSwitch::ProcessPacket(const Packet& pk
   bool is_nc = pkt.is_netcache &&
                (pkt.l4.dst_port == kNetCachePort || pkt.l4.src_port == kNetCachePort);
   if (!is_nc) {
-    ForwardByDst(pkt, out);
+    ForwardByDst(Packet(pkt), out);
     ApplySnakeForward(in_port, out);
     return out;
   }
@@ -88,7 +95,7 @@ std::vector<NetCacheSwitch::Emit> NetCacheSwitch::ProcessPacket(const Packet& pk
       break;
     default:
       // Replies and acks pass through to their destination.
-      ForwardByDst(work, out);
+      ForwardByDst(std::move(work), out);
       break;
   }
   ApplySnakeForward(in_port, out);
@@ -133,14 +140,16 @@ void NetCacheSwitch::ProcessRead(Packet& pkt, std::vector<Emit>& out) {
     ++pipe_value_reads_[action->pipe];
 
     size_t size = value_size_.Read(action->key_index);
-    pkt.nc.value = pipes_[action->pipe].values.ReadValue(action->bitmap, action->value_index,
-                                                         size);  // Alg 1 lines 3-4
+    // Alg 1 lines 3-4: assemble the value straight into the packet's value
+    // field (no temporary Value copy on the bounce path).
+    pipes_[action->pipe].values.ReadValueInto(action->bitmap, action->value_index, size,
+                                              &pkt.nc.value);
     pkt.nc.has_value = true;
     pkt.nc.op = OpCode::kGetReply;
     // Bounce straight back to the client: swap L2-L4 addresses, route by the
     // (now-destination) client address, mirror out the upstream port (§4.4.4).
     pkt.SwapSrcDst();
-    ForwardByDst(pkt, out);
+    ForwardByDst(std::move(pkt), out);
     return;
   }
 
@@ -161,7 +170,7 @@ void NetCacheSwitch::ProcessRead(Packet& pkt, std::vector<Emit>& out) {
       hot_report_(pkt.nc.key, stats_.SketchEstimate(pkt.nc.key));
     }
   }
-  ForwardByDst(pkt, out);
+  ForwardByDst(std::move(pkt), out);
 }
 
 void NetCacheSwitch::ProcessWrite(Packet& pkt, std::vector<Emit>& out) {
@@ -182,11 +191,9 @@ void NetCacheSwitch::ProcessWrite(Packet& pkt, std::vector<Emit>& out) {
       TraceSpan(TraceEvent::kSwitchWriteBack, TraceQueryId(pkt),
                 sim_ != nullptr ? sim_->Now() : 0, config_.switch_ip);
     }
-    pkt.nc.op = OpCode::kPutReply;
-    pkt.nc.has_value = false;
-    pkt.nc.value = Value{};
-    pkt.SwapSrcDst();
-    ForwardByDst(pkt, out);
+    Packet reply = MakeReplyShell(pkt);
+    reply.nc.op = OpCode::kPutReply;
+    ForwardByDst(std::move(reply), out);
     return;
   }
   if (action != nullptr) {
@@ -198,21 +205,19 @@ void NetCacheSwitch::ProcessWrite(Packet& pkt, std::vector<Emit>& out) {
                     ? OpCode::kCachedPut
                     : OpCode::kCachedDelete;
   }
-  ForwardByDst(pkt, out);  // Alg 1 line 13
+  ForwardByDst(std::move(pkt), out);  // Alg 1 line 13
 }
 
 void NetCacheSwitch::ProcessCacheUpdate(Packet& pkt, std::vector<Emit>& out) {
   const CacheAction* action = lookup_.Match(pkt.nc.key);
-  Packet reply = pkt;
-  reply.SwapSrcDst();
-  reply.nc.has_value = false;
-  reply.nc.value = Value{};
+  // Header-only reply shell: the ack never carries the value, so don't copy it.
+  Packet reply = MakeReplyShell(pkt);
 
   if (action == nullptr) {
     // Key was evicted while the write was in flight; ack so the server
     // unblocks — the authoritative copy lives on the server anyway.
     reply.nc.op = OpCode::kCacheUpdateAck;
-    ForwardByDst(reply, out);
+    ForwardByDst(std::move(reply), out);
     return;
   }
   if (!pkt.nc.has_value) {
@@ -221,7 +226,7 @@ void NetCacheSwitch::ProcessCacheUpdate(Packet& pkt, std::vector<Emit>& out) {
     status_.Write(action->key_index, 0);
     ++counters_.cache_updates;
     reply.nc.op = OpCode::kCacheUpdateAck;
-    ForwardByDst(reply, out);
+    ForwardByDst(std::move(reply), out);
     return;
   }
   size_t allocated_units = static_cast<size_t>(std::popcount(action->bitmap));
@@ -232,7 +237,7 @@ void NetCacheSwitch::ProcessCacheUpdate(Packet& pkt, std::vector<Emit>& out) {
     status_.Write(action->key_index, 0);
     ++counters_.update_rejects;
     reply.nc.op = OpCode::kCacheUpdateReject;
-    ForwardByDst(reply, out);
+    ForwardByDst(std::move(reply), out);
     return;
   }
   pipes_[action->pipe].values.WriteValue(action->bitmap, action->value_index, pkt.nc.value);
@@ -240,12 +245,12 @@ void NetCacheSwitch::ProcessCacheUpdate(Packet& pkt, std::vector<Emit>& out) {
   status_.Write(action->key_index, 1);  // valid again; serves reads at line rate
   ++counters_.cache_updates;
   reply.nc.op = OpCode::kCacheUpdateAck;
-  ForwardByDst(reply, out);
+  ForwardByDst(std::move(reply), out);
 }
 
-void NetCacheSwitch::ForwardByDst(const Packet& pkt, std::vector<Emit>& out) {
-  auto it = routes_.find(pkt.ip.dst);
-  if (it == routes_.end()) {
+void NetCacheSwitch::ForwardByDst(Packet&& pkt, std::vector<Emit>& out) {
+  const uint32_t* port = routes_.Find(pkt.ip.dst);
+  if (port == nullptr) {
     ++counters_.unroutable;
     NC_LOG(DEBUG) << name() << ": no route for " << pkt.ip.dst;
     return;
@@ -257,10 +262,9 @@ void NetCacheSwitch::ForwardByDst(const Packet& pkt, std::vector<Emit>& out) {
     ++counters_.ttl_drops;
     return;
   }
-  Packet fwd = pkt;
-  --fwd.ip.ttl;
+  --pkt.ip.ttl;
   ++counters_.forwarded;
-  out.push_back(Emit{it->second, std::move(fwd)});
+  out.push_back(Emit{*port, std::move(pkt)});
 }
 
 // ---------------------------------------------------------------------------
@@ -271,16 +275,16 @@ Status NetCacheSwitch::AddRoute(IpAddress ip, uint32_t port) {
   if (port >= config_.num_pipes * config_.ports_per_pipe) {
     return Status::InvalidArgument("port beyond switch radix");
   }
-  routes_[ip] = port;
+  routes_.Upsert(ip, port);
   return Status::Ok();
 }
 
 std::optional<uint32_t> NetCacheSwitch::RouteOf(IpAddress ip) const {
-  auto it = routes_.find(ip);
-  if (it == routes_.end()) {
+  const uint32_t* port = routes_.Find(ip);
+  if (port == nullptr) {
     return std::nullopt;
   }
-  return it->second;
+  return *port;
 }
 
 Status NetCacheSwitch::InsertCacheEntry(const Key& key, const Value& value, IpAddress server_ip) {

@@ -38,11 +38,17 @@ void ValueStore::WriteValue(uint32_t bitmap, size_t index, const Value& value) {
 }
 
 Value ValueStore::ReadValue(uint32_t bitmap, size_t index, size_t size_bytes) const {
+  Value out;
+  ReadValueInto(bitmap, index, size_bytes, &out);
+  return out;
+}
+
+void ValueStore::ReadValueInto(uint32_t bitmap, size_t index, size_t size_bytes,
+                               Value* out) const {
   NC_CHECK(index < num_indexes_);
   size_t units_available = static_cast<size_t>(std::popcount(bitmap));
   NC_CHECK(size_bytes <= units_available * kValueUnitSize);
-  Value out;
-  out.set_size(size_bytes);
+  out->set_size(size_bytes);
   size_t offset = 0;
   for (size_t stage = 0; stage < stages_.size() && offset < size_bytes; ++stage) {
     if ((bitmap & (1u << stage)) == 0) {
@@ -53,10 +59,9 @@ Value ValueStore::ReadValue(uint32_t bitmap, size_t index, size_t size_bytes) co
     if (n > kValueUnitSize) {
       n = kValueUnitSize;
     }
-    std::memcpy(out.data() + offset, unit.data(), n);
+    std::memcpy(out->data() + offset, unit.data(), n);
     offset += kValueUnitSize;
   }
-  return out;
 }
 
 size_t ValueStore::MemoryBits() const {

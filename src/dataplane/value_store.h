@@ -45,6 +45,11 @@ class ValueStore {
   // netcache_switch.h).
   Value ReadValue(uint32_t bitmap, size_t index, size_t size_bytes) const;
 
+  // Same, but assembles directly into `*out` — the data-plane read path fills
+  // the packet's value field in place instead of returning a temporary that
+  // would immediately be copied again.
+  void ReadValueInto(uint32_t bitmap, size_t index, size_t size_bytes, Value* out) const;
+
   size_t num_stages() const { return stages_.size(); }
   size_t num_indexes() const { return num_indexes_; }
 

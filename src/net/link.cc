@@ -50,11 +50,15 @@ void Link::Transmit(int from_end, const Packet& pkt) {
   Endpoint to = ends_[1 - from_end];
   // Serialization finishes: free queue space. Delivery after propagation.
   sim_->ScheduleAt(tx_done, [this, from_end, bytes] { dirs_[from_end].queued_bytes -= bytes; });
-  sim_->ScheduleAt(tx_done + config_.propagation, [this, from_end, to, pkt] {
+  // The in-flight copy lives in the simulator's packet pool so the delivery
+  // closure captures a pointer and stays within the inline-event budget.
+  Packet* in_flight = sim_->packet_pool().Acquire(pkt);
+  sim_->ScheduleAt(tx_done + config_.propagation, [this, from_end, to, in_flight, bytes] {
     --dirs_[from_end].stats.in_flight;
     ++dirs_[from_end].stats.delivered;
-    dirs_[from_end].stats.bytes += pkt.WireSize();
-    to.node->HandlePacket(pkt, to.port);
+    dirs_[from_end].stats.bytes += bytes;
+    to.node->HandlePacket(*in_flight, to.port);
+    sim_->packet_pool().Release(in_flight);
   });
 }
 

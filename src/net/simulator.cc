@@ -6,21 +6,20 @@
 
 namespace netcache {
 
-void Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
-  ScheduleAt(now_ + delay, std::move(fn));
-}
-
-void Simulator::ScheduleAt(SimTime at, std::function<void()> fn) {
-  NC_CHECK(at >= now_) << "scheduling into the past: " << at << " < " << now_;
-  queue_.push(Event{at, next_seq_++, std::move(fn)});
+void Simulator::ScheduleAt(SimTime at, EventFn fn) {
+  NC_CHECK(at >= now_) << "scheduling into the past: event at t=" << at
+                       << " ns but Now() is t=" << now_
+                       << " ns; events must never be scheduled before the "
+                          "current simulated time (causality / determinism)";
+  Push(Event{at, next_seq_++, std::move(fn)});
 }
 
 void Simulator::RunUntil(SimTime until) {
-  while (!queue_.empty() && queue_.top().time <= until) {
-    // Copy out before pop so the handler may schedule freely.
-    Event ev = queue_.top();
-    queue_.pop();
+  while (!queue_.empty() && queue_.front().time <= until) {
+    // Move the event out before running so the handler may schedule freely.
+    Event ev = Pop();
     now_ = ev.time;
+    ++events_processed_;
     ev.fn();
   }
   if (now_ < until) {
@@ -30,11 +29,54 @@ void Simulator::RunUntil(SimTime until) {
 
 void Simulator::RunAll() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+    Event ev = Pop();
     now_ = ev.time;
+    ++events_processed_;
     ev.fn();
   }
+}
+
+void Simulator::Push(Event ev) {
+  // Hole-style sift-up: one move per level instead of the three a swap costs.
+  // Most new events land at a leaf (later timestamps), so test once before
+  // paying for the temporary.
+  queue_.push_back(std::move(ev));
+  size_t hole = queue_.size() - 1;
+  if (hole == 0 || !queue_[hole].Before(queue_[(hole - 1) / 2])) {
+    return;
+  }
+  Event tmp = std::move(queue_[hole]);
+  do {
+    size_t parent = (hole - 1) / 2;
+    queue_[hole] = std::move(queue_[parent]);
+    hole = parent;
+  } while (hole > 0 && tmp.Before(queue_[(hole - 1) / 2]));
+  queue_[hole] = std::move(tmp);
+}
+
+Simulator::Event Simulator::Pop() {
+  Event top = std::move(queue_.front());
+  size_t n = queue_.size() - 1;
+  if (n == 0) {
+    queue_.pop_back();
+    return top;
+  }
+  // Hole-style sift-down of the displaced last element.
+  Event tmp = std::move(queue_.back());
+  queue_.pop_back();
+  size_t hole = 0;
+  size_t left = 1;
+  while (left < n) {
+    size_t smallest = (left + 1 < n && queue_[left + 1].Before(queue_[left])) ? left + 1 : left;
+    if (!queue_[smallest].Before(tmp)) {
+      break;
+    }
+    queue_[hole] = std::move(queue_[smallest]);
+    hole = smallest;
+    left = 2 * hole + 1;
+  }
+  queue_[hole] = std::move(tmp);
+  return top;
 }
 
 }  // namespace netcache

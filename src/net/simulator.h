@@ -3,22 +3,44 @@
 // Single-threaded, deterministic: events fire in (time, insertion-sequence)
 // order, so two events scheduled for the same instant run in the order they
 // were scheduled. All times are nanoseconds of simulated time.
+//
+// Hot-path design (the per-event cost bounds every packet-level experiment):
+//   - events hold an InlineFunction, so closures up to kInlineFunctionBytes
+//     capture bytes never touch the heap (std::function allocated per event);
+//   - the queue is an explicit binary heap over a reservable vector, so a
+//     steady-state run performs zero queue allocations and pops move events
+//     out instead of copying them (std::priority_queue::top forces a copy);
+//   - a per-simulator PacketPool recycles the Packet buffers that in-flight
+//     closures reference (see net/packet_pool.h).
+//
+// Parallel sweeps run one Simulator per trial on worker threads (core/sweep.h);
+// a single Simulator instance is strictly single-threaded.
 
 #ifndef NETCACHE_NET_SIMULATOR_H_
 #define NETCACHE_NET_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "common/time_units.h"
+#include "net/packet_pool.h"
 
 namespace netcache {
 
 class Simulator {
  public:
-  Simulator() = default;
+  // Closure type for scheduled events. Captures larger than
+  // kInlineFunctionBytes still work (single heap allocation); keep hot-path
+  // captures inside the budget by pooling bulky payloads (packet_pool()).
+  using EventFn = InlineFunction<void()>;
+
+  // `reserve_events` pre-sizes the event heap; steady-state runs should never
+  // grow it. The default comfortably covers a busy single-rack simulation.
+  explicit Simulator(size_t reserve_events = kDefaultReserveEvents) {
+    queue_.reserve(reserve_events);
+  }
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -26,10 +48,15 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   // Schedules `fn` to run `delay` ns from now.
-  void Schedule(SimDuration delay, std::function<void()> fn);
+  void Schedule(SimDuration delay, EventFn fn) { ScheduleAt(now_ + delay, std::move(fn)); }
 
-  // Schedules `fn` at absolute time `at` (must be >= Now()).
-  void ScheduleAt(SimTime at, std::function<void()> fn);
+  // Schedules `fn` at absolute time `at`. Scheduling into the past would
+  // silently misorder the causal chain, so `at < Now()` is a fatal error.
+  void ScheduleAt(SimTime at, EventFn fn);
+
+  // Grows the event heap to hold at least `capacity` pending events without
+  // reallocating mid-run.
+  void ReserveEvents(size_t capacity) { queue_.reserve(capacity); }
 
   // Runs events until the queue is empty or simulated time would exceed
   // `until`. Events at exactly `until` are executed.
@@ -39,25 +66,40 @@ class Simulator {
   void RunAll();
 
   size_t PendingEvents() const { return queue_.size(); }
+  size_t EventCapacity() const { return queue_.capacity(); }
+
+  // Total events executed since construction. Deterministic for a fixed seed,
+  // so benches report it as their work measure (events/sec).
+  uint64_t events_processed() const { return events_processed_; }
+
+  // Freelist for Packet payloads referenced by in-flight closures.
+  PacketPool& packet_pool() { return pool_; }
 
  private:
+  static constexpr size_t kDefaultReserveEvents = 4096;
+
   struct Event {
     SimTime time;
     uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
+    EventFn fn;
+
+    // Min-heap order: earliest time first, FIFO within one instant.
+    bool Before(const Event& other) const {
+      if (time != other.time) {
+        return time < other.time;
       }
-      return a.seq > b.seq;
+      return seq < other.seq;
     }
   };
 
+  void Push(Event ev);
+  Event Pop();
+
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  uint64_t events_processed_ = 0;
+  std::vector<Event> queue_;  // explicit binary min-heap
+  PacketPool pool_;
 };
 
 }  // namespace netcache

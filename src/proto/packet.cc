@@ -194,6 +194,19 @@ Packet MakeQuery(OpCode op, L4Protocol proto, IpAddress client, IpAddress server
 
 }  // namespace
 
+Packet MakeReplyShell(const Packet& req) {
+  Packet reply;
+  reply.eth = req.eth;
+  reply.ip = req.ip;
+  reply.l4 = req.l4;
+  reply.is_netcache = req.is_netcache;
+  reply.nc.op = req.nc.op;
+  reply.nc.seq = req.nc.seq;
+  reply.nc.key = req.nc.key;
+  reply.SwapSrcDst();
+  return reply;
+}
+
 Packet MakeGet(IpAddress client, IpAddress server, const Key& key, uint32_t seq) {
   // Reads use UDP for low latency (§4.1).
   return MakeQuery(OpCode::kGet, L4Protocol::kUdp, client, server, key, seq);

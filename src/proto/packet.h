@@ -126,6 +126,11 @@ inline uint64_t TraceQueryId(const Packet& pkt) {
 }
 
 // Convenience constructors.
+// Reply skeleton for `req`: L2-L4 headers copied with src/dst swapped,
+// op/seq/key preserved, and no value payload. Callers set the reply op.
+// Avoids copying the (up to 128-byte) request value into a reply that would
+// immediately discard it.
+Packet MakeReplyShell(const Packet& req);
 Packet MakeGet(IpAddress client, IpAddress server, const Key& key, uint32_t seq);
 Packet MakePut(IpAddress client, IpAddress server, const Key& key, const Value& value,
                uint32_t seq);

@@ -42,10 +42,14 @@ void CacheNode::StartNextIfIdle() {
     return;
   }
   busy_ = true;
-  Packet pkt = queue_.front();
+  // Pool the in-service packet so the completion closure captures a pointer
+  // and stays within the inline-event budget.
+  Packet* job = sim_->packet_pool().Acquire();
+  *job = std::move(queue_.front());
   queue_.pop_front();
-  sim_->Schedule(ServiceTime(), [this, pkt = std::move(pkt)] {
-    Process(pkt);
+  sim_->Schedule(ServiceTime(), [this, job] {
+    Process(*job);
+    sim_->packet_pool().Release(job);
     busy_ = false;
     StartNextIfIdle();
   });
@@ -58,8 +62,7 @@ void CacheNode::Process(const Packet& pkt) {
       if (it != index_.end()) {
         ++stats_.hits;
         Touch(pkt.nc.key);
-        Packet reply = pkt;
-        reply.SwapSrcDst();
+        Packet reply = MakeReplyShell(pkt);
         reply.ip.src = config_.ip;  // answered by the cache node itself
         reply.nc.op = OpCode::kGetReply;
         reply.nc.has_value = true;

@@ -99,14 +99,18 @@ void StorageServer::StartNextIfIdle(size_t core_index) {
     return;
   }
   core.busy = true;
-  Packet pkt = core.queue.front();
+  // Park the in-service packet in the pool: the completion closure captures a
+  // pointer and stays within the inline-event budget (no heap allocation).
+  Packet* job = sim_->packet_pool().Acquire();
+  *job = std::move(core.queue.front());
   core.queue.pop_front();
   if (TraceEnabled()) {
-    TraceSpan(TraceEvent::kServerDequeue, TraceQueryId(pkt), sim_->Now(), config_.ip,
+    TraceSpan(TraceEvent::kServerDequeue, TraceQueryId(*job), sim_->Now(), config_.ip,
               core_index);
   }
-  sim_->Schedule(ServiceTime(), [this, core_index, pkt = std::move(pkt)] {
-    Process(pkt);
+  sim_->Schedule(ServiceTime(), [this, core_index, job] {
+    Process(*job);
+    sim_->packet_pool().Release(job);
     Core& done = cores_[core_index];
     ++done.processed;
     done.busy = false;
@@ -136,8 +140,7 @@ void StorageServer::Process(const Packet& pkt) {
 
 void StorageServer::ProcessRead(const Packet& pkt) {
   ++stats_.reads;
-  Packet reply = pkt;
-  reply.SwapSrcDst();
+  Packet reply = MakeReplyShell(pkt);
   reply.nc.op = OpCode::kGetReply;
   Result<Value> value = [&] {
     MutexLock lock(store_mu_);
@@ -148,8 +151,6 @@ void StorageServer::ProcessRead(const Packet& pkt) {
     reply.nc.value = *value;
   } else {
     ++stats_.read_misses;
-    reply.nc.has_value = false;
-    reply.nc.value = Value{};
   }
   if (TraceEnabled()) {
     TraceSpan(TraceEvent::kServerReply, TraceQueryId(reply), sim_->Now(), config_.ip,
@@ -185,11 +186,8 @@ void StorageServer::ProcessWrite(const Packet& pkt) {
     }
   }
 
-  Packet reply = pkt;
-  reply.SwapSrcDst();
+  Packet reply = MakeReplyShell(pkt);
   reply.nc.op = is_delete ? OpCode::kDeleteReply : OpCode::kPutReply;
-  reply.nc.has_value = false;
-  reply.nc.value = Value{};
 
   if (is_cached && config_.coherence == CoherenceMode::kWriteThroughSync) {
     // Textbook write-through: the reply waits for the switch ack.

@@ -1,9 +1,12 @@
-# Runs netcache_sim rack twice with the same seed and asserts the metrics
-# JSON is byte-identical. Invariant checking stays on for both runs: the
-# checkers are read-only, so they must not perturb the simulation.
-#
-# Invoked by CTest as:
+# Determinism regressions, invoked by CTest as:
 #   cmake -DSIM=<netcache_sim> -DWORK_DIR=<dir> -P determinism_test.cmake
+#
+# 1. Runs netcache_sim rack twice with the same seed and asserts the metrics
+#    JSON is byte-identical. Invariant checking stays on for both runs: the
+#    checkers are read-only, so they must not perturb the simulation.
+# 2. Runs netcache_sim sweep once serially and once on 4 worker threads and
+#    asserts both stdout and the metrics JSON are byte-identical — the
+#    core/sweep.h contract that parallel execution never changes results.
 
 set(FLAGS rack --servers=4 --offered=150000 --duration=0.2 --seed=1234
     --metrics-interval=0.05 --check-invariants=0.02 --write-ratio=0.1)
@@ -28,3 +31,37 @@ if(NOT diff_rc EQUAL 0)
       "same-seed runs produced different metrics JSON "
       "(${WORK_DIR}/determinism_a.json vs determinism_b.json)")
 endif()
+
+# Parallel sweep vs serial sweep: stdout and JSON byte-identical.
+set(SWEEP_FLAGS sweep --zipf=0.9,0.99 --cache=100,400 --reps=2 --seed=77
+    --servers=4 --offered=80000 --duration=0.05)
+
+foreach(mode serial threads)
+  if(mode STREQUAL "serial")
+    set(mode_flag --serial)
+  else()
+    set(mode_flag --threads=4)
+  endif()
+  execute_process(
+    COMMAND ${SIM} ${SWEEP_FLAGS} ${mode_flag}
+            --metrics-out=${WORK_DIR}/sweep_${mode}.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "sweep ${mode} exited ${rc}:\n${out}\n${err}")
+  endif()
+  file(WRITE ${WORK_DIR}/sweep_${mode}.txt "${out}")
+endforeach()
+
+foreach(ext txt json)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/sweep_serial.${ext} ${WORK_DIR}/sweep_threads.${ext}
+    RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "serial and 4-thread sweeps diverged in .${ext} output "
+        "(${WORK_DIR}/sweep_serial.${ext} vs sweep_threads.${ext})")
+  endif()
+endforeach()

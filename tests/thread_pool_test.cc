@@ -1,0 +1,112 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace netcache {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryPostedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.Post([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(pool.tasks_posted(), 32u);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder) {
+  // With one worker, tasks must execute in the order they were posted.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::mutex mu;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&order, &mu, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    }));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionTravelsThroughFutureWithoutKillingWorker) {
+  ThreadPool pool(1);
+  std::future<int> bad = pool.Submit([]() -> int {
+    throw std::runtime_error("trial failed");
+  });
+  // The same (only) worker must survive to run the next task.
+  std::future<int> good = pool.Submit([] { return 7; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, ShutdownUnderLoadDrainsQueue) {
+  // Post far more tasks than workers and destroy the pool immediately: every
+  // task must still run exactly once (destructor waits for the queue).
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 500; ++i) {
+      pool.Post([&count] {
+        count.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+      });
+    }
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPoolTest, WorkersRunConcurrently) {
+  // Two tasks that rendezvous with each other can only complete if the pool
+  // really runs them on distinct threads.
+  ThreadPool pool(2);
+  std::promise<void> a_started;
+  std::shared_future<void> a_started_f = a_started.get_future().share();
+  std::promise<void> b_started;
+  std::shared_future<void> b_started_f = b_started.get_future().share();
+  std::future<void> a = pool.Submit([&a_started, b_started_f] {
+    a_started.set_value();
+    b_started_f.wait();
+  });
+  std::future<void> b = pool.Submit([&b_started, a_started_f] {
+    b_started.set_value();
+    a_started_f.wait();
+  });
+  EXPECT_EQ(a.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(b.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  a.get();
+  b.get();
+}
+
+}  // namespace
+}  // namespace netcache

@@ -2,6 +2,8 @@
 //
 // Subcommands:
 //   rack       packet-level rack simulation (DES): goodput, latency, hits
+//   sweep      grid of independent rack trials (zipf x cache x reps), run on
+//              a thread pool; output is byte-identical to --serial
 //   saturate   capacity-model saturation throughput for one configuration
 //   multirack  multi-rack scalability model (NoCache/LeafCache/LeafSpine)
 //   snake      §7.1 snake-test harness
@@ -40,6 +42,7 @@
 #include "core/rack.h"
 #include "core/saturation.h"
 #include "core/snake.h"
+#include "core/sweep.h"
 #include "verify/checker_runner.h"
 #include "verify/rack_checkers.h"
 #include "workload/trace.h"
@@ -49,11 +52,14 @@ namespace {
 
 int Usage(const char* program) {
   std::fprintf(stderr,
-               "usage: %s <rack|saturate|multirack|snake> [--flag=value ...]\n"
+               "usage: %s <rack|sweep|saturate|multirack|snake> [--flag=value ...]\n"
                "\n"
                "rack:      --servers --rate --keys --zipf --cache --offered --duration\n"
                "           --write-ratio --skewed-writes --no-cache --cores --seed\n"
                "           --trace=FILE (replay a G/P/D trace instead of synthetic load)\n"
+               "sweep:     --zipf=A[,B...] --cache=N[,M...] --reps --seed --threads\n"
+               "           --serial --servers --rate --keys --offered --duration\n"
+               "           --write-ratio --skewed-writes --cores\n"
                "saturate:  --partitions --rate --keys --zipf --cache --write-ratio\n"
                "           --skewed-writes --write-back\n"
                "multirack: --racks --servers-per-rack --rate --spines --cache\n"
@@ -309,6 +315,237 @@ int RunRack(ArgParser& args) {
     }
   }
   return rc;
+}
+
+// Splits a comma-separated flag value ("0.9,0.95,0.99") into doubles.
+// Returns false (and reports on stderr) on any malformed element.
+bool ParseDoubleList(const std::string& raw, const char* flag, std::vector<double>* out) {
+  size_t start = 0;
+  while (start <= raw.size()) {
+    size_t comma = raw.find(',', start);
+    std::string piece = raw.substr(start, comma == std::string::npos ? comma : comma - start);
+    char* end = nullptr;
+    double v = std::strtod(piece.c_str(), &end);
+    if (piece.empty() || end == piece.c_str() || *end != '\0') {
+      std::fprintf(stderr, "--%s: '%s' is not a number\n", flag, piece.c_str());
+      return false;
+    }
+    out->push_back(v);
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
+bool ParseSizeList(const std::string& raw, const char* flag, std::vector<size_t>* out) {
+  std::vector<double> values;
+  if (!ParseDoubleList(raw, flag, &values)) {
+    return false;
+  }
+  for (double v : values) {
+    if (v < 0 || v != static_cast<double>(static_cast<uint64_t>(v))) {
+      std::fprintf(stderr, "--%s: '%g' is not a non-negative integer\n", flag, v);
+      return false;
+    }
+    out->push_back(static_cast<size_t>(v));
+  }
+  return true;
+}
+
+// Trial-independent sweep parameters (shared read-only across workers).
+struct SweepShared {
+  size_t servers = 8;
+  size_t cores = 1;
+  double rate = 50e3;
+  uint64_t keys = 10'000;
+  double offered = 100e3;
+  double duration_s = 0.1;
+  double write_ratio = 0.0;
+  bool skewed_writes = false;
+};
+
+// One grid point: a (zipf, cache-size) configuration and its repetition id.
+struct SweepPoint {
+  double zipf = 0.99;
+  size_t cache = 1000;
+  size_t rep = 0;
+};
+
+// Paper metrics of one finished trial. Every field is a deterministic
+// function of (shared, point, seed) — no wall-clock anywhere, so serial and
+// parallel sweeps print byte-identical tables.
+struct SweepOutcome {
+  SweepPoint point;
+  uint64_t seed = 0;
+  uint64_t sent = 0;
+  uint64_t completed = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t dropped = 0;
+  double avg_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t events = 0;
+};
+
+SweepOutcome RunSweepTrial(const SweepShared& shared, const SweepPoint& point, uint64_t seed) {
+  RackConfig cfg;
+  cfg.num_servers = shared.servers;
+  cfg.switch_config.num_pipes = 1;
+  cfg.switch_config.cache_capacity = std::max<size_t>(4096, point.cache);
+  cfg.switch_config.indexes_per_pipe = cfg.switch_config.cache_capacity;
+  cfg.switch_config.stats.counter_slots = cfg.switch_config.cache_capacity;
+  cfg.server_template.service_rate_qps = shared.rate;
+  cfg.server_template.num_cores = shared.cores;
+  cfg.client_template.reply_timeout = 10 * kMillisecond;
+  cfg.controller_config.cache_capacity = point.cache;
+
+  Rack rack(cfg);
+  rack.Populate(shared.keys, 128);
+
+  WorkloadConfig wl;
+  wl.num_keys = shared.keys;
+  wl.zipf_alpha = point.zipf;
+  wl.write_ratio = shared.write_ratio;
+  wl.skewed_writes = shared.skewed_writes;
+  wl.seed = seed;
+  WorkloadGenerator gen(wl);
+
+  std::vector<Key> hot;
+  for (uint64_t id : gen.popularity().TopKeys(std::min<uint64_t>(point.cache, shared.keys))) {
+    hot.push_back(Key::FromUint64(id));
+  }
+  rack.WarmCache(hot);
+  rack.StartController();
+
+  DriverConfig dc;
+  dc.rate_qps = shared.offered;
+  WorkloadDriver driver(&rack.sim(), &rack.client(0),
+                        WorkloadDriver::QuerySource([&gen] { return gen.Next(); }),
+                        rack.OwnerFn(), dc);
+  driver.Start();
+  rack.sim().RunUntil(static_cast<SimTime>(shared.duration_s * 1e9));
+  driver.Stop();
+  rack.sim().RunUntil(rack.sim().Now() + 20 * kMillisecond);
+
+  SweepOutcome out;
+  out.point = point;
+  out.seed = seed;
+  out.sent = driver.sent();
+  out.completed = driver.completed();
+  const SwitchCounters& sc = rack.tor().counters();
+  out.hits = sc.cache_hits;
+  out.misses = sc.cache_misses;
+  for (size_t i = 0; i < rack.num_servers(); ++i) {
+    out.dropped += rack.server(i).stats().dropped;
+  }
+  const Histogram& lat = rack.client(0).latency();
+  out.avg_us = lat.Mean() / 1e3;
+  out.p50_us = static_cast<double>(lat.Quantile(0.5)) / 1e3;
+  out.p99_us = static_cast<double>(lat.Quantile(0.99)) / 1e3;
+  out.events = rack.sim().events_processed();
+  return out;
+}
+
+int RunSweep(ArgParser& args) {
+  SweepShared shared;
+  shared.servers = static_cast<size_t>(args.GetInt("servers", 8));
+  shared.cores = static_cast<size_t>(args.GetInt("cores", 1));
+  shared.rate = args.GetDouble("rate", 50e3);
+  shared.keys = static_cast<uint64_t>(args.GetInt("keys", 10'000));
+  shared.offered = args.GetDouble("offered", 100e3);
+  shared.duration_s = args.GetDouble("duration", 0.1);
+  shared.write_ratio = args.GetDouble("write-ratio", 0.0);
+  shared.skewed_writes = args.GetBool("skewed-writes", false);
+
+  std::vector<double> zipfs;
+  std::vector<size_t> caches;
+  if (!ParseDoubleList(args.GetString("zipf", "0.9,0.95,0.99"), "zipf", &zipfs) ||
+      !ParseSizeList(args.GetString("cache", "1000"), "cache", &caches)) {
+    return 2;
+  }
+  size_t reps = static_cast<size_t>(args.GetInt("reps", 1));
+
+  SweepOptions opts;
+  opts.root_seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  opts.threads = static_cast<size_t>(args.GetInt("threads", 0));
+  opts.serial = args.GetBool("serial", false);
+  std::string metrics_out = args.GetString("metrics-out", "");
+  if (!args.ok()) {
+    return 2;
+  }
+  if (reps == 0 || shared.duration_s <= 0) {
+    std::fprintf(stderr, "--reps and --duration must be positive\n");
+    return 2;
+  }
+
+  std::vector<SweepPoint> grid;
+  for (double zipf : zipfs) {
+    for (size_t cache : caches) {
+      for (size_t rep = 0; rep < reps; ++rep) {
+        grid.push_back(SweepPoint{zipf, cache, rep});
+      }
+    }
+  }
+
+  // NOTE: output deliberately never mentions thread count or timing — the
+  // determinism test diffs --serial against --threads=N byte-for-byte.
+  std::vector<SweepOutcome> outcomes = RunSweep(
+      grid, opts,
+      [&shared](const SweepPoint& point, uint64_t seed, size_t /*index*/) {
+        return RunSweepTrial(shared, point, seed);
+      });
+
+  std::printf("sweep           %zu trials (%zu zipf x %zu cache x %zu reps)\n", grid.size(),
+              zipfs.size(), caches.size(), reps);
+  for (const SweepOutcome& o : outcomes) {
+    std::printf("zipf=%.3f cache=%zu rep=%zu sent=%llu completed=%llu hits=%llu misses=%llu "
+                "shed=%llu avg_us=%.2f p50_us=%.2f p99_us=%.2f events=%llu\n",
+                o.point.zipf, o.point.cache, o.point.rep,
+                static_cast<unsigned long long>(o.sent),
+                static_cast<unsigned long long>(o.completed),
+                static_cast<unsigned long long>(o.hits),
+                static_cast<unsigned long long>(o.misses),
+                static_cast<unsigned long long>(o.dropped), o.avg_us, o.p50_us, o.p99_us,
+                static_cast<unsigned long long>(o.events));
+  }
+
+  if (!metrics_out.empty()) {
+    bool ok = WriteJsonFile(metrics_out, [&](JsonWriter& w) {
+      w.BeginObject();
+      w.Field("command", "sweep");
+      w.Field("root_seed", opts.root_seed);
+      w.Field("trials", static_cast<uint64_t>(grid.size()));
+      w.Field("duration_s", shared.duration_s);
+      w.Name("results");
+      w.BeginArray();
+      for (const SweepOutcome& o : outcomes) {
+        w.BeginObject();
+        w.Field("zipf", o.point.zipf);
+        w.Field("cache", static_cast<uint64_t>(o.point.cache));
+        w.Field("rep", static_cast<uint64_t>(o.point.rep));
+        w.Field("seed", o.seed);
+        w.Field("sent", o.sent);
+        w.Field("completed", o.completed);
+        w.Field("cache_hits", o.hits);
+        w.Field("cache_misses", o.misses);
+        w.Field("server_shed", o.dropped);
+        w.Field("latency_avg_us", o.avg_us);
+        w.Field("latency_p50_us", o.p50_us);
+        w.Field("latency_p99_us", o.p99_us);
+        w.Field("events", o.events);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    });
+    if (!ok) {
+      return 1;
+    }
+  }
+  return 0;
 }
 
 int RunSaturate(ArgParser& args) {
@@ -570,6 +807,8 @@ int Main(int argc, char** argv) {
   int rc;
   if (command == "rack") {
     rc = RunRack(args);
+  } else if (command == "sweep") {
+    rc = RunSweep(args);
   } else if (command == "saturate") {
     rc = RunSaturate(args);
   } else if (command == "multirack") {
