@@ -2,15 +2,17 @@
 
 namespace netcache {
 
-uint64_t HashBytes(const void* data, size_t len) {
+uint64_t HashBytesUnmixed(const void* data, size_t len) {
   const auto* p = static_cast<const unsigned char*>(data);
   uint64_t h = 0xcbf29ce484222325ull;
   for (size_t i = 0; i < len; ++i) {
     h ^= p[i];
     h *= 0x100000001b3ull;
   }
-  return Mix64(h);
+  return h;
 }
+
+uint64_t HashBytes(const void* data, size_t len) { return Mix64(HashBytesUnmixed(data, len)); }
 
 uint64_t SeededHashBytes(const void* data, size_t len, uint64_t seed) {
   const auto* p = static_cast<const unsigned char*>(data);

@@ -32,6 +32,13 @@ constexpr uint64_t Mix64(uint64_t x) {
 // for short keys (ours are 16 bytes).
 uint64_t HashBytes(const void* data, size_t len);
 
+// The raw FNV-1a accumulator state before the finalizing Mix64. The key
+// digest (proto/key_digest.h) derives two independent 64-bit hashes from this
+// one pass, so `Mix64(HashBytesUnmixed(p, n)) == HashBytes(p, n)` is a
+// load-bearing identity: a digest's first hash can stand in for HashBytes
+// wherever a KeyHasher-keyed table stores precomputed hashes.
+uint64_t HashBytesUnmixed(const void* data, size_t len);
+
 inline uint64_t HashStringView(std::string_view s) { return HashBytes(s.data(), s.size()); }
 
 // A seeded hash: independent functions for distinct seeds. Suitable for

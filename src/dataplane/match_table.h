@@ -37,6 +37,35 @@ class ExactMatchTable {
     return a;
   }
 
+  // Counted lookup with a precomputed hash (== KeyHasher()(key), which the
+  // burst path carries on the packet as KeyDigest::h1).
+  const Action* MatchWithHash(const Key& key, size_t h) const {
+    ++lookups_;
+    const Action* a = entries_.FindWithHash(h, key);
+    if (a != nullptr) {
+      ++hits_;
+    }
+    return a;
+  }
+
+  // Uncounted lookup for the burst pipeline's staging pass: the pipeline
+  // peeks every packet's entry up front, then books exactly one
+  // CountMatch(hit) per packet at its in-order turn, so lookup/hit totals
+  // stay identical to the single-packet path even when a packet is
+  // re-peeked after a table mutation mid-burst.
+  const Action* PeekWithHash(const Key& key, size_t h) const {
+    return entries_.FindWithHash(h, key);
+  }
+  void CountMatch(bool hit) const {
+    ++lookups_;
+    if (hit) {
+      ++hits_;
+    }
+  }
+
+  // Warms the home bucket for a later *WithHash lookup.
+  void Prefetch(size_t h) const { entries_.PrefetchHash(h); }
+
   // Control-plane entry management (via the switch driver, §3).
   Status InsertEntry(const Key& key, Action action) {
     if (entries_.Contains(key)) {

@@ -37,37 +37,76 @@ NetCacheSwitch::NetCacheSwitch(Simulator* sim, std::string name, const SwitchCon
 
 void NetCacheSwitch::HandlePacket(const Packet& pkt, uint32_t in_port) {
   NC_CHECK(sim_ != nullptr) << "switch not attached to a simulator";
-  std::vector<Emit> emits = ProcessPacket(pkt, in_port);
-  for (auto& emit : emits) {
-    SimDuration delay = config_.pipeline_latency;
-    if (config_.pipe_rate_qps > 0.0) {
-      // §4.4.4 per-pipe bound: each packet occupies its egress pipe for
-      // 1/rate; beyond the pipe's backlog budget, shed the packet.
-      size_t pipe = PipeOfPort(emit.port);
-      SimDuration slot = static_cast<SimDuration>(1e9 / config_.pipe_rate_qps);
-      SimTime start = std::max(sim_->Now(), pipe_busy_until_[pipe]);
-      SimTime backlog = start - sim_->Now();
-      if (backlog > slot * config_.pipe_queue_packets) {
-        ++counters_.pipe_overload_drops;
-        continue;
-      }
-      pipe_busy_until_[pipe] = start + slot;
-      delay = (start + slot) - sim_->Now() + config_.pipeline_latency;
-    }
+  scratch_emits_.clear();
+  ProcessPacket(pkt, in_port, scratch_emits_);
+  for (auto& emit : scratch_emits_) {
     // Park the outgoing packet in the pool so the emit closure stays within
     // the inline-event capture budget (no per-emit heap allocation).
     Packet* out_pkt = sim_->packet_pool().Acquire();
     *out_pkt = std::move(emit.pkt);
-    sim_->Schedule(delay, [this, port = emit.port, out_pkt] {
-      Send(port, *out_pkt);
-      sim_->packet_pool().Release(out_pkt);
-    });
+    ScheduleEmit(emit.port, out_pkt);
   }
+}
+
+void NetCacheSwitch::ScheduleEmit(uint32_t port, Packet* out_pkt) {
+  SimDuration delay = config_.pipeline_latency;
+  if (config_.pipe_rate_qps > 0.0) {
+    // §4.4.4 per-pipe bound: each packet occupies its egress pipe for
+    // 1/rate; beyond the pipe's backlog budget, shed the packet.
+    size_t pipe = PipeOfPort(port);
+    SimDuration slot = static_cast<SimDuration>(1e9 / config_.pipe_rate_qps);
+    SimTime start = std::max(sim_->Now(), pipe_busy_until_[pipe]);
+    SimTime backlog = start - sim_->Now();
+    if (backlog > slot * config_.pipe_queue_packets) {
+      ++counters_.pipe_overload_drops;
+      sim_->packet_pool().Release(out_pkt);
+      return;
+    }
+    pipe_busy_until_[pipe] = start + slot;
+    delay = (start + slot) - sim_->Now() + config_.pipeline_latency;
+  }
+  sim_->Schedule(delay, [this, port, out_pkt] {
+    Send(port, *out_pkt);
+    sim_->packet_pool().Release(out_pkt);
+  });
+}
+
+void NetCacheSwitch::HandleBurst(BurstArrival* arrivals, size_t count) {
+  NC_CHECK(sim_ != nullptr) << "switch not attached to a simulator";
+  // Bridges the burst pipeline to the event queue: burst-owned packets are
+  // already pooled and go straight to ScheduleEmit; scratch packets (from
+  // the barrier path) are copied into the pool first, exactly like
+  // HandlePacket does.
+  class ScheduleSink : public EmitSink {
+   public:
+    explicit ScheduleSink(NetCacheSwitch* sw) : sw_(sw) {}
+    void OnEmit(uint32_t port, Packet* pkt, bool from_burst) override {
+      if (from_burst) {
+        sw_->ScheduleEmit(port, pkt);
+        return;
+      }
+      Packet* out_pkt = sw_->sim_->packet_pool().Acquire();
+      *out_pkt = std::move(*pkt);
+      sw_->ScheduleEmit(port, out_pkt);
+    }
+
+   private:
+    NetCacheSwitch* sw_;
+  };
+  ScheduleSink sink(this);
+  ProcessBurst(std::span<BurstArrival>(arrivals, count), sink);
 }
 
 std::vector<NetCacheSwitch::Emit> NetCacheSwitch::ProcessPacket(const Packet& pkt,
                                                                 uint32_t in_port) {
   std::vector<Emit> out;
+  ProcessPacket(pkt, in_port, out);
+  return out;
+}
+
+void NetCacheSwitch::ProcessPacket(const Packet& pkt, uint32_t in_port,
+                                   std::vector<Emit>& out) {
+  size_t first_emit = out.size();
   ++counters_.packets;
 
   // Parser: only packets on the reserved L4 port run the NetCache modules;
@@ -76,12 +115,18 @@ std::vector<NetCacheSwitch::Emit> NetCacheSwitch::ProcessPacket(const Packet& pk
                (pkt.l4.dst_port == kNetCachePort || pkt.l4.src_port == kNetCachePort);
   if (!is_nc) {
     ForwardByDst(Packet(pkt), out);
-    ApplySnakeForward(in_port, out);
-    return out;
+    ApplySnakeForward(in_port, out, first_emit);
+    return;
   }
   ++counters_.netcache_queries;
 
   Packet work = pkt;
+  // Ingress hash engine: one pass over the key; every downstream table,
+  // sketch, and server-side index derives from the digest (or reuses one a
+  // previous hop already computed).
+  if (work.is_netcache && work.digest.Empty()) {
+    work.digest = KeyDigest::Of(work.nc.key);
+  }
   switch (work.nc.op) {
     case OpCode::kGet:
       ProcessRead(work, out);
@@ -98,16 +143,181 @@ std::vector<NetCacheSwitch::Emit> NetCacheSwitch::ProcessPacket(const Packet& pk
       ForwardByDst(std::move(work), out);
       break;
   }
-  ApplySnakeForward(in_port, out);
-  return out;
+  ApplySnakeForward(in_port, out, first_emit);
 }
 
-void NetCacheSwitch::ApplySnakeForward(uint32_t in_port, std::vector<Emit>& out) {
+void NetCacheSwitch::ProcessBurst(std::span<BurstArrival> arrivals, EmitSink& sink) {
+  size_t i = 0;
+  while (i < arrivals.size()) {
+    const Packet& p = *arrivals[i].pkt;
+    bool is_get = p.is_netcache &&
+                  (p.l4.dst_port == kNetCachePort || p.l4.src_port == kNetCachePort) &&
+                  p.nc.op == OpCode::kGet;
+    if (!is_get) {
+      // Barrier packet (write, cache update, reply, plain L3): ordinary
+      // single-packet pipeline at its in-order turn.
+      scratch_emits_.clear();
+      ProcessPacket(*arrivals[i].pkt, arrivals[i].port, scratch_emits_);
+      for (Emit& e : scratch_emits_) {
+        sink.OnEmit(e.port, &e.pkt, /*from_burst=*/false);
+      }
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    while (j < arrivals.size()) {
+      const Packet& q = *arrivals[j].pkt;
+      if (!(q.is_netcache &&
+            (q.l4.dst_port == kNetCachePort || q.l4.src_port == kNetCachePort) &&
+            q.nc.op == OpCode::kGet)) {
+        break;
+      }
+      ++j;
+    }
+    ProcessGetRun(arrivals.subspan(i, j - i), sink);
+    i = j;
+  }
+}
+
+void NetCacheSwitch::ProcessGetRun(std::span<BurstArrival> run, EmitSink& sink) {
+  // Stage 1 (ingress hash + match dispatch): digest every key once and warm
+  // the lookup table's home buckets.
+  for (BurstArrival& a : run) {
+    Packet& p = *a.pkt;
+    if (p.digest.Empty()) {
+      p.digest = KeyDigest::Of(p.nc.key);
+    }
+    lookup_.Prefetch(static_cast<size_t>(p.digest.h1));
+  }
+
+  // Stage 2 (match + status): peek every packet's entry (uncounted; each
+  // packet books its one counted lookup in stage 3) and warm the registers
+  // its stage-3 turn will touch — the per-key counter and value rows on a
+  // valid hit, the Count-Min rows on a miss.
+  staged_.clear();
+  for (BurstArrival& a : run) {
+    Packet& p = *a.pkt;
+    StagedGet s;
+    const CacheAction* action =
+        lookup_.PeekWithHash(p.nc.key, static_cast<size_t>(p.digest.h1));
+    s.found = action != nullptr;
+    if (action != nullptr) {
+      s.action = *action;
+      s.valid = status_.Read(action->key_index) != 0;
+    }
+    if (s.found && s.valid) {
+      stats_.PrefetchCounter(s.action.key_index);
+      pipes_[s.action.pipe].values.Prefetch(s.action.bitmap, s.action.value_index);
+    } else {
+      stats_.PrefetchUncached(p.digest);
+    }
+    staged_.push_back(s);
+  }
+
+  // Stage 3 (stats + value + emit), strictly in arrival order: every
+  // observable side effect — counters, the sampler's RNG draws, traces, hot
+  // reports, emit scheduling — happens at exactly the position it would in
+  // the sequential schedule, which is what keeps burst output byte-identical
+  // to single-packet processing.
+  bool table_may_have_changed = false;
+  for (size_t idx = 0; idx < run.size(); ++idx) {
+    BurstArrival& a = run[idx];
+    Packet& p = *a.pkt;
+    StagedGet s = staged_[idx];
+    ++counters_.packets;
+    ++counters_.netcache_queries;
+    ++counters_.reads;
+    if (table_may_have_changed) {
+      // A hot report earlier in this run ran a synchronous handler that may
+      // have mutated the cache (unit-test controllers insert inline; the
+      // rack controller defers to a later event). Re-peek so this packet
+      // sees the same table state it would have sequentially.
+      const CacheAction* action =
+          lookup_.PeekWithHash(p.nc.key, static_cast<size_t>(p.digest.h1));
+      s.found = action != nullptr;
+      s.valid = false;
+      if (action != nullptr) {
+        s.action = *action;
+        s.valid = status_.Read(action->key_index) != 0;
+      }
+    }
+    lookup_.CountMatch(s.found);
+    if (s.found && s.valid) {
+      ++counters_.cache_hits;
+      if (TraceEnabled()) {
+        TraceSpan(TraceEvent::kSwitchHit, TraceQueryId(p), sim_ != nullptr ? sim_->Now() : 0,
+                  config_.switch_ip);
+      }
+      stats_.OnCachedRead(s.action.key_index);
+      ++pipe_value_reads_[s.action.pipe];
+      size_t size = value_size_.Read(s.action.key_index);
+      pipes_[s.action.pipe].values.ReadValueInto(s.action.bitmap, s.action.value_index, size,
+                                                 &p.nc.value);
+      p.nc.has_value = true;
+      p.nc.op = OpCode::kGetReply;
+      p.SwapSrcDst();
+    } else {
+      if (s.found) {
+        ++counters_.cache_invalid;
+      } else {
+        ++counters_.cache_misses;
+      }
+      if (TraceEnabled()) {
+        TraceSpan(s.found ? TraceEvent::kSwitchInvalid : TraceEvent::kSwitchMiss,
+                  TraceQueryId(p), sim_ != nullptr ? sim_->Now() : 0, config_.switch_ip);
+      }
+      if (stats_.OnUncachedRead(p.nc.key, p.digest)) {
+        ++counters_.hot_reports;
+        if (hot_report_) {
+          hot_report_(p.nc.key, stats_.SketchEstimate(p.nc.key));
+          table_may_have_changed = true;
+        }
+      }
+    }
+    ForwardBurstPacket(a, sink);
+  }
+}
+
+void NetCacheSwitch::ForwardBurstPacket(BurstArrival& arrival, EmitSink& sink) {
+  Packet& p = *arrival.pkt;
+  const uint32_t* port = routes_.Find(p.ip.dst);
+  if (port == nullptr) {
+    ++counters_.unroutable;
+    NC_LOG(DEBUG) << name() << ": no route for " << p.ip.dst;
+    return;
+  }
+  if (p.ip.ttl == 0) {
+    ++counters_.ttl_drops;
+    return;
+  }
+  --p.ip.ttl;
+  ++counters_.forwarded;
+  uint32_t out_port = *port;
+  if (arrival.port < snake_.size() && snake_[arrival.port].has_value()) {
+    const SnakeHop& hop = *snake_[arrival.port];
+    out_port = hop.out_port;
+    if (hop.strip_value && p.nc.op == OpCode::kGetReply) {
+      // Rewind a served reply into a fresh query for the next snake pass.
+      // The key is untouched, so the digest stays valid.
+      p.nc.op = OpCode::kGet;
+      p.nc.has_value = false;
+      p.nc.value = Value{};
+      p.SwapSrcDst();
+    }
+  }
+  // Hand the (rewritten-in-place) pooled packet to the sink and clear the
+  // arrival slot so the dispatcher doesn't release it under us.
+  arrival.pkt = nullptr;
+  sink.OnEmit(out_port, &p, /*from_burst=*/true);
+}
+
+void NetCacheSwitch::ApplySnakeForward(uint32_t in_port, std::vector<Emit>& out, size_t first) {
   if (in_port >= snake_.size() || !snake_[in_port].has_value()) {
     return;
   }
   const SnakeHop& hop = *snake_[in_port];
-  for (Emit& emit : out) {
+  for (size_t i = first; i < out.size(); ++i) {
+    Emit& emit = out[i];
     emit.port = hop.out_port;
     if (hop.strip_value && emit.pkt.nc.op == OpCode::kGetReply) {
       // Rewind a served reply into a fresh query for the next snake pass.
@@ -128,7 +338,10 @@ void NetCacheSwitch::SetSnakeForward(uint32_t in_port, uint32_t out_port, bool s
 
 void NetCacheSwitch::ProcessRead(Packet& pkt, std::vector<Emit>& out) {
   ++counters_.reads;
-  const CacheAction* action = lookup_.Match(pkt.nc.key);  // Alg 1 line 2
+  // Alg 1 line 2; ProcessPacket guaranteed the digest, so the match probe
+  // reuses its first hash instead of re-hashing the key.
+  const CacheAction* action =
+      lookup_.MatchWithHash(pkt.nc.key, static_cast<size_t>(pkt.digest.h1));
   if (action != nullptr && status_.Read(action->key_index) != 0) {
     // Cache hit on a valid entry: serve from the egress pipe's value stages.
     ++counters_.cache_hits;
@@ -164,7 +377,7 @@ void NetCacheSwitch::ProcessRead(Packet& pkt, std::vector<Emit>& out) {
     TraceSpan(action != nullptr ? TraceEvent::kSwitchInvalid : TraceEvent::kSwitchMiss,
               TraceQueryId(pkt), sim_ != nullptr ? sim_->Now() : 0, config_.switch_ip);
   }
-  if (stats_.OnUncachedRead(pkt.nc.key)) {  // Alg 1 lines 7-9
+  if (stats_.OnUncachedRead(pkt.nc.key, pkt.digest)) {  // Alg 1 lines 7-9
     ++counters_.hot_reports;
     if (hot_report_) {
       hot_report_(pkt.nc.key, stats_.SketchEstimate(pkt.nc.key));
@@ -175,7 +388,8 @@ void NetCacheSwitch::ProcessRead(Packet& pkt, std::vector<Emit>& out) {
 
 void NetCacheSwitch::ProcessWrite(Packet& pkt, std::vector<Emit>& out) {
   ++counters_.writes;
-  const CacheAction* action = lookup_.Match(pkt.nc.key);  // Alg 1 line 11
+  const CacheAction* action =
+      lookup_.MatchWithHash(pkt.nc.key, static_cast<size_t>(pkt.digest.h1));  // Alg 1 line 11
   if (action != nullptr && config_.write_back && pkt.nc.op == OpCode::kPut &&
       pkt.nc.value.NumUnits() <= static_cast<size_t>(std::popcount(action->bitmap))) {
     // Experimental §5 write-back: absorb the write in the switch. The entry
@@ -209,7 +423,8 @@ void NetCacheSwitch::ProcessWrite(Packet& pkt, std::vector<Emit>& out) {
 }
 
 void NetCacheSwitch::ProcessCacheUpdate(Packet& pkt, std::vector<Emit>& out) {
-  const CacheAction* action = lookup_.Match(pkt.nc.key);
+  const CacheAction* action =
+      lookup_.MatchWithHash(pkt.nc.key, static_cast<size_t>(pkt.digest.h1));
   // Header-only reply shell: the ack never carries the value, so don't copy it.
   Packet reply = MakeReplyShell(pkt);
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -125,6 +126,7 @@ class NetCacheSwitch : public Node {
   // ---- data plane ----
 
   void HandlePacket(const Packet& pkt, uint32_t in_port) override;
+  void HandleBurst(BurstArrival* arrivals, size_t count) override;
 
   struct Emit {
     uint32_t port = 0;
@@ -133,6 +135,29 @@ class NetCacheSwitch : public Node {
   // Runs the full pipeline on one packet and returns the packets to emit
   // (usually one; zero for consumed control packets or unroutable drops).
   std::vector<Emit> ProcessPacket(const Packet& pkt, uint32_t in_port);
+  // Allocation-free variant: appends emits to `out` (which the caller may
+  // reuse across packets) instead of returning a fresh vector.
+  void ProcessPacket(const Packet& pkt, uint32_t in_port, std::vector<Emit>& out);
+
+  // Receives the pipeline's output packets during burst processing.
+  // `from_burst` tells the sink who owns the packet: true means `pkt` is the
+  // pooled arrival rewritten in place (the sink takes ownership and must
+  // eventually Release it); false means `pkt` lives in pipeline scratch
+  // storage and the sink must copy it out before returning.
+  class EmitSink {
+   public:
+    virtual ~EmitSink() = default;
+    virtual void OnEmit(uint32_t port, Packet* pkt, bool from_burst) = 0;
+  };
+
+  // VPP-style stage-at-a-time processing of a delivery burst: runs of Get
+  // queries execute as match-all -> stats-all -> value-store-all with
+  // software prefetch between stages; any other packet is a barrier that
+  // runs through the ordinary single-packet pipeline at its in-order turn.
+  // All observable side effects (counters, RNG draws, traces, hot reports,
+  // emits) are issued at each packet's sequential position, so output is
+  // identical to calling ProcessPacket per packet in arrival order.
+  void ProcessBurst(std::span<BurstArrival> arrivals, EmitSink& sink);
 
   // ---- control plane (switch driver) ----
 
@@ -243,7 +268,30 @@ class NetCacheSwitch : public Node {
 
   size_t PipeOfPort(uint32_t port) const { return port / config_.ports_per_pipe; }
 
-  void ApplySnakeForward(uint32_t in_port, std::vector<Emit>& out);
+  // Snapshot of one Get's stage-2 state in a burst: the matched action and
+  // validity, peeked ahead of the in-order stage-3 pass.
+  struct StagedGet {
+    CacheAction action;
+    bool found = false;
+    bool valid = false;
+  };
+
+  // Schedules one pooled output packet through the per-pipe rate bound and
+  // the pipeline-latency delay (the emit half of HandlePacket). Takes
+  // ownership of `out_pkt` (releases it on an overload drop).
+  void ScheduleEmit(uint32_t port, Packet* out_pkt);
+
+  // Burst stages for a run of Get queries (see ProcessBurst).
+  void ProcessGetRun(std::span<BurstArrival> run, EmitSink& sink);
+  // Routes a burst packet in place (route/ttl/snake), steals it from the
+  // arrival slot, and hands it to the sink. No-op emit on unroutable/ttl
+  // drop (the dispatcher releases the packet still in the slot).
+  void ForwardBurstPacket(BurstArrival& arrival, EmitSink& sink);
+
+  // Applies the snake hop to emits appended at or after `first` (the caller
+  // passes out.size() from before its pipeline pass when appending to a
+  // shared scratch vector).
+  void ApplySnakeForward(uint32_t in_port, std::vector<Emit>& out, size_t first);
   void ProcessRead(Packet& pkt, std::vector<Emit>& out);
   void ProcessWrite(Packet& pkt, std::vector<Emit>& out);
   void ProcessCacheUpdate(Packet& pkt, std::vector<Emit>& out);
@@ -281,6 +329,10 @@ class NetCacheSwitch : public Node {
   std::vector<uint64_t> pipe_value_reads_;
   // Per-pipe transmitter state for the optional rate bound.
   std::vector<SimTime> pipe_busy_until_;
+  // Scratch buffers for HandlePacket / burst processing; members so the
+  // steady state allocates nothing per packet or burst.
+  std::vector<Emit> scratch_emits_;
+  std::vector<StagedGet> staged_;
 };
 
 }  // namespace netcache

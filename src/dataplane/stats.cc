@@ -34,11 +34,11 @@ void QueryStatistics::OnCachedRead(size_t key_index) {
   }
 }
 
-bool QueryStatistics::OnUncachedRead(const Key& key) {
+bool QueryStatistics::OnUncachedRead(const Key& key, const KeyDigest& digest) {
   if (!Sampled()) {
     return false;
   }
-  bool report = hh_.Offer(key);
+  bool report = hh_.Offer(key, digest);
   if (report) {
     ++activity_.reports;
   }

@@ -39,8 +39,15 @@ class QueryStatistics {
 
   // Miss path: feed the heavy-hitter detector. Returns true when the key
   // crossed the hot threshold for the first time this epoch and should be
-  // reported to the controller. (Alg 1 lines 7-9)
-  bool OnUncachedRead(const Key& key);
+  // reported to the controller. (Alg 1 lines 7-9) The digest overload is the
+  // fast path; the key rides along for shadow ground-truth tracking.
+  bool OnUncachedRead(const Key& key) { return OnUncachedRead(key, KeyDigest::Of(key)); }
+  bool OnUncachedRead(const Key& key, const KeyDigest& digest);
+
+  // Burst-pipeline prefetch hooks: warm the cached-read counter slot or the
+  // Count-Min rows before the corresponding On*Read call.
+  void PrefetchCounter(size_t key_index) const { counters_.Prefetch(key_index); }
+  void PrefetchUncached(const KeyDigest& digest) const { hh_.PrefetchUncached(digest); }
 
   uint32_t ReadCounter(size_t key_index) const { return counters_.Get(key_index); }
   void ClearCounter(size_t key_index) { counters_.Clear(key_index); }

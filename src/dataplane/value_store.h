@@ -50,6 +50,18 @@ class ValueStore {
   // would immediately be copied again.
   void ReadValueInto(uint32_t bitmap, size_t index, size_t size_bytes, Value* out) const;
 
+  // Warms row `index` of every stage set in `bitmap` ahead of a
+  // ReadValueInto — the burst pipeline's stage-2 prefetch. Does not count as
+  // a stage access (see RegisterArray::Prefetch).
+  void Prefetch(uint32_t bitmap, size_t index) const {
+    for (size_t stage = 0; bitmap != 0 && stage < stages_.size(); ++stage) {
+      if (bitmap & (1u << stage)) {
+        stages_[stage].Prefetch(index);
+        bitmap &= ~(1u << stage);
+      }
+    }
+  }
+
   size_t num_stages() const { return stages_.size(); }
   size_t num_indexes() const { return num_indexes_; }
 

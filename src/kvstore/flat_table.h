@@ -41,19 +41,40 @@ class FlatTable {
 
   V* Find(const K& key) {
     size_t idx;
-    return Locate(key, &idx) ? &slots_[idx].value : nullptr;
+    return Locate(hash_(key), key, &idx) ? &slots_[idx].value : nullptr;
   }
   const V* Find(const K& key) const {
     size_t idx;
-    return const_cast<FlatTable*>(this)->Locate(key, &idx)
+    return const_cast<FlatTable*>(this)->Locate(hash_(key), key, &idx)
                ? &slots_[idx].value
                : nullptr;
   }
   bool Contains(const K& key) const { return Find(key) != nullptr; }
 
+  // Precomputed-hash lookups for callers that already hold hash_(key) — the
+  // burst pipeline carries it on the packet as KeyDigest::h1. `h` MUST equal
+  // hash_(key); the slots store their hash, so a mismatched value simply
+  // never matches.
+  V* FindWithHash(size_t h, const K& key) {
+    size_t idx;
+    return Locate(h, key, &idx) ? &slots_[idx].value : nullptr;
+  }
+  const V* FindWithHash(size_t h, const K& key) const {
+    size_t idx;
+    return const_cast<FlatTable*>(this)->Locate(h, key, &idx)
+               ? &slots_[idx].value
+               : nullptr;
+  }
+
+  // Warms the home bucket for a later FindWithHash(h, ...). Robin-hood keeps
+  // probe sequences short, so the home slot's line covers most lookups.
+  void PrefetchHash(size_t h) const {
+    __builtin_prefetch(&slots_[h & (slots_.size() - 1)]);
+  }
+
   bool Erase(const K& key) {
     size_t idx;
-    if (!Locate(key, &idx)) {
+    if (!Locate(hash_(key), key, &idx)) {
       return false;
     }
     // Backward shift: pull successors one slot closer to home until an
@@ -123,8 +144,7 @@ class FlatTable {
     V value{};
   };
 
-  bool Locate(const K& key, size_t* out) {
-    size_t h = hash_(key);
+  bool Locate(size_t h, const K& key, size_t* out) {
     size_t mask = slots_.size() - 1;
     size_t idx = h & mask;
     uint32_t distance = 0;

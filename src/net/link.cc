@@ -1,6 +1,7 @@
 #include "net/link.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 
@@ -10,6 +11,10 @@ Link::Link(Simulator* sim, const LinkConfig& config)
     : sim_(sim), config_(config), loss_rng_(config.loss_seed) {
   NC_CHECK(config.bandwidth_gbps > 0.0);
   NC_CHECK(config.loss_rate >= 0.0 && config.loss_rate < 1.0);
+  // 8 bits/byte over gbps == exactly 8000/gbps picoseconds per byte. The
+  // double->integer conversion happens once here instead of per packet, so
+  // deadline chains accumulate exactly (40 Gb/s -> exactly 200 ps/byte).
+  ps_per_byte_ = std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(8000.0 / config.bandwidth_gbps)));
 }
 
 void Link::Connect(Node* a, uint32_t a_port, Node* b, uint32_t b_port) {
@@ -17,12 +22,6 @@ void Link::Connect(Node* a, uint32_t a_port, Node* b, uint32_t b_port) {
   ends_[1] = Endpoint{b, b_port};
   a->AttachLink(a_port, this, 0);
   b->AttachLink(b_port, this, 1);
-}
-
-SimDuration Link::SerializationDelay(size_t bytes) const {
-  double ns = static_cast<double>(bytes) * 8.0 / config_.bandwidth_gbps;
-  SimDuration d = static_cast<SimDuration>(ns);
-  return d > 0 ? d : 1;
 }
 
 void Link::Transmit(int from_end, const Packet& pkt) {
@@ -43,23 +42,26 @@ void Link::Transmit(int from_end, const Packet& pkt) {
   dir.queued_bytes += bytes;
   ++dir.stats.in_flight;
 
-  SimTime start = std::max(sim_->Now(), dir.busy_until);
-  SimTime tx_done = start + SerializationDelay(bytes);
-  dir.busy_until = tx_done;
+  uint64_t now_ps = static_cast<uint64_t>(sim_->Now()) * 1000;
+  uint64_t start_ps = std::max(now_ps, dir.busy_until_ps);
+  uint64_t tx_done_ps = start_ps + static_cast<uint64_t>(bytes) * ps_per_byte_;
+  dir.busy_until_ps = tx_done_ps;
+  // Ceil back to the simulator's ns grid: tx_done_ps >= now_ps guarantees
+  // tx_done >= Now(), so the schedule-into-the-past check can never fire no
+  // matter how long the back-to-back chain gets.
+  SimTime tx_done = static_cast<SimTime>((tx_done_ps + 999) / 1000);
 
   Endpoint to = ends_[1 - from_end];
   // Serialization finishes: free queue space. Delivery after propagation.
   sim_->ScheduleAt(tx_done, [this, from_end, bytes] { dirs_[from_end].queued_bytes -= bytes; });
-  // The in-flight copy lives in the simulator's packet pool so the delivery
-  // closure captures a pointer and stays within the inline-event budget.
+  // The in-flight copy lives in the simulator's packet pool; the delivery is
+  // a typed event so the dispatcher can coalesce same-instant arrivals into
+  // a burst. Delivery accounting happens in Link::AccountDelivery.
   Packet* in_flight = sim_->packet_pool().Acquire(pkt);
-  sim_->ScheduleAt(tx_done + config_.propagation, [this, from_end, to, in_flight, bytes] {
-    --dirs_[from_end].stats.in_flight;
-    ++dirs_[from_end].stats.delivered;
-    dirs_[from_end].stats.bytes += bytes;
-    to.node->HandlePacket(*in_flight, to.port);
-    sim_->packet_pool().Release(in_flight);
-  });
+  sim_->ScheduleDeliveryAt(
+      tx_done + config_.propagation,
+      Simulator::DeliveryRec{to.node, to.port, in_flight, this, from_end,
+                             static_cast<uint32_t>(bytes)});
 }
 
 }  // namespace netcache

@@ -5,6 +5,14 @@
 // time at `bandwidth_gbps`. Packets arriving while the transmitter is busy
 // wait in a FIFO bounded by `queue_bytes`; overflow is dropped (drop-tail),
 // which is how the paper's emulated servers shed excess load (§7.1).
+//
+// Transmit deadlines accumulate in integer picoseconds, not floating point:
+// a busy transmitter chains each packet's deadline off the previous one, and
+// repeated FP adds drift — after enough back-to-back packets a computed
+// deadline could land a ULP before Now() and trip the simulator's
+// no-scheduling-into-the-past check. Picosecond integers make the chain
+// exact (40 Gb/s is exactly 200 ps/byte) and deadlines are ceiled to the
+// simulator's ns grid, so they never precede the instant that produced them.
 
 #ifndef NETCACHE_NET_LINK_H_
 #define NETCACHE_NET_LINK_H_
@@ -40,6 +48,15 @@ class Link {
   // Transmits from end `from_end` (0 or 1) toward the other end.
   void Transmit(int from_end, const Packet& pkt);
 
+  // Books one completed delivery on direction `from_end`. Called by the
+  // simulator's delivery dispatcher (the accounting the delivery closure
+  // used to do inline before deliveries became typed events).
+  void AccountDelivery(int from_end, uint32_t bytes) {
+    --dirs_[from_end].stats.in_flight;
+    ++dirs_[from_end].stats.delivered;
+    dirs_[from_end].stats.bytes += bytes;
+  }
+
   struct DirectionStats {
     uint64_t offered = 0;    // every Transmit attempt
     uint64_t delivered = 0;
@@ -65,15 +82,14 @@ class Link {
     uint32_t port = 0;
   };
   struct Direction {
-    SimTime busy_until = 0;
+    uint64_t busy_until_ps = 0;  // transmitter deadline, integer picoseconds
     size_t queued_bytes = 0;
     DirectionStats stats;
   };
 
-  SimDuration SerializationDelay(size_t bytes) const;
-
   Simulator* sim_;
   LinkConfig config_;
+  uint64_t ps_per_byte_;
   Rng loss_rng_;
   Endpoint ends_[2];
   Direction dirs_[2];  // dirs_[i] carries traffic from end i to end 1-i

@@ -16,6 +16,15 @@ namespace netcache {
 
 class Link;
 
+// One packet of a coalesced delivery burst. `pkt` points into the simulator's
+// packet pool; a HandleBurst override may steal a packet (rewrite it in place
+// and re-schedule it) by nulling the pointer — the dispatcher releases every
+// pointer still non-null after the call.
+struct BurstArrival {
+  Packet* pkt = nullptr;
+  uint32_t port = 0;
+};
+
 class Node {
  public:
   explicit Node(std::string name) : name_(std::move(name)) {}
@@ -26,6 +35,15 @@ class Node {
 
   // Invoked by the link when a packet arrives on `in_port`.
   virtual void HandlePacket(const Packet& pkt, uint32_t in_port) = 0;
+
+  // Invoked by the simulator when several deliveries to this node land at the
+  // same timestamp (VPP-style burst). Arrivals are in event tie-break order;
+  // the default keeps single-packet semantics exactly.
+  virtual void HandleBurst(BurstArrival* arrivals, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      HandlePacket(*arrivals[i].pkt, arrivals[i].port);
+    }
+  }
 
   // Wires `link` end `end` (0 or 1) to local port `port`. Called by
   // Link::Connect; not by users.

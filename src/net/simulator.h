@@ -11,7 +11,22 @@
 //     steady-state run performs zero queue allocations and pops move events
 //     out instead of copying them (std::priority_queue::top forces a copy);
 //   - a per-simulator PacketPool recycles the Packet buffers that in-flight
-//     closures reference (see net/packet_pool.h).
+//     closures reference (see net/packet_pool.h);
+//   - packet deliveries are typed events (DeliveryRec in a union with the
+//     closure), which lets the dispatcher coalesce same-instant deliveries
+//     to one node into a burst (VPP-style vector processing) handed to
+//     Node::HandleBurst.
+//
+// Burst formation and determinism: a burst is formed ONLY from delivery
+// events that are globally adjacent in (time, seq) order — same timestamp,
+// same destination node, with no other event between them. Newly scheduled
+// events always receive a larger seq than everything pending, so in the
+// sequential schedule those deliveries would have run back-to-back with
+// nothing observable in between; processing them as one burst (with each
+// packet's side effects issued at its own in-order turn, see
+// NetCacheSwitch::ProcessBurst) is therefore output-equivalent. Any
+// non-delivery event at the same instant — an invariant checker, a queue
+// drain, a timer — sits in the (time, seq) order and breaks the batch.
 //
 // Parallel sweeps run one Simulator per trial on worker threads (core/sweep.h);
 // a single Simulator instance is strictly single-threaded.
@@ -20,14 +35,18 @@
 #define NETCACHE_NET_SIMULATOR_H_
 
 #include <cstdint>
+#include <new>
 #include <utility>
 #include <vector>
 
 #include "common/inline_function.h"
 #include "common/time_units.h"
+#include "net/node.h"
 #include "net/packet_pool.h"
 
 namespace netcache {
+
+class Link;
 
 class Simulator {
  public:
@@ -35,6 +54,20 @@ class Simulator {
   // kInlineFunctionBytes still work (single heap allocation); keep hot-path
   // captures inside the budget by pooling bulky payloads (packet_pool()).
   using EventFn = InlineFunction<void()>;
+
+  // A packet delivery as plain data instead of a closure: the dispatcher
+  // needs to see through delivery events to coalesce them, and a struct it
+  // can inspect is also cheaper than a captured lambda. `link`/`from_end`/
+  // `bytes` let the dispatcher book the link's delivery accounting that the
+  // old closure performed inline.
+  struct DeliveryRec {
+    Node* node = nullptr;
+    uint32_t port = 0;
+    Packet* pkt = nullptr;  // owned by packet_pool(); released after dispatch
+    Link* link = nullptr;
+    int from_end = 0;
+    uint32_t bytes = 0;
+  };
 
   // `reserve_events` pre-sizes the event heap; steady-state runs should never
   // grow it. The default comfortably covers a busy single-rack simulation.
@@ -54,6 +87,16 @@ class Simulator {
   // silently misorder the causal chain, so `at < Now()` is a fatal error.
   void ScheduleAt(SimTime at, EventFn fn);
 
+  // Schedules a packet delivery at absolute time `at` (Link::Transmit's
+  // delivery leg). Same ordering rules as ScheduleAt.
+  void ScheduleDeliveryAt(SimTime at, const DeliveryRec& rec);
+
+  // Toggles burst coalescing of same-instant deliveries (on by default).
+  // Off, every delivery dispatches through HandlePacket one event at a time —
+  // the reference schedule the determinism test compares bursts against.
+  void set_burst_coalescing(bool on) { coalesce_ = on; }
+  bool burst_coalescing() const { return coalesce_; }
+
   // Grows the event heap to hold at least `capacity` pending events without
   // reallocating mid-run.
   void ReserveEvents(size_t capacity) { queue_.reserve(capacity); }
@@ -69,8 +112,15 @@ class Simulator {
   size_t EventCapacity() const { return queue_.capacity(); }
 
   // Total events executed since construction. Deterministic for a fixed seed,
-  // so benches report it as their work measure (events/sec).
+  // so benches report it as their work measure (events/sec). Every delivery
+  // in a coalesced burst still counts as one event here.
   uint64_t events_processed() const { return events_processed_; }
+
+  // Burst diagnostics. Deliberately NOT wired into any metrics registry:
+  // coalescing must be invisible in exported JSON (the burst-vs-single
+  // determinism leg diffs those files byte-for-byte).
+  uint64_t bursts_dispatched() const { return bursts_dispatched_; }
+  uint64_t burst_packets() const { return burst_packets_; }
 
   // Freelist for Packet payloads referenced by in-flight closures.
   PacketPool& packet_pool() { return pool_; }
@@ -81,7 +131,47 @@ class Simulator {
   struct Event {
     SimTime time;
     uint64_t seq;
-    EventFn fn;
+    bool is_delivery;
+    union {
+      EventFn fn;          // active when !is_delivery
+      DeliveryRec del;     // active when is_delivery
+    };
+
+    Event(SimTime t, uint64_t s, EventFn f) : time{t}, seq(s), is_delivery(false) {
+      ::new (&fn) EventFn(std::move(f));
+    }
+    Event(SimTime t, uint64_t s, const DeliveryRec& d)
+        : time{t}, seq(s), is_delivery(true), del(d) {}
+
+    Event(Event&& other) noexcept
+        : time{other.time}, seq(other.seq), is_delivery(other.is_delivery) {
+      if (is_delivery) {
+        ::new (&del) DeliveryRec(other.del);
+      } else {
+        ::new (&fn) EventFn(std::move(other.fn));
+      }
+    }
+    Event& operator=(Event&& other) noexcept {
+      if (this != &other) {
+        DestroyPayload();
+        time = other.time;
+        seq = other.seq;
+        is_delivery = other.is_delivery;
+        if (is_delivery) {
+          ::new (&del) DeliveryRec(other.del);
+        } else {
+          ::new (&fn) EventFn(std::move(other.fn));
+        }
+      }
+      return *this;
+    }
+    ~Event() { DestroyPayload(); }
+
+    void DestroyPayload() {
+      if (!is_delivery) {
+        fn.~EventFn();
+      }
+    }
 
     // Min-heap order: earliest time first, FIFO within one instant.
     bool Before(const Event& other) const {
@@ -94,11 +184,20 @@ class Simulator {
 
   void Push(Event ev);
   Event Pop();
+  void Dispatch(Event& ev);
+  void RunDelivery(const DeliveryRec& first);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
+  bool coalesce_ = true;
+  uint64_t bursts_dispatched_ = 0;
+  uint64_t burst_packets_ = 0;
   std::vector<Event> queue_;  // explicit binary min-heap
+  // Scratch buffers for RunDelivery, members so steady state allocates
+  // nothing per burst.
+  std::vector<DeliveryRec> batch_;
+  std::vector<BurstArrival> arrivals_;
   PacketPool pool_;
 };
 

@@ -1,0 +1,62 @@
+// Per-packet key digest: one hash pass at switch ingress, every downstream
+// index derived from it.
+//
+// Before this existed, each NetCache packet re-hashed its 16-byte key once
+// per consumer: the match-table probe, d Count-Min rows, k Bloom partitions,
+// and the server's RSS core steering each ran a full seeded FNV+mix pass —
+// d+k+2 passes over the key per miss. The digest computes the FNV
+// accumulator once and splits it into two independent 64-bit hashes:
+//
+//   h1 = Mix64(fnv)            == Key::Hash() == HashBytes(key)
+//   h2 = Mix64(fnv ^ salt) | 1
+//
+// Probe(seed) = h1 + (2*seed + 1) * h2 is Kirsch-Mitzenmacher double
+// hashing ("Less hashing, same performance", ESA 2006): two hashes simulate
+// a family of hash functions indexed by `seed` with the pairwise
+// independence the Count-Min and Bloom error bounds need. Two deliberate
+// strengthenings for power-of-two mask indexing:
+//   - h2 is forced odd, so it is a unit mod 2^k and Probe walks a full
+//     cycle under any mask — distinct seeds give distinct low-bit behavior;
+//   - the multiplier is (2*seed + 1), odd for every seed, so even seeds
+//     cannot zero out the h2 contribution in the masked low bits.
+//
+// h1 == Key::Hash() is load-bearing: every KeyHasher-keyed table (the
+// switch lookup FlatTable, kvstore tables, shadow maps) can treat h1 as the
+// precomputed stored hash without changing its hash function.
+
+#ifndef NETCACHE_PROTO_KEY_DIGEST_H_
+#define NETCACHE_PROTO_KEY_DIGEST_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+#include "proto/key.h"
+
+namespace netcache {
+
+struct KeyDigest {
+  uint64_t h1 = 0;  // == Key::Hash(); feeds KeyHasher-compatible tables
+  uint64_t h2 = 0;  // odd companion hash; 0 means "digest not computed"
+
+  static KeyDigest Of(const Key& key) {
+    uint64_t fnv = HashBytesUnmixed(key.bytes.data(), key.bytes.size());
+    KeyDigest d;
+    d.h1 = Mix64(fnv);
+    d.h2 = Mix64(fnv ^ 0x9e3779b97f4a7c15ull) | 1;
+    return d;
+  }
+
+  // h2 is always odd once computed, so a zero h2 doubles as the "no digest
+  // yet" sentinel on packets that have not crossed a switch ingress.
+  bool Empty() const { return h2 == 0; }
+
+  // The seed-indexed hash family. Callers mask the result themselves
+  // (sketches use power-of-two widths, see sketch/count_min.h).
+  uint64_t Probe(uint64_t seed) const { return h1 + ((seed << 1) | 1) * h2; }
+
+  bool operator==(const KeyDigest& other) const { return h1 == other.h1 && h2 == other.h2; }
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_PROTO_KEY_DIGEST_H_

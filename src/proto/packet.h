@@ -17,6 +17,7 @@
 
 #include "common/status.h"
 #include "proto/key.h"
+#include "proto/key_digest.h"
 #include "proto/value.h"
 
 namespace netcache {
@@ -100,6 +101,11 @@ struct Packet {
   // True when this packet carries the NetCache header (dst or src port is
   // kNetCachePort). Non-NetCache traffic can flow through the same switch.
   bool is_netcache = true;
+  // Simulation-only metadata, not a wire field (WireSize/Serialize/Parse
+  // ignore it — the hardware analogue is PHV scratch computed by the ingress
+  // hash engine). Empty until a switch computes it from nc.key; every later
+  // table/sketch index on this packet's path derives from it.
+  KeyDigest digest{};
 
   // Bytes on the wire: L2+L3+L4 framing plus the NetCache fields.
   size_t WireSize() const;

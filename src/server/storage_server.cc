@@ -23,10 +23,14 @@ SimDuration StorageServer::ServiceTime() const {
 }
 
 size_t StorageServer::CoreOf(const Key& key) const {
+  return CoreOfDigest(KeyDigest::Of(key));
+}
+
+size_t StorageServer::CoreOfDigest(const KeyDigest& digest) const {
   if (config_.num_cores == 1) {
     return 0;
   }
-  return static_cast<size_t>(key.SeededHash(config_.core_hash_seed) % config_.num_cores);
+  return static_cast<size_t>(digest.Probe(config_.core_hash_seed) % config_.num_cores);
 }
 
 size_t StorageServer::QueueDepth() const {
@@ -43,6 +47,17 @@ size_t StorageServer::BusyCores() const {
     busy += core.busy ? 1 : 0;
   }
   return busy;
+}
+
+void StorageServer::HandleBurst(BurstArrival* arrivals, size_t count) {
+  // The server's receive path is queue-bound, not compute-bound: arrivals
+  // are copied into per-core FIFOs, so there is no stage-splitting win to
+  // chase here. Processing in arrival order keeps burst output identical to
+  // single-packet delivery; the counter is diagnostics only (unregistered).
+  burst_packets_received_ += count;
+  for (size_t i = 0; i < count; ++i) {
+    HandlePacket(*arrivals[i].pkt, arrivals[i].port);
+  }
 }
 
 void StorageServer::HandlePacket(const Packet& pkt, uint32_t /*in_port*/) {
@@ -73,8 +88,11 @@ void StorageServer::HandlePacket(const Packet& pkt, uint32_t /*in_port*/) {
 
 void StorageServer::EnqueueOrDrop(const Packet& pkt, bool front) {
   // RSS steering: the queue is chosen by the key hash, so per-key load can
-  // never spread across cores (§1, §6).
-  size_t core_index = CoreOf(pkt.nc.key);
+  // never spread across cores (§1, §6). A packet that crossed a NetCache
+  // switch carries the digest already; direct injections (unit tests) hash
+  // here. Both give the same mapping — CoreOf uses the digest formula too.
+  size_t core_index =
+      CoreOfDigest(pkt.digest.Empty() ? KeyDigest::Of(pkt.nc.key) : pkt.digest);
   Core& core = cores_[core_index];
   if (core.queue.size() >= config_.queue_capacity / config_.num_cores + 1) {
     ++stats_.dropped;

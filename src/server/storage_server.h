@@ -87,6 +87,7 @@ class StorageServer : public Node {
 
   // ---- data path ----
   void HandlePacket(const Packet& pkt, uint32_t in_port) override;
+  void HandleBurst(BurstArrival* arrivals, size_t count) override;
 
   // ---- control channel (used by the controller) ----
   // The control channel is the one path specified to run concurrently with
@@ -151,6 +152,9 @@ class StorageServer : public Node {
   size_t QueueDepth() const;
   size_t CoreOf(const Key& key) const;
   uint64_t core_processed(size_t core) const { return cores_[core].processed; }
+  // Packets that arrived via coalesced bursts (diagnostics; deliberately not
+  // a registered metric — burst-vs-single JSON must stay byte-identical).
+  uint64_t burst_packets_received() const { return burst_packets_received_; }
 
  private:
   struct BlockState {
@@ -171,6 +175,7 @@ class StorageServer : public Node {
   };
 
   SimDuration ServiceTime() const;
+  size_t CoreOfDigest(const KeyDigest& digest) const;
   void EnqueueOrDrop(const Packet& pkt, bool front = false);
   void StartNextIfIdle(size_t core);
   void Process(const Packet& pkt);
@@ -199,6 +204,7 @@ class StorageServer : public Node {
 
   UpdateRejectHandler update_reject_;
   ServerStats stats_;
+  uint64_t burst_packets_received_ = 0;
 };
 
 }  // namespace netcache

@@ -1,6 +1,7 @@
 #include "sketch/bloom.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -8,25 +9,23 @@
 namespace netcache {
 
 BloomFilter::BloomFilter(size_t num_hashes, size_t bits_per_partition, uint64_t seed)
-    : num_hashes_(num_hashes), bits_per_partition_(bits_per_partition) {
+    : num_hashes_(num_hashes),
+      bits_per_partition_(std::bit_ceil(bits_per_partition)),
+      mask_(std::bit_ceil(bits_per_partition) - 1) {
   NC_CHECK(num_hashes > 0 && bits_per_partition > 0);
   uint64_t sm = seed;
   seeds_.reserve(num_hashes);
   partitions_.reserve(num_hashes);
   for (size_t i = 0; i < num_hashes; ++i) {
     seeds_.push_back(SplitMix64(sm));
-    partitions_.emplace_back(bits_per_partition, false);
+    partitions_.emplace_back(bits_per_partition_, false);
   }
 }
 
-size_t BloomFilter::BitIndex(size_t partition, const Key& key) const {
-  return static_cast<size_t>(key.SeededHash(seeds_[partition]) % bits_per_partition_);
-}
-
-bool BloomFilter::TestAndSet(const Key& key) {
+bool BloomFilter::TestAndSet(const KeyDigest& digest) {
   bool already = true;
   for (size_t p = 0; p < num_hashes_; ++p) {
-    std::vector<bool>::reference bit = partitions_[p][BitIndex(p, key)];
+    std::vector<bool>::reference bit = partitions_[p][BitIndex(p, digest)];
     if (!bit) {
       already = false;
       bit = true;
@@ -35,18 +34,18 @@ bool BloomFilter::TestAndSet(const Key& key) {
   return already;
 }
 
-bool BloomFilter::Test(const Key& key) const {
+bool BloomFilter::Test(const KeyDigest& digest) const {
   for (size_t p = 0; p < num_hashes_; ++p) {
-    if (!partitions_[p][BitIndex(p, key)]) {
+    if (!partitions_[p][BitIndex(p, digest)]) {
       return false;
     }
   }
   return true;
 }
 
-void BloomFilter::Insert(const Key& key) {
+void BloomFilter::Insert(const KeyDigest& digest) {
   for (size_t p = 0; p < num_hashes_; ++p) {
-    partitions_[p][BitIndex(p, key)] = true;
+    partitions_[p][BitIndex(p, digest)] = true;
   }
 }
 

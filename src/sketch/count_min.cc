@@ -1,6 +1,7 @@
 #include "sketch/count_min.h"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "common/logging.h"
@@ -13,25 +14,21 @@ constexpr uint16_t kMaxCounter = std::numeric_limits<uint16_t>::max();
 }  // namespace
 
 CountMinSketch::CountMinSketch(size_t depth, size_t width, uint64_t seed)
-    : depth_(depth), width_(width) {
+    : depth_(depth), width_(std::bit_ceil(width)), mask_(std::bit_ceil(width) - 1) {
   NC_CHECK(depth > 0 && width > 0);
   uint64_t sm = seed;
   row_seeds_.reserve(depth);
   rows_.reserve(depth);
   for (size_t d = 0; d < depth; ++d) {
     row_seeds_.push_back(SplitMix64(sm));
-    rows_.emplace_back(width, 0);
+    rows_.emplace_back(width_, 0);
   }
 }
 
-size_t CountMinSketch::RowIndex(size_t row, const Key& key) const {
-  return static_cast<size_t>(key.SeededHash(row_seeds_[row]) % width_);
-}
-
-uint32_t CountMinSketch::Update(const Key& key) {
+uint32_t CountMinSketch::Update(const KeyDigest& digest) {
   uint32_t est = kMaxCounter;
   for (size_t d = 0; d < depth_; ++d) {
-    uint16_t& slot = rows_[d][RowIndex(d, key)];
+    uint16_t& slot = rows_[d][RowIndex(d, digest)];
     if (slot < kMaxCounter) {
       ++slot;
     }
@@ -40,11 +37,11 @@ uint32_t CountMinSketch::Update(const Key& key) {
   return est;
 }
 
-uint32_t CountMinSketch::UpdateConservative(const Key& key) {
-  uint32_t current = Estimate(key);
+uint32_t CountMinSketch::UpdateConservative(const KeyDigest& digest) {
+  uint32_t current = Estimate(digest);
   uint32_t target = current < kMaxCounter ? current + 1 : current;
   for (size_t d = 0; d < depth_; ++d) {
-    uint16_t& slot = rows_[d][RowIndex(d, key)];
+    uint16_t& slot = rows_[d][RowIndex(d, digest)];
     if (slot < target) {
       slot = static_cast<uint16_t>(target);
     }
@@ -52,10 +49,10 @@ uint32_t CountMinSketch::UpdateConservative(const Key& key) {
   return target;
 }
 
-uint32_t CountMinSketch::Estimate(const Key& key) const {
+uint32_t CountMinSketch::Estimate(const KeyDigest& digest) const {
   uint32_t est = kMaxCounter;
   for (size_t d = 0; d < depth_; ++d) {
-    est = std::min<uint32_t>(est, rows_[d][RowIndex(d, key)]);
+    est = std::min<uint32_t>(est, rows_[d][RowIndex(d, digest)]);
   }
   return est;
 }

@@ -1,7 +1,17 @@
 // Count-Min sketch (Cormode & Muthukrishnan) with saturating 16-bit counters,
 // matching the prototype's dimensions: 4 register arrays x 64K slots x 16 bits
-// (§6). Each row is an independent seeded hash into its own array, exactly how
-// the Tofino lays one register array per stage.
+// (§6). Each row is an independent hash into its own array, exactly how the
+// Tofino lays one register array per stage.
+//
+// Indexing: the requested width is rounded up to a power of two and probes use
+// a mask instead of a modulo. Row hashes come from one KeyDigest via
+// Kirsch-Mitzenmacher double hashing rather than a full seeded re-hash per
+// row. The error bound is unchanged in form: for width w (only ever rounded
+// UP, so never looser than requested), Estimate(key) overshoots the true
+// count by more than (e/w)·N with probability at most e^-depth. KM-derived
+// rows satisfy the pairwise-independence this bound needs (Kirsch &
+// Mitzenmacher, ESA 2006), and the digest's h2 is odd — a unit mod 2^k — so
+// masked probes lose no entropy to the power-of-two width.
 
 #ifndef NETCACHE_SKETCH_COUNT_MIN_H_
 #define NETCACHE_SKETCH_COUNT_MIN_H_
@@ -11,26 +21,40 @@
 #include <vector>
 
 #include "proto/key.h"
+#include "proto/key_digest.h"
 
 namespace netcache {
 
 class CountMinSketch {
  public:
-  // depth: number of rows (hash functions); width: slots per row.
-  // seed: derives the per-row hash seeds.
+  // depth: number of rows (hash functions); width: slots per row, rounded up
+  // to a power of two. seed: derives the per-row hash seeds.
   CountMinSketch(size_t depth, size_t width, uint64_t seed);
 
   // Adds one occurrence and returns the post-update estimate (min across
   // rows). This mirrors the data-plane behaviour where the increment and the
   // hot-key comparison happen in the same pipeline pass.
-  uint32_t Update(const Key& key);
+  uint32_t Update(const Key& key) { return Update(KeyDigest::Of(key)); }
+  uint32_t Update(const KeyDigest& digest);
 
   // Conservative update: only increments rows currently at the minimum.
   // Not used by the paper's prototype; provided for the ablation bench.
-  uint32_t UpdateConservative(const Key& key);
+  uint32_t UpdateConservative(const Key& key) {
+    return UpdateConservative(KeyDigest::Of(key));
+  }
+  uint32_t UpdateConservative(const KeyDigest& digest);
 
   // Point estimate without updating.
-  uint32_t Estimate(const Key& key) const;
+  uint32_t Estimate(const Key& key) const { return Estimate(KeyDigest::Of(key)); }
+  uint32_t Estimate(const KeyDigest& digest) const;
+
+  // Issues prefetches for every row slot the digest will touch, so a later
+  // Update/Estimate hits warm cache lines. Used by the burst pipeline.
+  void PrefetchProbes(const KeyDigest& digest) const {
+    for (size_t d = 0; d < depth_; ++d) {
+      __builtin_prefetch(&rows_[d][RowIndex(d, digest)]);
+    }
+  }
 
   // Clears all counters (the controller resets the sketch every second, §6).
   void Reset();
@@ -42,10 +66,13 @@ class CountMinSketch {
   size_t MemoryBits() const { return depth_ * width_ * 16; }
 
  private:
-  size_t RowIndex(size_t row, const Key& key) const;
+  size_t RowIndex(size_t row, const KeyDigest& digest) const {
+    return static_cast<size_t>(digest.Probe(row_seeds_[row])) & mask_;
+  }
 
   size_t depth_;
   size_t width_;
+  size_t mask_;
   std::vector<uint64_t> row_seeds_;
   std::vector<std::vector<uint16_t>> rows_;
 };

@@ -10,12 +10,12 @@ HeavyHitterDetector::HeavyHitterDetector(const HeavyHitterConfig& config)
       bloom_(config.bloom_hashes, config.bloom_bits, config.seed ^ 0xb100f117ull),
       rng_(config.seed ^ 0x5a3dull) {}
 
-bool HeavyHitterDetector::Offer(const Key& key) {
+bool HeavyHitterDetector::Offer(const Key& key, const KeyDigest& digest) {
   // Sampling acts as a high-pass filter in front of the sketch (§4.4.3).
   if (config_.sample_rate < 1.0 && !rng_.NextBernoulli(config_.sample_rate)) {
     return false;
   }
-  uint32_t estimate = sketch_.Update(key);
+  uint32_t estimate = sketch_.Update(digest);
   if (shadow_enabled_) {
     ++shadow_counts_[key];
   }
@@ -25,7 +25,7 @@ bool HeavyHitterDetector::Offer(const Key& key) {
   // Above threshold: report only if the Bloom filter has not seen it. The
   // filter stays set for the rest of the epoch, so each hot key is reported
   // once (§4.4.3).
-  bool seen = bloom_.TestAndSet(key);
+  bool seen = bloom_.TestAndSet(digest);
   if (shadow_enabled_) {
     shadow_bloom_.insert(key);
     if (!seen) {

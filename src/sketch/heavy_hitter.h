@@ -39,8 +39,17 @@ class HeavyHitterDetector {
 
   // Feeds one uncached-read access. Returns true iff this access crosses the
   // hot threshold for the first time this epoch — i.e. the key should be
-  // reported to the controller.
-  bool Offer(const Key& key);
+  // reported to the controller. The digest overload is the fast path; the
+  // key is still needed alongside it for shadow ground-truth tracking.
+  bool Offer(const Key& key) { return Offer(key, KeyDigest::Of(key)); }
+  bool Offer(const Key& key, const KeyDigest& digest);
+
+  // Warms the Count-Min rows a subsequent Offer will touch. The Bloom filter
+  // is deliberately not prefetched: it is only probed once the estimate
+  // crosses the hot threshold, which is rare on the steady-state miss path.
+  void PrefetchUncached(const KeyDigest& digest) const {
+    sketch_.PrefetchProbes(digest);
+  }
 
   // Current sketch estimate for a key (sampled counts).
   uint32_t Estimate(const Key& key) const { return sketch_.Estimate(key); }

@@ -1,0 +1,336 @@
+// Tests for VPP-style burst processing: the simulator's same-instant delivery
+// coalescing and the switch's stage-at-a-time ProcessBurst pipeline.
+//
+// The contract under test is behavioural transparency — a burst must produce
+// exactly the emits and counters that per-packet ProcessPacket calls produce
+// in arrival order. Bursts are a throughput optimisation, never a semantic
+// one; tests/determinism_test.cmake leg 3 proves the same property end-to-end
+// (byte-identical rack metrics JSON with and without --no-burst).
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dataplane/netcache_switch.h"
+#include "net/simulator.h"
+
+namespace netcache {
+namespace {
+
+constexpr IpAddress kClient = 0x0b000001;
+constexpr IpAddress kServerA = 0x0a000001;
+constexpr IpAddress kServerB = 0x0a000002;
+
+Key K(uint64_t id) { return Key::FromUint64(id); }
+
+SwitchConfig SmallSwitch() {
+  SwitchConfig cfg;
+  cfg.num_pipes = 2;
+  cfg.ports_per_pipe = 4;
+  cfg.num_stages = 8;
+  cfg.indexes_per_pipe = 64;
+  cfg.cache_capacity = 64;
+  cfg.stats.counter_slots = 64;
+  cfg.stats.hh.sketch_width = 1024;
+  cfg.stats.hh.bloom_bits = 4096;
+  cfg.stats.hh.hot_threshold = 8;
+  return cfg;
+}
+
+// Collects burst emits by value, honouring the ownership protocol: stolen
+// (from_burst) packets are owned by the sink and freed here.
+class CollectSink : public NetCacheSwitch::EmitSink {
+ public:
+  void OnEmit(uint32_t port, Packet* pkt, bool from_burst) override {
+    emits_.push_back({port, *pkt});
+    if (from_burst) {
+      delete pkt;
+    }
+  }
+  const std::vector<NetCacheSwitch::Emit>& emits() const { return emits_; }
+
+ private:
+  std::vector<NetCacheSwitch::Emit> emits_;
+};
+
+void ExpectSameEmits(const std::vector<NetCacheSwitch::Emit>& burst,
+                     const std::vector<NetCacheSwitch::Emit>& single) {
+  ASSERT_EQ(burst.size(), single.size());
+  for (size_t i = 0; i < burst.size(); ++i) {
+    EXPECT_EQ(burst[i].port, single[i].port) << "emit " << i;
+    const Packet& a = burst[i].pkt;
+    const Packet& b = single[i].pkt;
+    EXPECT_EQ(a.nc.op, b.nc.op) << "emit " << i;
+    EXPECT_EQ(a.nc.seq, b.nc.seq) << "emit " << i;
+    EXPECT_EQ(a.nc.key, b.nc.key) << "emit " << i;
+    EXPECT_EQ(a.nc.has_value, b.nc.has_value) << "emit " << i;
+    EXPECT_EQ(a.nc.value, b.nc.value) << "emit " << i;
+    EXPECT_EQ(a.ip.src, b.ip.src) << "emit " << i;
+    EXPECT_EQ(a.ip.dst, b.ip.dst) << "emit " << i;
+    EXPECT_EQ(a.ip.ttl, b.ip.ttl) << "emit " << i;
+  }
+}
+
+void ExpectSameCounters(const SwitchCounters& a, const SwitchCounters& b) {
+  EXPECT_EQ(a.packets, b.packets);
+  EXPECT_EQ(a.netcache_queries, b.netcache_queries);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_invalid, b.cache_invalid);
+  EXPECT_EQ(a.cache_misses, b.cache_misses);
+  EXPECT_EQ(a.invalidations, b.invalidations);
+  EXPECT_EQ(a.cache_updates, b.cache_updates);
+  EXPECT_EQ(a.hot_reports, b.hot_reports);
+  EXPECT_EQ(a.forwarded, b.forwarded);
+  EXPECT_EQ(a.unroutable, b.unroutable);
+  EXPECT_EQ(a.ttl_drops, b.ttl_drops);
+}
+
+// Two identically configured switches: one processes `pkts` as a single
+// burst, the other one packet at a time; both must agree on everything
+// observable. `prepare` applies identical control-plane setup to each.
+class BurstEquivalenceTest : public ::testing::Test {
+ protected:
+  BurstEquivalenceTest()
+      : burst_sw_(nullptr, "tor-burst", SmallSwitch()),
+        single_sw_(nullptr, "tor-single", SmallSwitch()) {
+    for (NetCacheSwitch* sw : {&burst_sw_, &single_sw_}) {
+      EXPECT_TRUE(sw->AddRoute(kServerA, 0).ok());
+      EXPECT_TRUE(sw->AddRoute(kServerB, 1).ok());
+      EXPECT_TRUE(sw->AddRoute(kClient, 4).ok());
+    }
+  }
+
+  void RunBoth(const std::vector<Packet>& pkts, uint32_t in_port = 4) {
+    // Burst side: heap copies the sink or the test frees, mirroring the
+    // pooled-arrival ownership protocol of the real dispatcher.
+    std::vector<std::unique_ptr<Packet>> storage;
+    std::vector<BurstArrival> arrivals;
+    for (const Packet& p : pkts) {
+      storage.push_back(std::make_unique<Packet>(p));
+      arrivals.push_back(BurstArrival{storage.back().get(), in_port});
+    }
+    burst_sw_.ProcessBurst({arrivals.data(), arrivals.size()}, sink_);
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+      if (arrivals[i].pkt != nullptr) {
+        storage[i].reset();  // not stolen: still ours
+      } else {
+        storage[i].release();  // stolen: the sink already freed it
+      }
+    }
+
+    // Reference side: one at a time, in order.
+    for (const Packet& p : pkts) {
+      auto emits = single_sw_.ProcessPacket(p, in_port);
+      for (auto& e : emits) {
+        single_emits_.push_back(std::move(e));
+      }
+    }
+  }
+
+  void ExpectEquivalent() {
+    ExpectSameEmits(sink_.emits(), single_emits_);
+    ExpectSameCounters(burst_sw_.counters(), single_sw_.counters());
+    // Per-key cache counters (the hot-key statistics the controller reads).
+    auto burst_counts = burst_sw_.ReadCacheCounters();
+    auto single_counts = single_sw_.ReadCacheCounters();
+    ASSERT_EQ(burst_counts.size(), single_counts.size());
+    for (size_t i = 0; i < burst_counts.size(); ++i) {
+      EXPECT_EQ(burst_counts[i].first, single_counts[i].first);
+      EXPECT_EQ(burst_counts[i].second, single_counts[i].second);
+    }
+  }
+
+  NetCacheSwitch burst_sw_;
+  NetCacheSwitch single_sw_;
+  CollectSink sink_;
+  std::vector<NetCacheSwitch::Emit> single_emits_;
+};
+
+TEST_F(BurstEquivalenceTest, GetRunHitsAndMisses) {
+  for (NetCacheSwitch* sw : {&burst_sw_, &single_sw_}) {
+    ASSERT_TRUE(sw->InsertCacheEntry(K(1), Value::Filler(1, 64), kServerA).ok());
+    ASSERT_TRUE(sw->InsertCacheEntry(K(2), Value::Filler(2, 32), kServerB).ok());
+  }
+  std::vector<Packet> pkts;
+  for (uint32_t i = 0; i < 32; ++i) {
+    pkts.push_back(MakeGet(kClient, kServerA, K(i % 5), i));  // keys 1,2 hit
+  }
+  RunBoth(pkts);
+  ExpectEquivalent();
+  EXPECT_GT(burst_sw_.counters().cache_hits, 0u);
+  EXPECT_GT(burst_sw_.counters().cache_misses, 0u);
+}
+
+TEST_F(BurstEquivalenceTest, WriteBarrierSplitsRun) {
+  for (NetCacheSwitch* sw : {&burst_sw_, &single_sw_}) {
+    ASSERT_TRUE(sw->InsertCacheEntry(K(1), Value::Filler(1, 64), kServerA).ok());
+  }
+  // Gets around a Put to the cached key: the Put is a barrier and must
+  // invalidate the entry for the Gets after it, exactly as per-packet.
+  std::vector<Packet> pkts;
+  for (uint32_t i = 0; i < 8; ++i) {
+    pkts.push_back(MakeGet(kClient, kServerA, K(1), i));
+  }
+  pkts.push_back(MakePut(kClient, kServerA, K(1), Value::Filler(9, 64), 100));
+  for (uint32_t i = 0; i < 8; ++i) {
+    pkts.push_back(MakeGet(kClient, kServerA, K(1), 200 + i));
+  }
+  RunBoth(pkts);
+  ExpectEquivalent();
+  EXPECT_EQ(burst_sw_.counters().invalidations, 1u);
+  EXPECT_EQ(burst_sw_.counters().cache_invalid, 8u);  // the post-Put Gets
+}
+
+TEST_F(BurstEquivalenceTest, HotReportInsertionMidBurstRepeeks) {
+  // A hot-report handler that inserts the key synchronously mutates the
+  // lookup table mid-run: packets staged before the insertion must observe
+  // the new entry at their in-order turn (the re-peek guard), matching the
+  // per-packet schedule exactly.
+  for (NetCacheSwitch* sw : {&burst_sw_, &single_sw_}) {
+    sw->SetSampleRate(1.0);
+    sw->SetHotThreshold(8);
+    sw->SetHotReportHandler([sw](const Key& key, uint32_t) {
+      Status s = sw->InsertCacheEntry(key, Value::Filler(77, 48), kServerA);
+      EXPECT_TRUE(s.ok());
+    });
+  }
+  std::vector<Packet> pkts;
+  for (uint32_t i = 0; i < 32; ++i) {
+    pkts.push_back(MakeGet(kClient, kServerA, K(77), i));
+  }
+  RunBoth(pkts);
+  ExpectEquivalent();
+  EXPECT_EQ(burst_sw_.counters().hot_reports, 1u);
+  EXPECT_GT(burst_sw_.counters().cache_hits, 0u);  // post-insertion Gets hit
+}
+
+TEST_F(BurstEquivalenceTest, MixedPortsSegmentRuns) {
+  for (NetCacheSwitch* sw : {&burst_sw_, &single_sw_}) {
+    ASSERT_TRUE(sw->AddRoute(0x0b000002, 5).ok());
+    ASSERT_TRUE(sw->InsertCacheEntry(K(3), Value::Filler(3, 16), kServerA).ok());
+  }
+  // Alternating in_ports: each port flip ends the current Get run.
+  std::vector<std::unique_ptr<Packet>> storage;
+  std::vector<BurstArrival> arrivals;
+  std::vector<Packet> pkts;
+  for (uint32_t i = 0; i < 16; ++i) {
+    IpAddress src = (i % 2 == 0) ? kClient : 0x0b000002;
+    uint32_t port = (i % 2 == 0) ? 4 : 5;
+    Packet p = MakeGet(src, kServerA, K(3 + i % 3), i);
+    pkts.push_back(p);
+    storage.push_back(std::make_unique<Packet>(p));
+    arrivals.push_back(BurstArrival{storage.back().get(), port});
+  }
+  burst_sw_.ProcessBurst({arrivals.data(), arrivals.size()}, sink_);
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    if (arrivals[i].pkt == nullptr) {
+      storage[i].release();
+    }
+  }
+  for (uint32_t i = 0; i < 16; ++i) {
+    auto emits = single_sw_.ProcessPacket(pkts[i], (i % 2 == 0) ? 4 : 5);
+    for (auto& e : emits) {
+      single_emits_.push_back(std::move(e));
+    }
+  }
+  ExpectSameEmits(sink_.emits(), single_emits_);
+  ExpectSameCounters(burst_sw_.counters(), single_sw_.counters());
+}
+
+// ------------------------------------------------- simulator coalescing
+
+// Records every arrival and whether it came through HandleBurst.
+class RecordingNode : public Node {
+ public:
+  explicit RecordingNode(Simulator* sim) : Node("recorder"), sim_(sim) {}
+
+  void HandlePacket(const Packet& pkt, uint32_t in_port) override {
+    seqs_.push_back(pkt.nc.seq);
+    ports_.push_back(in_port);
+    ++single_calls_;
+  }
+  void HandleBurst(BurstArrival* arrivals, size_t count) override {
+    ++burst_calls_;
+    last_burst_size_ = count;
+    for (size_t i = 0; i < count; ++i) {
+      seqs_.push_back(arrivals[i].pkt->nc.seq);
+      ports_.push_back(arrivals[i].port);
+    }
+  }
+
+  Simulator* sim_;
+  std::vector<uint32_t> seqs_;
+  std::vector<uint32_t> ports_;
+  size_t single_calls_ = 0;
+  size_t burst_calls_ = 0;
+  size_t last_burst_size_ = 0;
+};
+
+Simulator::DeliveryRec Rec(Simulator& sim, Node* node, uint32_t port, uint32_t seq) {
+  Packet* p = sim.packet_pool().Acquire(MakeGet(kClient, kServerA, K(seq), seq));
+  return Simulator::DeliveryRec{node, port, p, nullptr, 0, 64};
+}
+
+TEST(SimulatorBurstTest, CoalescesSameInstantDeliveries) {
+  Simulator sim;
+  RecordingNode node(&sim);
+  sim.ScheduleDeliveryAt(100, Rec(sim, &node, 1, 0));
+  sim.ScheduleDeliveryAt(100, Rec(sim, &node, 2, 1));
+  sim.ScheduleDeliveryAt(100, Rec(sim, &node, 1, 2));
+  sim.RunAll();
+  EXPECT_EQ(node.burst_calls_, 1u);
+  EXPECT_EQ(node.last_burst_size_, 3u);
+  EXPECT_EQ(node.seqs_, (std::vector<uint32_t>{0, 1, 2}));  // arrival order
+  EXPECT_EQ(node.ports_, (std::vector<uint32_t>{1, 2, 1}));
+  EXPECT_EQ(sim.bursts_dispatched(), 1u);
+  EXPECT_EQ(sim.burst_packets(), 3u);
+  EXPECT_EQ(sim.events_processed(), 3u);  // each delivery still counts
+}
+
+TEST(SimulatorBurstTest, DifferentTimesOrNodesDoNotCoalesce) {
+  Simulator sim;
+  RecordingNode a(&sim);
+  RecordingNode b(&sim);
+  sim.ScheduleDeliveryAt(100, Rec(sim, &a, 0, 0));
+  sim.ScheduleDeliveryAt(100, Rec(sim, &b, 0, 1));  // different node
+  sim.ScheduleDeliveryAt(101, Rec(sim, &a, 0, 2));  // different time
+  sim.RunAll();
+  EXPECT_EQ(a.burst_calls_ + b.burst_calls_, 0u);
+  EXPECT_EQ(a.single_calls_, 2u);
+  EXPECT_EQ(b.single_calls_, 1u);
+  EXPECT_EQ(sim.bursts_dispatched(), 0u);
+}
+
+TEST(SimulatorBurstTest, PlainEventBreaksBatch) {
+  // A closure event scheduled between two same-instant deliveries must act
+  // as a barrier: its side effects may observe the first delivery's state.
+  Simulator sim;
+  RecordingNode node(&sim);
+  int fired_after = -1;
+  sim.ScheduleDeliveryAt(100, Rec(sim, &node, 0, 0));
+  sim.ScheduleAt(100, [&] { fired_after = static_cast<int>(node.seqs_.size()); });
+  sim.ScheduleDeliveryAt(100, Rec(sim, &node, 0, 1));
+  sim.RunAll();
+  EXPECT_EQ(node.burst_calls_, 0u);
+  EXPECT_EQ(node.single_calls_, 2u);
+  EXPECT_EQ(fired_after, 1);  // ran between the two deliveries
+}
+
+TEST(SimulatorBurstTest, CoalescingOffDispatchesSingly) {
+  Simulator sim;
+  sim.set_burst_coalescing(false);
+  RecordingNode node(&sim);
+  sim.ScheduleDeliveryAt(100, Rec(sim, &node, 0, 0));
+  sim.ScheduleDeliveryAt(100, Rec(sim, &node, 0, 1));
+  sim.RunAll();
+  EXPECT_EQ(node.burst_calls_, 0u);
+  EXPECT_EQ(node.single_calls_, 2u);
+  EXPECT_EQ(node.seqs_, (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(sim.bursts_dispatched(), 0u);
+}
+
+}  // namespace
+}  // namespace netcache

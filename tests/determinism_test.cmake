@@ -7,6 +7,10 @@
 # 2. Runs netcache_sim sweep once serially and once on 4 worker threads and
 #    asserts both stdout and the metrics JSON are byte-identical — the
 #    core/sweep.h contract that parallel execution never changes results.
+# 3. Runs the rack once with the default burst-coalescing dispatcher and once
+#    with --no-burst and asserts the metrics JSON is byte-identical — the
+#    net/simulator.h contract that coalescing same-instant deliveries into
+#    HandleBurst changes throughput, never results.
 
 set(FLAGS rack --servers=4 --offered=150000 --duration=0.2 --seed=1234
     --metrics-interval=0.05 --check-invariants=0.02 --write-ratio=0.1)
@@ -65,3 +69,25 @@ foreach(ext txt json)
         "(${WORK_DIR}/sweep_serial.${ext} vs sweep_threads.${ext})")
   endif()
 endforeach()
+
+# Burst coalescing vs per-packet dispatch: metrics JSON byte-identical. The
+# default-dispatcher run from step 1 (determinism_a.json) is the reference.
+execute_process(
+  COMMAND ${SIM} ${FLAGS} --no-burst
+          --metrics-out=${WORK_DIR}/determinism_noburst.json
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--no-burst run exited ${rc}:\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/determinism_a.json ${WORK_DIR}/determinism_noburst.json
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+      "burst-coalesced and --no-burst runs produced different metrics JSON "
+      "(${WORK_DIR}/determinism_a.json vs determinism_noburst.json)")
+endif()

@@ -21,6 +21,14 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
                       library code logs through NC_LOG. Tools, examples,
                       benchmarks, and tests may print.
   no-using-namespace  No `using namespace std;` anywhere.
+  digest-fast-path    No per-probe SeededHash/SeededHashBytes on the switch
+                      fast path (sketches, stats, match table, switch data
+                      plane). Those files index through the per-packet
+                      KeyDigest (proto/key_digest.h): the key is hashed once
+                      at ingress and every downstream slot is derived with a
+                      Kirsch-Mitzenmacher probe. A new seeded hash there
+                      silently reintroduces the per-probe cost the digest
+                      removed.
 
 Usage: python3 tools/netcache_lint.py [--root DIR]
 Prints findings as `path:line: [rule] message` and exits 1 if any.
@@ -53,6 +61,18 @@ STDIO_PATTERN = re.compile(
 )
 
 USING_NAMESPACE_STD = re.compile(r"using\s+namespace\s+std\s*;")
+
+SEEDED_HASH_PATTERN = re.compile(r"(?<![\w.])SeededHash(?:Bytes)?\s*\(")
+
+# Switch fast-path files: one hash per packet, all indices via KeyDigest.
+DIGEST_FAST_PATH_PREFIXES = (
+    "src/dataplane/netcache_switch.",
+    "src/dataplane/stats.",
+    "src/dataplane/match_table.",
+    "src/sketch/count_min.",
+    "src/sketch/bloom.",
+    "src/sketch/heavy_hitter.",
+)
 
 
 def strip_comments_and_strings(line):
@@ -144,6 +164,14 @@ def check_file(path, rel, findings):
                 findings.append(
                     (rel, num, "no-stdio-logging",
                      "stdio logging in library code; use NC_LOG"))
+
+    if any(rel.startswith(p) for p in DIGEST_FAST_PATH_PREFIXES):
+        for num, text in lines:
+            if SEEDED_HASH_PATTERN.search(text):
+                findings.append(
+                    (rel, num, "digest-fast-path",
+                     "per-probe seeded hash on the switch fast path; derive "
+                     "the index from the packet's KeyDigest instead"))
 
     for num, text in lines:
         if USING_NAMESPACE_STD.search(text):

@@ -56,6 +56,7 @@ int Usage(const char* program) {
                "\n"
                "rack:      --servers --rate --keys --zipf --cache --offered --duration\n"
                "           --write-ratio --skewed-writes --no-cache --cores --seed\n"
+               "           --no-burst (disable same-instant delivery coalescing)\n"
                "           --trace=FILE (replay a G/P/D trace instead of synthetic load)\n"
                "sweep:     --zipf=A[,B...] --cache=N[,M...] --reps --seed --threads\n"
                "           --serial --servers --rate --keys --offered --duration\n"
@@ -164,6 +165,9 @@ int RunRack(ArgParser& args) {
   }
 
   Rack rack(cfg);
+  // Burst coalescing must produce byte-identical output (determinism_test leg
+  // 3 diffs this against the default); the flag exists to prove it.
+  rack.sim().set_burst_coalescing(!args.GetBool("no-burst", false));
   rack.Populate(num_keys, 128);
   if (check_invariants) {
     rack.EnableInvariantChecks(static_cast<SimDuration>(check_interval_s * 1e9));
