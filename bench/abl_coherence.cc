@@ -33,8 +33,9 @@ struct Outcome {
   double wall_ms = 0;
 };
 
-Outcome RunMode(CoherenceMode mode) {
+Outcome RunMode(CoherenceMode mode, size_t sim_threads) {
   RackConfig cfg;
+  cfg.sim_threads = sim_threads;
   cfg.num_servers = 4;
   cfg.num_clients = 1;
   cfg.switch_config.num_pipes = 1;
@@ -102,11 +103,12 @@ void Run(bench::BenchHarness& harness) {
       {"write-through sync", "write-through-sync", CoherenceMode::kWriteThroughSync},
       {"write-around", "write-around", CoherenceMode::kWriteAround},
   };
+  const size_t sim_threads = harness.sim_threads();
   std::vector<Outcome> outcomes =
       RunSweep(rows, harness.sweep_options(),
-               [](const Row& row, uint64_t /*seed*/, size_t /*index*/) {
+               [sim_threads](const Row& row, uint64_t /*seed*/, size_t /*index*/) {
         auto start = std::chrono::steady_clock::now();
-        Outcome o = RunMode(row.mode);
+        Outcome o = RunMode(row.mode, sim_threads);
         std::chrono::duration<double, std::milli> elapsed =
             std::chrono::steady_clock::now() - start;
         o.wall_ms = elapsed.count();

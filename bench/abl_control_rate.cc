@@ -27,8 +27,10 @@ struct HotInResult {
   double wall_ms = 0;
 };
 
-std::vector<double> RunHotIn(SimDuration control_op_latency, uint64_t* events_out) {
+std::vector<double> RunHotIn(SimDuration control_op_latency, size_t sim_threads,
+                             uint64_t* events_out) {
   RackConfig cfg;
+  cfg.sim_threads = sim_threads;
   cfg.num_servers = 8;
   cfg.num_clients = 1;
   cfg.switch_config.num_pipes = 1;
@@ -91,12 +93,13 @@ void Run(bench::BenchHarness& harness) {
   std::printf("\n");
   const std::vector<SimDuration> latencies = {100 * kMicrosecond, 1 * kMillisecond,
                                               10 * kMillisecond, 50 * kMillisecond};
+  const size_t sim_threads = harness.sim_threads();
   std::vector<HotInResult> results =
       RunSweep(latencies, harness.sweep_options(),
-               [](SimDuration latency, uint64_t /*seed*/, size_t /*index*/) {
+               [sim_threads](SimDuration latency, uint64_t /*seed*/, size_t /*index*/) {
         auto start = std::chrono::steady_clock::now();
         HotInResult r;
-        r.bins = RunHotIn(latency, &r.events);
+        r.bins = RunHotIn(latency, sim_threads, &r.events);
         std::chrono::duration<double, std::milli> elapsed =
             std::chrono::steady_clock::now() - start;
         r.wall_ms = elapsed.count();

@@ -15,6 +15,7 @@ BenchHarness::BenchHarness(int argc, char** argv, std::string name)
   json_path_ = args.GetString("json", "");
   seed_ = static_cast<uint64_t>(args.GetInt("seed", 42));
   threads_ = static_cast<size_t>(args.GetInt("threads", 0));
+  sim_threads_ = static_cast<size_t>(args.GetInt("sim-threads", 0));
   serial_ = args.GetBool("serial", false);
 }
 
@@ -41,6 +42,15 @@ int BenchHarness::Finish() const {
   w.BeginObject();
   w.Field("bench", name_);
   w.Field("seed", seed_);
+  // Threading configuration of this run. bench_regress.py hard-errors when
+  // two documents disagree here: wall-clock (and, for --sim-threads,
+  // tie-break schedules) are not comparable across threading setups.
+  w.Name("config");
+  w.BeginObject();
+  w.Field("threads", static_cast<uint64_t>(threads_));
+  w.Field("sim_threads", static_cast<uint64_t>(sim_threads_));
+  w.Field("serial", serial_ ? 1 : 0);
+  w.EndObject();
   w.Name("trials");
   w.BeginArray();
   for (const TrialRecord& t : trials_) {

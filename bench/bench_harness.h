@@ -10,10 +10,17 @@
 //
 // Flags (parsed from main's argv; unknown flags are ignored so google-benchmark
 // style flags can coexist):
-//   --json=PATH    write {bench, seed, trials:[...]} JSON
-//   --seed=N       root seed for randomized benches (default 42)
-//   --threads=N    worker threads for ParallelSweep-driven benches
-//   --serial       force serial trial execution
+//   --json=PATH        write {bench, seed, config, trials:[...]} JSON
+//   --seed=N           root seed for randomized benches (default 42)
+//   --threads=N        worker threads for ParallelSweep-driven benches
+//   --serial           force serial trial execution
+//   --sim-threads=N    parallel-DES threads inside each trial's simulator
+//                      (0 = serial dispatcher)
+//
+// Both threading knobs are recorded in the JSON's top-level "config" object;
+// scripts/bench_regress.py refuses to compare documents whose threading
+// configs differ, so a parallel run can never be graded against a serial
+// baseline (or vice versa).
 //
 // Wall-clock calls live only in bench/ — the simulation library and tools are
 // wall-clock-free by lint rule; benches are the one place timing is the point.
@@ -67,6 +74,11 @@ class BenchHarness {
     return opts;
   }
 
+  // Parallel-DES threads for each trial's own simulator (RackConfig/
+  // FabricConfig::sim_threads). Orthogonal to sweep_options(): --threads fans
+  // trials out, --sim-threads parallelizes inside one trial.
+  size_t sim_threads() const { return sim_threads_; }
+
   // Adds a trial; the reference stays valid for the harness's lifetime
   // (records live in a deque, which never relocates existing elements).
   TrialRecord& AddTrial(const std::string& label);
@@ -83,6 +95,7 @@ class BenchHarness {
   std::string json_path_;
   uint64_t seed_ = 42;
   size_t threads_ = 0;
+  size_t sim_threads_ = 0;
   bool serial_ = false;
   std::deque<TrialRecord> trials_;
 };

@@ -30,8 +30,9 @@ struct Point {
   double wall_ms;
 };
 
-Point RunPoint(bool cache_enabled, double rate_qps) {
+Point RunPoint(bool cache_enabled, double rate_qps, size_t sim_threads) {
   RackConfig cfg;
+  cfg.sim_threads = sim_threads;
   cfg.num_servers = 16;
   cfg.num_clients = 1;
   cfg.cache_enabled = cache_enabled;
@@ -107,11 +108,12 @@ void Run(bench::BenchHarness& harness) {
     grid.push_back(Trial{rate, false});
     grid.push_back(Trial{rate, true});
   }
+  const size_t sim_threads = harness.sim_threads();
   std::vector<Point> points =
       RunSweep(grid, harness.sweep_options(),
-               [](const Trial& t, uint64_t /*seed*/, size_t /*index*/) {
+               [sim_threads](const Trial& t, uint64_t /*seed*/, size_t /*index*/) {
         auto start = std::chrono::steady_clock::now();
-        Point p = RunPoint(t.cache, t.rate);
+        Point p = RunPoint(t.cache, t.rate, sim_threads);
         std::chrono::duration<double, std::milli> elapsed =
             std::chrono::steady_clock::now() - start;
         p.wall_ms = elapsed.count();

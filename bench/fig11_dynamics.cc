@@ -39,8 +39,9 @@ struct WorkloadResult {
   uint64_t events = 0;
 };
 
-WorkloadResult RunWorkload(Churn churn) {
+WorkloadResult RunWorkload(Churn churn, size_t sim_threads) {
   RackConfig cfg;
+  cfg.sim_threads = sim_threads;
   cfg.num_servers = 8;
   cfg.num_clients = 1;
   cfg.switch_config.num_pipes = 1;
@@ -159,12 +160,13 @@ void Run(bench::BenchHarness& harness) {
     WorkloadResult res;
     double wall_ms;
   };
+  const size_t sim_threads = harness.sim_threads();
   std::vector<Timed> results =
       RunSweep(panels, harness.sweep_options(),
-               [](const Panel& p, uint64_t /*seed*/, size_t /*index*/) {
+               [sim_threads](const Panel& p, uint64_t /*seed*/, size_t /*index*/) {
         auto start = std::chrono::steady_clock::now();
         Timed t;
-        t.res = RunWorkload(p.churn);
+        t.res = RunWorkload(p.churn, sim_threads);
         std::chrono::duration<double, std::milli> elapsed =
             std::chrono::steady_clock::now() - start;
         t.wall_ms = elapsed.count();

@@ -37,8 +37,9 @@ constexpr size_t kServers = 8;
 constexpr double kRate = 10e3;
 constexpr uint64_t kKeys = 20'000;
 
-Measured RunDes(const Scenario& sc) {
+Measured RunDes(const Scenario& sc, size_t sim_threads) {
   RackConfig cfg;
+  cfg.sim_threads = sim_threads;
   cfg.num_servers = kServers;
   cfg.num_clients = 1;
   cfg.cache_enabled = sc.cache > 0;
@@ -105,11 +106,12 @@ void Run(bench::BenchHarness& harness) {
       {"zipf-0.99, 400 cached", 0.99, 400},
   };
   // The DES runs dominate the wall clock and are independent: fan them out.
+  const size_t sim_threads = harness.sim_threads();
   std::vector<Measured> des_runs =
       RunSweep(scenarios, harness.sweep_options(),
-               [](const Scenario& sc, uint64_t /*seed*/, size_t /*index*/) {
+               [sim_threads](const Scenario& sc, uint64_t /*seed*/, size_t /*index*/) {
         auto start = std::chrono::steady_clock::now();
-        Measured m = RunDes(sc);
+        Measured m = RunDes(sc, sim_threads);
         std::chrono::duration<double, std::milli> elapsed =
             std::chrono::steady_clock::now() - start;
         m.wall_ms = elapsed.count();

@@ -17,6 +17,14 @@ is a regression. Wall-clock numbers (wall_ms, events_per_sec) vary with the
 machine and are only compared when --perf is given, against the looser
 --perf-tolerance, and only in the slower direction (faster is never flagged).
 
+Both documents may carry a top-level "config" object recording the threading
+setup of the run ({"threads", "sim_threads", "serial"}, written by
+bench_harness). When both sides have one and they disagree, the comparison is
+refused outright: wall-clock numbers are meaningless across threading setups,
+and --sim-threads>=1 runs a different (windowed) event schedule than the
+legacy serial dispatcher, so even model metrics need not match. Re-run the
+candidate with the baseline's flags instead.
+
 Exit status: 0 when everything matches, 1 on any regression, missing trial,
 or missing metric. New trials/metrics present only in the candidate are
 reported but do not fail (they are additions, not regressions).
@@ -74,6 +82,15 @@ def main():
 
     base_doc = load(args.baseline)
     cand_doc = load(args.candidate)
+    base_cfg = base_doc.get("config")
+    cand_cfg = cand_doc.get("config")
+    if base_cfg is not None and cand_cfg is not None and base_cfg != cand_cfg:
+        sys.exit(
+            "bench_regress: threading configs differ — refusing to compare.\n"
+            f"  baseline  {args.baseline}: {json.dumps(base_cfg, sort_keys=True)}\n"
+            f"  candidate {args.candidate}: {json.dumps(cand_cfg, sort_keys=True)}\n"
+            "  Re-run the candidate with the baseline's --threads/--sim-threads/"
+            "--serial flags.")
     if base_doc.get("bench") != cand_doc.get("bench"):
         print(f"note: comparing different benches: {base_doc.get('bench')!r} "
               f"vs {cand_doc.get('bench')!r}")

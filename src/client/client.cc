@@ -37,7 +37,8 @@ void Client::SendQuery(Packet pkt, ResponseCallback cb) {
   }
   Send(0, pkt);
 
-  sim_->Schedule(config_.reply_timeout, [this, seq] {
+  // Node-affine: timeouts belong to this client's partition.
+  sim_->ScheduleFor(this, config_.reply_timeout, [this, seq] {
     auto it = outstanding_.find(seq);
     if (it == outstanding_.end()) {
       return;  // answered in time

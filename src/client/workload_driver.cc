@@ -37,7 +37,9 @@ void WorkloadDriver::Start() {
   running_ = true;
   ScheduleNext();
   if (config_.adaptive) {
-    sim_->Schedule(config_.adjust_interval, [this] { AdjustRate(); });
+    // Client-affine: a serial instant must not capture the adjust loop into
+    // the global stream under parallel DES.
+    sim_->ScheduleFor(client_, config_.adjust_interval, [this] { AdjustRate(); });
   }
 }
 
@@ -51,7 +53,9 @@ void WorkloadDriver::ScheduleNext() {
   if (gap == 0) {
     gap = 1;
   }
-  sim_->Schedule(gap, [this] {
+  // Client-affine: the send loop is the hottest self-rescheduling chain in
+  // the simulation and must run in the client's partition.
+  sim_->ScheduleFor(client_, gap, [this] {
     if (!running_) {
       return;
     }
@@ -106,7 +110,7 @@ void WorkloadDriver::AdjustRate() {
   rate_trace_.Add(sim_->Now(), rate_qps_);
   window_sent_ = 0;
   window_failed_ = 0;
-  sim_->Schedule(config_.adjust_interval, [this] { AdjustRate(); });
+  sim_->ScheduleFor(client_, config_.adjust_interval, [this] { AdjustRate(); });
 }
 
 }  // namespace netcache

@@ -35,7 +35,8 @@ void CacheController::Start() {
 }
 
 void CacheController::ScheduleDirtyFlush() {
-  sim_->Schedule(config_.write_back_flush_interval, [this] {
+  // Global stream: the flush walks the switch and any owner server.
+  sim_->ScheduleGlobal(config_.write_back_flush_interval, [this] {
     FlushDirtyEntries();
     ScheduleDirtyFlush();
   });
@@ -52,7 +53,8 @@ void CacheController::FlushDirtyEntries() {
 }
 
 void CacheController::ScheduleEpochReset() {
-  sim_->Schedule(config_.stats_epoch, [this] {
+  // Global stream: the reset reaches into the switch's statistics.
+  sim_->ScheduleGlobal(config_.stats_epoch, [this] {
     // Retune the heavy-hitter threshold from this epoch's report volume
     // before clearing (§4.4.3: thresholds are controller-configured).
     if (config_.target_reports_per_epoch > 0) {
@@ -130,7 +132,12 @@ void CacheController::PumpQueue() {
   pumping_ = true;
   // Each queued decision costs one control-plane operation interval; this is
   // the update-rate bottleneck of §4.3.
-  sim_->Schedule(config_.control_op_latency, [this] {
+  // Global stream: cache insertions/evictions touch the switch and the
+  // owner server, which live in different partitions. OnHotReport calls
+  // PumpQueue from the reporting switch's partition, so this must be
+  // explicit (and control_op_latency must exceed the lookahead, which any
+  // physical control-plane latency does).
+  sim_->ScheduleGlobal(config_.control_op_latency, [this] {
     if (!work_.empty()) {
       Candidate c = work_.front();
       work_.pop_front();

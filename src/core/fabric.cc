@@ -61,9 +61,13 @@ Fabric::Fabric(const FabricConfig& config)
   }
 
   // Fabric links: every ToR to every spine.
+  LinkConfig fabric_link = config.link;
+  if (config.fabric_propagation > 0) {
+    fabric_link.propagation = config.fabric_propagation;
+  }
   for (size_t r = 0; r < racks; ++r) {
     for (size_t s = 0; s < spines; ++s) {
-      auto link = std::make_unique<Link>(&sim_, config.link);
+      auto link = std::make_unique<Link>(&sim_, fabric_link);
       link->Connect(tors_[r].get(), static_cast<uint32_t>(n + s), spines_[s].get(),
                     static_cast<uint32_t>(r));
       links_.push_back(std::move(link));
@@ -117,6 +121,28 @@ Fabric::Fabric(const FabricConfig& config)
       }
       controllers_.push_back(std::move(ctl));
     }
+  }
+
+  if (config.sim_threads > 0) {
+    // Partition layout: LP 1+s = spine s + its client (independent ingress
+    // pipelines), LP 1+spines+r = rack r (ToR + its servers). Only the
+    // ToR<->spine hops cross partitions, so the lookahead is the fabric-hop
+    // propagation delay. Controllers are not nodes; each is driven by exactly
+    // one switch's reports (its own partition) plus global-stream pump events.
+    for (size_t s = 0; s < spines; ++s) {
+      spines_[s]->set_lp(static_cast<uint32_t>(1 + s));
+      clients_[s]->set_lp(static_cast<uint32_t>(1 + s));
+    }
+    for (size_t r = 0; r < racks; ++r) {
+      tors_[r]->set_lp(static_cast<uint32_t>(1 + spines + r));
+    }
+    for (size_t g = 0; g < racks * n; ++g) {
+      servers_[g]->set_lp(static_cast<uint32_t>(1 + spines + g / n));
+    }
+    sim_.SetDeliveryClassifier([](const Simulator::DeliveryRec& rec) {
+      return rec.pkt->is_netcache && rec.pkt->nc.op == OpCode::kCacheUpdateReject;
+    });
+    sim_.ConfigurePartitions(spines + racks, config.sim_threads);
   }
 }
 

@@ -61,6 +61,27 @@ Rack::Rack(const RackConfig& config)
     }
   }
 
+  if (config_.sim_threads > 0) {
+    // Partition layout: LP 1 = ToR + clients (every packet crosses the
+    // switch, so splitting it from the clients would only add barrier
+    // traffic), LP 2+i = server i. Only the ToR<->server links cross
+    // partitions, so the lookahead is the server-link propagation delay.
+    tor_->set_lp(1);
+    for (auto& client : clients_) {
+      client->set_lp(1);
+    }
+    for (size_t i = 0; i < servers_.size(); ++i) {
+      servers_[i]->set_lp(static_cast<uint32_t>(2 + i));
+    }
+    // A cache-update reject's handler calls straight into the controller
+    // (server -> controller eviction), which may touch any partition: run
+    // those deliveries in the global stream.
+    sim_.SetDeliveryClassifier([](const Simulator::DeliveryRec& rec) {
+      return rec.pkt->is_netcache && rec.pkt->nc.op == OpCode::kCacheUpdateReject;
+    });
+    sim_.ConfigurePartitions(1 + servers_.size(), config_.sim_threads);
+  }
+
   // One namespace for the whole rack's telemetry.
   tor_->RegisterMetrics(metrics_, "switch", {{"component", "switch"}});
   for (size_t i = 0; i < servers_.size(); ++i) {
@@ -75,6 +96,22 @@ Rack::Rack(const RackConfig& config)
   }
   if (controller_ != nullptr) {
     controller_->RegisterMetrics(metrics_, "controller", {{"component", "controller"}});
+  }
+
+  // Event-queue pressure. The peak is sampled at timestamp advances, which
+  // makes it identical across burst modes and --sim-threads values — the
+  // determinism legs diff these through the metrics JSON byte-for-byte.
+  metrics_.AddCounter("sim.events_dispatched",
+                      [this] { return static_cast<double>(sim_.events_processed()); },
+                      {{"component", "sim"}});
+  metrics_.AddGauge("sim.event_queue_peak",
+                    [this] { return static_cast<double>(sim_.event_queue_peak()); },
+                    {{"component", "sim"}});
+  for (size_t lp = 1; lp <= sim_.num_lps(); ++lp) {
+    metrics_.AddCounter(
+        "sim.lp" + std::to_string(lp) + ".window_stalls",
+        [this, lp] { return static_cast<double>(sim_.lp_window_stalls(lp)); },
+        {{"component", "sim"}, {"lp", std::to_string(lp)}});
   }
 }
 

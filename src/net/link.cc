@@ -8,13 +8,16 @@
 namespace netcache {
 
 Link::Link(Simulator* sim, const LinkConfig& config)
-    : sim_(sim), config_(config), loss_rng_(config.loss_seed) {
+    : sim_(sim),
+      config_(config),
+      loss_rng_{Rng(config.loss_seed), Rng(config.loss_seed ^ 0x6a09e667f3bcc909ULL)} {
   NC_CHECK(config.bandwidth_gbps > 0.0);
   NC_CHECK(config.loss_rate >= 0.0 && config.loss_rate < 1.0);
   // 8 bits/byte over gbps == exactly 8000/gbps picoseconds per byte. The
   // double->integer conversion happens once here instead of per packet, so
   // deadline chains accumulate exactly (40 Gb/s -> exactly 200 ps/byte).
   ps_per_byte_ = std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(8000.0 / config.bandwidth_gbps)));
+  sim_->RegisterLink(this);
 }
 
 void Link::Connect(Node* a, uint32_t a_port, Node* b, uint32_t b_port) {
@@ -31,7 +34,7 @@ void Link::Transmit(int from_end, const Packet& pkt) {
   size_t bytes = pkt.WireSize();
   ++dir.stats.offered;
 
-  if (config_.loss_rate > 0.0 && loss_rng_.NextBernoulli(config_.loss_rate)) {
+  if (config_.loss_rate > 0.0 && loss_rng_[from_end].NextBernoulli(config_.loss_rate)) {
     ++dir.stats.lost;
     return;
   }
@@ -40,7 +43,7 @@ void Link::Transmit(int from_end, const Packet& pkt) {
     return;
   }
   dir.queued_bytes += bytes;
-  ++dir.stats.in_flight;
+  dir.stats.in_flight.fetch_add(1, std::memory_order_relaxed);
 
   uint64_t now_ps = static_cast<uint64_t>(sim_->Now()) * 1000;
   uint64_t start_ps = std::max(now_ps, dir.busy_until_ps);
@@ -52,8 +55,11 @@ void Link::Transmit(int from_end, const Packet& pkt) {
   SimTime tx_done = static_cast<SimTime>((tx_done_ps + 999) / 1000);
 
   Endpoint to = ends_[1 - from_end];
-  // Serialization finishes: free queue space. Delivery after propagation.
-  sim_->ScheduleAt(tx_done, [this, from_end, bytes] { dirs_[from_end].queued_bytes -= bytes; });
+  // Serialization finishes: free queue space. Node-affine so the transmitter
+  // state stays in the sending node's partition under parallel DES. Delivery
+  // after propagation.
+  sim_->ScheduleAtFor(ends_[from_end].node, tx_done,
+                      [this, from_end, bytes] { dirs_[from_end].queued_bytes -= bytes; });
   // The in-flight copy lives in the simulator's packet pool; the delivery is
   // a typed event so the dispatcher can coalesce same-instant arrivals into
   // a burst. Delivery accounting happens in Link::AccountDelivery.

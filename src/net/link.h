@@ -17,6 +17,7 @@
 #ifndef NETCACHE_NET_LINK_H_
 #define NETCACHE_NET_LINK_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "common/rng.h"
@@ -50,19 +51,27 @@ class Link {
 
   // Books one completed delivery on direction `from_end`. Called by the
   // simulator's delivery dispatcher (the accounting the delivery closure
-  // used to do inline before deliveries became typed events).
+  // used to do inline before deliveries became typed events). Runs in the
+  // RECEIVING node's partition under parallel DES, which is why `in_flight`
+  // is the one atomic field (see DirectionStats).
   void AccountDelivery(int from_end, uint32_t bytes) {
-    --dirs_[from_end].stats.in_flight;
+    dirs_[from_end].stats.in_flight.fetch_sub(1, std::memory_order_relaxed);
     ++dirs_[from_end].stats.delivered;
     dirs_[from_end].stats.bytes += bytes;
   }
 
+  // Per-direction counters. Single-writer under parallel DES except
+  // `in_flight`: offered/dropped/lost are bumped by Transmit in the sending
+  // node's partition, delivered/bytes by AccountDelivery in the receiving
+  // node's, but in_flight is touched by both — hence the atomic. Readers
+  // (checkers, metrics) only run in serial instants, ordered by the window
+  // barrier, so plain fields need no synchronization.
   struct DirectionStats {
     uint64_t offered = 0;    // every Transmit attempt
     uint64_t delivered = 0;
     uint64_t dropped = 0;   // queue overflow
     uint64_t lost = 0;      // random loss injection
-    uint64_t in_flight = 0; // accepted but not yet handed to the far node
+    std::atomic<uint64_t> in_flight{0};  // accepted, not yet handed to the far node
     uint64_t bytes = 0;
   };
   // Conservation invariant, checked by the packet-conservation checker at
@@ -75,6 +84,10 @@ class Link {
   DirectionStats& TestOnlyStats(int from_end) { return dirs_[from_end].stats; }
 
   const LinkConfig& config() const { return config_; }
+
+  // Endpoint node of end 0 or 1 (null before Connect). ConfigurePartitions
+  // walks registered links to find partition-crossing ones for the lookahead.
+  Node* end_node(int end) const { return ends_[end].node; }
 
  private:
   struct Endpoint {
@@ -90,7 +103,10 @@ class Link {
   Simulator* sim_;
   LinkConfig config_;
   uint64_t ps_per_byte_;
-  Rng loss_rng_;
+  // One loss stream per direction: under parallel DES the two directions are
+  // driven from different partitions, and a shared generator would be both a
+  // data race and a thread-count-dependent draw order.
+  Rng loss_rng_[2];
   Endpoint ends_[2];
   Direction dirs_[2];  // dirs_[i] carries traffic from end i to end 1-i
 };

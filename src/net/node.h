@@ -56,6 +56,13 @@ class Node {
   const std::string& name() const { return name_; }
   size_t num_ports() const { return links_.size(); }
 
+  // Logical-process label for the simulator's conservative-parallel mode:
+  // the partition (1-based) whose event heap runs this node's events, or 0
+  // (default) for the global stream, which always executes serially. Set by
+  // topology construction (Rack/Fabric) before Simulator::ConfigurePartitions.
+  void set_lp(uint32_t lp) { lp_ = lp; }
+  uint32_t lp() const { return lp_; }
+
  private:
   struct PortSlot {
     Link* link = nullptr;
@@ -63,6 +70,7 @@ class Node {
   };
 
   std::string name_;
+  uint32_t lp_ = 0;
   std::vector<PortSlot> links_;
 };
 

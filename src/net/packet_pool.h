@@ -4,9 +4,13 @@
 // buffer). Capturing one by value in a scheduled closure forces the event
 // queue to heap-allocate per event; a pooled Packet* keeps the closure within
 // InlineFunction's inline budget and recycles the buffers instead of churning
-// the allocator. The pool is single-threaded like the Simulator that owns it:
-// in a parallel sweep every trial has its own Simulator and therefore its own
-// pool, so no synchronization is needed (or wanted) here.
+// the allocator. The pool itself is single-threaded: in a parallel sweep every
+// trial has its own Simulator, and under parallel DES the Simulator keeps one
+// pool shard per partition, each touched only by the thread executing that
+// partition (sim->packet_pool() resolves to the executing shard). Releasing a
+// packet into a different shard than acquired it is memory-safe — chunks are
+// owned by the acquiring pool and every shard lives as long as the Simulator —
+// so cross-partition deliveries simply migrate buffers between freelists.
 //
 // Usage on a hot path:
 //   Packet* copy = sim->packet_pool().Acquire(pkt);

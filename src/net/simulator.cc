@@ -1,5 +1,6 @@
 #include "net/simulator.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -7,140 +8,485 @@
 
 namespace netcache {
 
+thread_local Simulator::Ctx* Simulator::tls_ctx_ = nullptr;
+
+Simulator::Simulator(size_t reserve_events) {
+  ctxs_.emplace_back();
+  legacy_ = &ctxs_[0];
+  legacy_->sim = this;
+  legacy_->index = 0;
+  legacy_->heap.reserve(reserve_events);
+}
+
+Simulator::~Simulator() { StopWorkers(); }
+
 void Simulator::ScheduleAt(SimTime at, EventFn fn) {
-  NC_CHECK(at >= now_) << "scheduling into the past: event at t=" << at
-                       << " ns but Now() is t=" << now_
-                       << " ns; events must never be scheduled before the "
-                          "current simulated time (causality / determinism)";
-  Push(Event{at, next_seq_++, std::move(fn)});
+  Ctx* c = cur();
+  NC_CHECK(at >= c->now) << "scheduling into the past: event at t=" << at
+                         << " ns but Now() is t=" << c->now
+                         << " ns; events must never be scheduled before the "
+                            "current simulated time (causality / determinism)";
+  Route(*c, *c, Event{at, NextKey(*c), std::move(fn)});
+}
+
+void Simulator::ScheduleAtFor(Node* node, SimTime at, EventFn fn) {
+  Ctx* c = cur();
+  NC_CHECK(at >= c->now) << "scheduling into the past: event at t=" << at
+                         << " ns but Now() is t=" << c->now << " ns";
+  Ctx* dest = c;
+  if (partitioned_) {
+    NC_CHECK(node->lp() < ctxs_.size())
+        << node->name() << " labeled with partition " << node->lp() << " but only "
+        << num_lps() << " logical processes are configured";
+    dest = &ctxs_[node->lp()];
+  }
+  Route(*c, *dest, Event{at, NextKey(*c), std::move(fn)});
+}
+
+void Simulator::ScheduleGlobalAt(SimTime at, EventFn fn) {
+  Ctx* c = cur();
+  NC_CHECK(at >= c->now) << "scheduling into the past: event at t=" << at
+                         << " ns but Now() is t=" << c->now << " ns";
+  Route(*c, ctxs_[0], Event{at, NextKey(*c), std::move(fn)});
 }
 
 void Simulator::ScheduleDeliveryAt(SimTime at, const DeliveryRec& rec) {
-  NC_CHECK(at >= now_) << "scheduling into the past: delivery at t=" << at
-                       << " ns but Now() is t=" << now_ << " ns";
-  Push(Event{at, next_seq_++, rec});
+  Ctx* c = cur();
+  NC_CHECK(at >= c->now) << "scheduling into the past: delivery at t=" << at
+                         << " ns but Now() is t=" << c->now << " ns";
+  Ctx* dest = c;
+  if (partitioned_) {
+    if (classifier_ && classifier_(rec)) {
+      dest = &ctxs_[0];
+    } else {
+      NC_CHECK(rec.node->lp() < ctxs_.size())
+          << rec.node->name() << " labeled with partition " << rec.node->lp()
+          << " but only " << num_lps() << " logical processes are configured";
+      dest = &ctxs_[rec.node->lp()];
+    }
+  }
+  Route(*c, *dest, Event{at, NextKey(*c), rec});
 }
 
-void Simulator::Dispatch(Event& ev) {
+void Simulator::Route(Ctx& from, Ctx& to, Event ev) {
+  // Inside a lookahead window each heap belongs to its own worker, so a
+  // cross-partition event is staged in the producing stream and merged at the
+  // barrier. Merge order cannot matter: keys are a total order, and a binary
+  // heap's pop sequence depends only on its content set — which is also why
+  // --sim-threads=1 and =N produce byte-identical schedules.
+  if (!in_window_ || &from == &to) {
+    PushHeap(to.heap, std::move(ev));
+    return;
+  }
+  from.staged.push_back(std::move(ev));
+  from.staged_dest.push_back(to.index);
+}
+
+bool Simulator::ConfigurePartitions(size_t num_lps, size_t threads) {
+  NC_CHECK(!partitioned_) << "partitions already configured";
+  NC_CHECK(num_lps >= 1 && num_lps < (1u << 16)) << "num_lps out of range";
+  NC_CHECK(threads >= 1);
+  // Lookahead: minimum propagation delay over inter-partition links. Links
+  // inside one partition don't constrain the window. The link's
+  // integer-picosecond transmit grid guarantees every delivery lands at least
+  // propagation + 1 ns after the instant that produced it, so any delivery
+  // scheduled inside a window of this width lands at or beyond the window
+  // end. kNeverTime (no cross links at all) means windows are bounded only by
+  // the next global event.
+  SimDuration look = kNeverTime;
+  for (Link* link : links_) {
+    Node* a = link->end_node(0);
+    Node* b = link->end_node(1);
+    if (a == nullptr || b == nullptr || a->lp() == b->lp()) {
+      continue;
+    }
+    NC_CHECK(a->lp() <= num_lps && b->lp() <= num_lps)
+        << "link endpoint labeled with partition beyond num_lps";
+    look = std::min(look, link->config().propagation);
+  }
+  if (look == 0) {
+    NC_LOG(WARN) << "parallel DES disabled: a cross-partition link has zero "
+                    "propagation delay (lookahead 0); falling back to the "
+                    "serial dispatcher";
+    return false;
+  }
+  for (size_t i = 1; i <= num_lps; ++i) {
+    ctxs_.emplace_back();
+    Ctx& c = ctxs_.back();
+    c.sim = this;
+    c.index = static_cast<uint32_t>(i);
+    c.heap.reserve(kDefaultReserveEvents / 4);
+    c.staged.reserve(256);
+    c.staged_dest.reserve(256);
+  }
+  legacy_ = &ctxs_[0];
+  lookahead_ = look;
+  threads_ = std::min(threads, num_lps);
+  partitioned_ = true;
+  return true;
+}
+
+void Simulator::DispatchIn(Ctx& c, Event& ev, bool coalesce) {
   if (ev.is_delivery) {
-    RunDelivery(ev.del);
+    RunDelivery(c, ev.del, coalesce);
   } else {
     ev.fn();
   }
 }
 
 void Simulator::RunUntil(SimTime until) {
-  while (!queue_.empty() && queue_.front().time <= until) {
-    // Move the event out before running so the handler may schedule freely.
-    Event ev = Pop();
-    now_ = ev.time;
-    ++events_processed_;
-    Dispatch(ev);
+  if (partitioned_) {
+    RunWindowed(until);
+    return;
   }
-  if (now_ < until) {
-    now_ = until;
+  Ctx& c = *legacy_;
+  while (!c.heap.empty() && c.heap.front().time <= until) {
+    if (c.heap.front().time != c.now) {
+      SamplePeak(c);
+    }
+    // Move the event out before running so the handler may schedule freely.
+    Event ev = PopHeap(c.heap);
+    c.now = ev.time;
+    ++c.events;
+    DispatchIn(c, ev, coalesce_);
+  }
+  if (c.now < until) {
+    c.now = until;
   }
 }
 
 void Simulator::RunAll() {
-  while (!queue_.empty()) {
-    Event ev = Pop();
-    now_ = ev.time;
-    ++events_processed_;
-    Dispatch(ev);
+  if (partitioned_) {
+    RunWindowed(kNeverTime);
+    return;
+  }
+  Ctx& c = *legacy_;
+  while (!c.heap.empty()) {
+    if (c.heap.front().time != c.now) {
+      SamplePeak(c);
+    }
+    Event ev = PopHeap(c.heap);
+    c.now = ev.time;
+    ++c.events;
+    DispatchIn(c, ev, coalesce_);
   }
 }
 
-void Simulator::RunDelivery(const DeliveryRec& first) {
-  batch_.clear();
-  batch_.push_back(first);
-  if (coalesce_) {
-    // Extend the burst only while the globally next event is a delivery to
+void Simulator::RunWindowed(SimTime until) {
+  for (;;) {
+    SimTime t0 = kNeverTime;
+    for (const Ctx& c : ctxs_) {
+      if (!c.heap.empty() && c.heap.front().time < t0) {
+        t0 = c.heap.front().time;
+      }
+    }
+    if (t0 == kNeverTime || t0 > until) {
+      break;
+    }
+    SimTime tg = ctxs_[0].heap.empty() ? kNeverTime : ctxs_[0].heap.front().time;
+    if (tg == t0) {
+      // A global event is next: it may touch any partition, so the whole
+      // instant runs serially on this thread, in canonical key order across
+      // all heaps.
+      RunSerialInstant(t0);
+      continue;
+    }
+    SimTime wend = (lookahead_ >= kNeverTime - t0) ? kNeverTime : t0 + lookahead_;
+    wend = std::min(wend, tg);
+    if (until != kNeverTime) {
+      wend = std::min(wend, until + 1);  // events at exactly `until` still run
+    }
+    ++windows_;
+    RunWindow(wend);
+    MergeStaged();
+  }
+  // Sync every context's clock to the run's end so Now() is well-defined
+  // from any calling context afterwards: `until` for a bounded run, the
+  // globally last dispatched instant for an unbounded one (matching the
+  // serial dispatcher's post-RunAll semantics).
+  SimTime end = until;
+  if (until == kNeverTime) {
+    end = 0;
+    for (const Ctx& c : ctxs_) {
+      end = std::max(end, c.now);
+    }
+  }
+  for (Ctx& c : ctxs_) {
+    if (c.now < end) {
+      c.now = end;
+    }
+  }
+}
+
+void Simulator::RunSerialInstant(SimTime t) {
+  // Drain every event at exactly `t`, across all heaps, in (key) order.
+  // Handlers may schedule more events at `t` (into any partition — no window
+  // is active); the rescan picks them up in canonical order.
+  for (;;) {
+    Ctx* best = nullptr;
+    for (Ctx& c : ctxs_) {
+      if (c.heap.empty() || c.heap.front().time != t) {
+        continue;
+      }
+      if (best == nullptr || c.heap.front().key < best->heap.front().key) {
+        best = &c;
+      }
+    }
+    if (best == nullptr) {
+      break;
+    }
+    if (best->now != t) {
+      SamplePeak(*best);
+    }
+    Event ev = PopHeap(best->heap);
+    best->now = t;
+    ++best->events;
+    // Install the event's home context so nested schedules stamp the right
+    // stream (an LP's event re-arming itself stays in that LP).
+    Ctx* prev = tls_ctx_;
+    tls_ctx_ = best;
+    DispatchIn(*best, ev, /*coalesce=*/false);
+    tls_ctx_ = prev;
+  }
+}
+
+void Simulator::RunWindow(SimTime wend) {
+  window_end_ = wend;
+  in_window_ = true;
+  size_t lanes = std::min(threads_, num_lps());
+  if (lanes <= 1) {
+    for (size_t i = 1; i < ctxs_.size(); ++i) {
+      RunLpWindow(ctxs_[i], wend);
+    }
+  } else {
+    StartWorkers();
+    done_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    for (size_t i = 1; i < ctxs_.size(); i += threads_) {
+      RunLpWindow(ctxs_[i], wend);
+    }
+    int spins = 0;
+    while (done_.load(std::memory_order_acquire) != workers_.size()) {
+      if (++spins >= 256) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+  in_window_ = false;
+}
+
+void Simulator::RunLpWindow(Ctx& lp, SimTime wend) {
+  Ctx* prev = tls_ctx_;
+  tls_ctx_ = &lp;
+  bool worked = false;
+  while (!lp.heap.empty() && lp.heap.front().time < wend) {
+    if (lp.heap.front().time != lp.now) {
+      SamplePeak(lp);
+    }
+    Event ev = PopHeap(lp.heap);
+    lp.now = ev.time;
+    ++lp.events;
+    worked = true;
+    DispatchIn(lp, ev, coalesce_);
+  }
+  if (!worked) {
+    ++lp.stalls;
+  }
+  tls_ctx_ = prev;
+}
+
+void Simulator::MergeStaged() {
+  for (Ctx& c : ctxs_) {
+    for (size_t i = 0; i < c.staged.size(); ++i) {
+      Event& ev = c.staged[i];
+      NC_CHECK(ev.time >= window_end_)
+          << "cross-partition event staged inside a lookahead window lands at t="
+          << ev.time << " ns, before the window end t=" << window_end_
+          << " ns; cross-partition schedules must carry at least the lookahead "
+             "delay (run with --sim-threads=0 if the workload cannot)";
+      PushHeap(ctxs_[c.staged_dest[i]].heap, std::move(ev));
+    }
+    c.staged.clear();
+    c.staged_dest.clear();
+  }
+}
+
+void Simulator::StartWorkers() {
+  if (!workers_.empty()) {
+    return;
+  }
+  workers_.reserve(threads_ - 1);
+  for (size_t slot = 1; slot < threads_; ++slot) {
+    workers_.emplace_back([this, slot] { WorkerMain(slot); });
+  }
+}
+
+void Simulator::StopWorkers() {
+  if (workers_.empty()) {
+    return;
+  }
+  shutdown_.store(true, std::memory_order_release);
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+  workers_.clear();
+}
+
+void Simulator::WorkerMain(size_t slot) {
+  uint64_t seen = 0;
+  for (;;) {
+    uint64_t e;
+    int spins = 0;
+    while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
+      if (shutdown_.load(std::memory_order_acquire)) {
+        return;
+      }
+      if (++spins >= 256) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+    seen = e;
+    SimTime wend = window_end_;  // ordered by the epoch_ release/acquire pair
+    for (size_t i = 1 + slot; i < ctxs_.size(); i += threads_) {
+      RunLpWindow(ctxs_[i], wend);
+    }
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void Simulator::RunDelivery(Ctx& c, const DeliveryRec& first, bool coalesce) {
+  c.batch.clear();
+  c.batch.push_back(first);
+  if (coalesce) {
+    // Extend the burst only while the stream's next event is a delivery to
     // the same node at the same instant. Anything else — a closure event, a
     // later timestamp, another destination — ends the batch, which is what
     // makes burst processing output-equivalent to the sequential schedule
-    // (see the header comment).
-    while (!queue_.empty()) {
-      const Event& front = queue_.front();
-      if (!front.is_delivery || front.time != now_ || front.del.node != first.node) {
+    // (see the header comment). In parallel mode a node's deliveries all land
+    // in its own LP heap, so LP-local adjacency is global adjacency.
+    while (!c.heap.empty()) {
+      const Event& front = c.heap.front();
+      if (!front.is_delivery || front.time != c.now || front.del.node != first.node) {
         break;
       }
-      Event next = Pop();
-      ++events_processed_;  // each coalesced delivery is still one event
-      batch_.push_back(next.del);
+      Event next = PopHeap(c.heap);
+      ++c.events;  // each coalesced delivery is still one event
+      c.batch.push_back(next.del);
     }
   }
   // Book the link-side delivery accounting for the whole batch up front.
   // Safe for the batch > 1 case: no other event runs between these
   // deliveries in the sequential schedule either, so nothing can observe
   // the intermediate stat states this reorders across.
-  for (const DeliveryRec& r : batch_) {
+  for (const DeliveryRec& r : c.batch) {
     if (r.link != nullptr) {
       r.link->AccountDelivery(r.from_end, r.bytes);
     }
   }
-  if (batch_.size() == 1) {
-    const DeliveryRec& r = batch_[0];
+  if (c.batch.size() == 1) {
+    const DeliveryRec& r = c.batch[0];
     r.node->HandlePacket(*r.pkt, r.port);
-    pool_.Release(r.pkt);
+    c.pool.Release(r.pkt);
     return;
   }
-  ++bursts_dispatched_;
-  burst_packets_ += batch_.size();
-  arrivals_.clear();
-  for (const DeliveryRec& r : batch_) {
-    arrivals_.push_back(BurstArrival{r.pkt, r.port});
+  ++c.bursts;
+  c.burst_pkts += c.batch.size();
+  c.arrivals.clear();
+  for (const DeliveryRec& r : c.batch) {
+    c.arrivals.push_back(BurstArrival{r.pkt, r.port});
   }
-  first.node->HandleBurst(arrivals_.data(), arrivals_.size());
+  first.node->HandleBurst(c.arrivals.data(), c.arrivals.size());
   // A handler may steal a packet (rewrite and re-schedule it) by nulling the
   // pointer; everything still here goes back to the pool.
-  for (const BurstArrival& a : arrivals_) {
+  for (const BurstArrival& a : c.arrivals) {
     if (a.pkt != nullptr) {
-      pool_.Release(a.pkt);
+      c.pool.Release(a.pkt);
     }
   }
 }
 
-void Simulator::Push(Event ev) {
+size_t Simulator::PendingEvents() const {
+  size_t n = 0;
+  for (const Ctx& c : ctxs_) {
+    n += c.heap.size();
+  }
+  return n;
+}
+
+uint64_t Simulator::events_processed() const {
+  uint64_t n = 0;
+  for (const Ctx& c : ctxs_) {
+    n += c.events;
+  }
+  return n;
+}
+
+uint64_t Simulator::bursts_dispatched() const {
+  uint64_t n = 0;
+  for (const Ctx& c : ctxs_) {
+    n += c.bursts;
+  }
+  return n;
+}
+
+uint64_t Simulator::burst_packets() const {
+  uint64_t n = 0;
+  for (const Ctx& c : ctxs_) {
+    n += c.burst_pkts;
+  }
+  return n;
+}
+
+uint64_t Simulator::event_queue_peak() const {
+  uint64_t peak = 0;
+  for (const Ctx& c : ctxs_) {
+    peak = std::max(peak, c.peak);
+  }
+  return peak;
+}
+
+void Simulator::PushHeap(std::vector<Event>& q, Event ev) {
   // Hole-style sift-up: one move per level instead of the three a swap costs.
   // Most new events land at a leaf (later timestamps), so test once before
   // paying for the temporary.
-  queue_.push_back(std::move(ev));
-  size_t hole = queue_.size() - 1;
-  if (hole == 0 || !queue_[hole].Before(queue_[(hole - 1) / 2])) {
+  q.push_back(std::move(ev));
+  size_t hole = q.size() - 1;
+  if (hole == 0 || !q[hole].Before(q[(hole - 1) / 2])) {
     return;
   }
-  Event tmp = std::move(queue_[hole]);
+  Event tmp = std::move(q[hole]);
   do {
     size_t parent = (hole - 1) / 2;
-    queue_[hole] = std::move(queue_[parent]);
+    q[hole] = std::move(q[parent]);
     hole = parent;
-  } while (hole > 0 && tmp.Before(queue_[(hole - 1) / 2]));
-  queue_[hole] = std::move(tmp);
+  } while (hole > 0 && tmp.Before(q[(hole - 1) / 2]));
+  q[hole] = std::move(tmp);
 }
 
-Simulator::Event Simulator::Pop() {
-  Event top = std::move(queue_.front());
-  size_t n = queue_.size() - 1;
+Simulator::Event Simulator::PopHeap(std::vector<Event>& q) {
+  Event top = std::move(q.front());
+  size_t n = q.size() - 1;
   if (n == 0) {
-    queue_.pop_back();
+    q.pop_back();
     return top;
   }
   // Hole-style sift-down of the displaced last element.
-  Event tmp = std::move(queue_.back());
-  queue_.pop_back();
+  Event tmp = std::move(q.back());
+  q.pop_back();
   size_t hole = 0;
   size_t left = 1;
   while (left < n) {
-    size_t smallest = (left + 1 < n && queue_[left + 1].Before(queue_[left])) ? left + 1 : left;
-    if (!queue_[smallest].Before(tmp)) {
+    size_t smallest = (left + 1 < n && q[left + 1].Before(q[left])) ? left + 1 : left;
+    if (!q[smallest].Before(tmp)) {
       break;
     }
-    queue_[hole] = std::move(queue_[smallest]);
+    q[hole] = std::move(q[smallest]);
     hole = smallest;
     left = 2 * hole + 1;
   }
-  queue_[hole] = std::move(tmp);
+  q[hole] = std::move(tmp);
   return top;
 }
 

@@ -1,16 +1,18 @@
-// Discrete-event simulation engine.
+// Discrete-event simulation engine: serial dispatcher plus an optional
+// conservative-parallel mode (link-lookahead windows, deterministic merge).
 //
-// Single-threaded, deterministic: events fire in (time, insertion-sequence)
-// order, so two events scheduled for the same instant run in the order they
-// were scheduled. All times are nanoseconds of simulated time.
+// Serial mode (the default): single-threaded, deterministic — events fire in
+// (time, insertion-sequence) order, so two events scheduled for the same
+// instant run in the order they were scheduled. All times are nanoseconds of
+// simulated time.
 //
 // Hot-path design (the per-event cost bounds every packet-level experiment):
 //   - events hold an InlineFunction, so closures up to kInlineFunctionBytes
 //     capture bytes never touch the heap (std::function allocated per event);
-//   - the queue is an explicit binary heap over a reservable vector, so a
+//   - each queue is an explicit binary heap over a reservable vector, so a
 //     steady-state run performs zero queue allocations and pops move events
 //     out instead of copying them (std::priority_queue::top forces a copy);
-//   - a per-simulator PacketPool recycles the Packet buffers that in-flight
+//   - a per-partition PacketPool recycles the Packet buffers that in-flight
 //     closures reference (see net/packet_pool.h);
 //   - packet deliveries are typed events (DeliveryRec in a union with the
 //     closure), which lets the dispatcher coalesce same-instant deliveries
@@ -18,24 +20,58 @@
 //     Node::HandleBurst.
 //
 // Burst formation and determinism: a burst is formed ONLY from delivery
-// events that are globally adjacent in (time, seq) order — same timestamp,
-// same destination node, with no other event between them. Newly scheduled
-// events always receive a larger seq than everything pending, so in the
-// sequential schedule those deliveries would have run back-to-back with
-// nothing observable in between; processing them as one burst (with each
-// packet's side effects issued at its own in-order turn, see
-// NetCacheSwitch::ProcessBurst) is therefore output-equivalent. Any
-// non-delivery event at the same instant — an invariant checker, a queue
-// drain, a timer — sits in the (time, seq) order and breaks the batch.
+// events that are adjacent in the executing partition's (time, key) order —
+// same timestamp, same destination node, with no other event between them.
+// Newly scheduled events always receive a larger key than everything pending
+// in their stream, so in the sequential schedule those deliveries would have
+// run back-to-back with nothing observable in between; processing them as one
+// burst (with each packet's side effects issued at its own in-order turn, see
+// NetCacheSwitch::ProcessBurst) is therefore output-equivalent.
 //
-// Parallel sweeps run one Simulator per trial on worker threads (core/sweep.h);
-// a single Simulator instance is strictly single-threaded.
+// Parallel mode (ConfigurePartitions): nodes are labeled with a logical
+// process (LP) via Node::set_lp; each LP owns its own event heap, packet pool
+// shard and event-sequence counter. Every event carries a canonical 64-bit
+// key = (stream << 48) | local_seq, where stream 0 is the global/legacy
+// stream and stream i is LP i; (time, key) is a total order over all events,
+// and an unpartitioned simulation stamps everything with stream 0, making the
+// serial schedule a special case of the same order.
+//
+// Execution alternates two phases:
+//   - serial instants: whenever the earliest pending event lives in the
+//     global stream (controllers, pollers, invariant checkers), the
+//     coordinator drains every event at exactly that timestamp — from all
+//     heaps, in canonical key order — on one thread. Global events may touch
+//     any node, so they serialize the whole simulation for their instant.
+//   - lookahead windows: otherwise, with T0 the earliest pending time, every
+//     LP executes its local events with time < min(T0 + lookahead, next
+//     global time) concurrently. The lookahead is the minimum propagation
+//     delay over links whose endpoints sit in different partitions; the
+//     link's integer-picosecond serialization grid guarantees any delivery
+//     scheduled inside the window lands at or beyond the window end, so LPs
+//     never observe each other mid-window. Cross-partition events produced
+//     inside a window are buffered in per-source staging queues and merged
+//     into the destination heaps at the barrier; because keys are a total
+//     order, a binary heap's pop sequence depends only on its content set,
+//     so merge order is irrelevant and the parallel run is byte-identical
+//     to the same windowed schedule on one thread (--sim-threads=1).
+//
+// Degenerate lookahead (a cross-partition link with zero propagation delay)
+// is detected at ConfigurePartitions time and falls back to the serial
+// dispatcher with a logged warning rather than deadlocking or reordering.
+//
+// Parallel sweeps still run one Simulator per trial on worker threads
+// (core/sweep.h); a Simulator instance is externally single-threaded — the
+// internal window workers are invisible to callers.
 
 #ifndef NETCACHE_NET_SIMULATOR_H_
 #define NETCACHE_NET_SIMULATOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <new>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -63,33 +99,86 @@ class Simulator {
   struct DeliveryRec {
     Node* node = nullptr;
     uint32_t port = 0;
-    Packet* pkt = nullptr;  // owned by packet_pool(); released after dispatch
+    Packet* pkt = nullptr;  // owned by a packet pool shard; released after dispatch
     Link* link = nullptr;
     int from_end = 0;
     uint32_t bytes = 0;
   };
 
+  // Topology-installed predicate deciding which deliveries must run in the
+  // global stream even though the destination node is partitioned — packets
+  // whose handler reaches across partitions (e.g. a cache-update reject that
+  // calls straight into the controller). Checked only in parallel mode.
+  using DeliveryClassifier = std::function<bool(const DeliveryRec&)>;
+
   // `reserve_events` pre-sizes the event heap; steady-state runs should never
   // grow it. The default comfortably covers a busy single-rack simulation.
-  explicit Simulator(size_t reserve_events = kDefaultReserveEvents) {
-    queue_.reserve(reserve_events);
-  }
+  explicit Simulator(size_t reserve_events = kDefaultReserveEvents);
+  ~Simulator();
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  SimTime Now() const { return now_; }
+  // Simulated now of the executing partition (they agree whenever code that
+  // can observe more than one partition runs: serial instants and between
+  // RunUntil calls).
+  SimTime Now() const { return cur()->now; }
 
-  // Schedules `fn` to run `delay` ns from now.
-  void Schedule(SimDuration delay, EventFn fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+  // Schedules `fn` to run `delay` ns from now, in the partition of whatever
+  // context is executing (the global stream outside of any event handler, or
+  // in serial mode).
+  void Schedule(SimDuration delay, EventFn fn) {
+    ScheduleAt(Now() + delay, std::move(fn));
+  }
 
   // Schedules `fn` at absolute time `at`. Scheduling into the past would
   // silently misorder the causal chain, so `at < Now()` is a fatal error.
   void ScheduleAt(SimTime at, EventFn fn);
 
+  // Node-affine scheduling: the event runs in `node`'s partition regardless
+  // of which context schedules it. Self-rescheduling per-node machinery (a
+  // workload driver's send loop, a server's service completion) must use
+  // these, or a single serial instant would capture the chain into the
+  // global stream forever. Identical to Schedule/ScheduleAt in serial mode.
+  void ScheduleFor(Node* node, SimDuration delay, EventFn fn) {
+    ScheduleAtFor(node, Now() + delay, std::move(fn));
+  }
+  void ScheduleAtFor(Node* node, SimTime at, EventFn fn);
+
+  // Schedules into the global stream explicitly: control-plane work that may
+  // touch nodes in several partitions (controller queue pumps, invariant
+  // checkers). Runs in a serial instant when partitioned.
+  void ScheduleGlobal(SimDuration delay, EventFn fn) {
+    ScheduleGlobalAt(Now() + delay, std::move(fn));
+  }
+  void ScheduleGlobalAt(SimTime at, EventFn fn);
+
   // Schedules a packet delivery at absolute time `at` (Link::Transmit's
-  // delivery leg). Same ordering rules as ScheduleAt.
+  // delivery leg). Runs in the destination node's partition unless the
+  // delivery classifier claims it for the global stream.
   void ScheduleDeliveryAt(SimTime at, const DeliveryRec& rec);
+
+  void SetDeliveryClassifier(DeliveryClassifier fn) { classifier_ = std::move(fn); }
+
+  // Called by Link's constructor so ConfigurePartitions can compute the
+  // lookahead from the topology.
+  void RegisterLink(Link* link) { links_.push_back(link); }
+
+  // Switches to parallel mode with `num_lps` logical processes executed by
+  // `threads` threads (clamped to num_lps; 1 runs the windowed schedule on
+  // the calling thread, which is what makes --sim-threads=1 vs =N
+  // byte-identical). Nodes must already be labeled via Node::set_lp with
+  // values in [1, num_lps]; unlabeled nodes (lp 0) run in the global stream.
+  // Call after the topology is wired, before running. Returns false — and
+  // stays in serial mode — if any cross-partition link has zero propagation
+  // delay (zero lookahead would make windows empty and the engine would
+  // deadlock conservatively; see header comment).
+  bool ConfigurePartitions(size_t num_lps, size_t threads);
+
+  bool partitioned() const { return partitioned_; }
+  size_t num_lps() const { return ctxs_.size() - 1; }
+  size_t sim_threads() const { return threads_; }
+  SimDuration lookahead() const { return lookahead_; }
 
   // Toggles burst coalescing of same-instant deliveries (on by default).
   // Off, every delivery dispatches through HandlePacket one event at a time —
@@ -97,54 +186,67 @@ class Simulator {
   void set_burst_coalescing(bool on) { coalesce_ = on; }
   bool burst_coalescing() const { return coalesce_; }
 
-  // Grows the event heap to hold at least `capacity` pending events without
-  // reallocating mid-run.
-  void ReserveEvents(size_t capacity) { queue_.reserve(capacity); }
+  // Grows the global event heap to hold at least `capacity` pending events
+  // without reallocating mid-run.
+  void ReserveEvents(size_t capacity) { ctxs_[0].heap.reserve(capacity); }
 
-  // Runs events until the queue is empty or simulated time would exceed
+  // Runs events until every queue is empty or simulated time would exceed
   // `until`. Events at exactly `until` are executed.
   void RunUntil(SimTime until);
 
-  // Runs until the event queue drains completely.
+  // Runs until the event queues drain completely.
   void RunAll();
 
-  size_t PendingEvents() const { return queue_.size(); }
-  size_t EventCapacity() const { return queue_.capacity(); }
+  size_t PendingEvents() const;
+  size_t EventCapacity() const { return ctxs_[0].heap.capacity(); }
 
   // Total events executed since construction. Deterministic for a fixed seed,
   // so benches report it as their work measure (events/sec). Every delivery
   // in a coalesced burst still counts as one event here.
-  uint64_t events_processed() const { return events_processed_; }
+  uint64_t events_processed() const;
 
   // Burst diagnostics. Deliberately NOT wired into any metrics registry:
   // coalescing must be invisible in exported JSON (the burst-vs-single
   // determinism leg diffs those files byte-for-byte).
-  uint64_t bursts_dispatched() const { return bursts_dispatched_; }
-  uint64_t burst_packets() const { return burst_packets_; }
+  uint64_t bursts_dispatched() const;
+  uint64_t burst_packets() const;
 
-  // Freelist for Packet payloads referenced by in-flight closures.
-  PacketPool& packet_pool() { return pool_; }
+  // Event-queue pressure, exported as sim.* metrics by Rack. The peak is
+  // sampled when the dispatcher advances to a new timestamp — NOT per push —
+  // so it is identical with and without burst coalescing and across
+  // --sim-threads values (the determinism legs diff metrics JSON
+  // byte-for-byte). A window stall is a lookahead window in which an LP had
+  // no local event to run.
+  uint64_t event_queue_peak() const;
+  uint64_t lp_window_stalls(size_t lp) const { return ctxs_[lp].stalls; }
+  uint64_t windows_run() const { return windows_; }
+
+  // Freelist for Packet payloads referenced by in-flight closures; resolves
+  // to the executing partition's shard in parallel mode.
+  PacketPool& packet_pool() { return cur()->pool; }
 
  private:
   static constexpr size_t kDefaultReserveEvents = 4096;
+  static constexpr int kStreamShift = 48;
+  static constexpr SimTime kNeverTime = ~SimTime{0};
 
   struct Event {
     SimTime time;
-    uint64_t seq;
+    uint64_t key;  // (stream << kStreamShift) | per-stream sequence
     bool is_delivery;
     union {
-      EventFn fn;          // active when !is_delivery
-      DeliveryRec del;     // active when is_delivery
+      EventFn fn;       // active when !is_delivery
+      DeliveryRec del;  // active when is_delivery
     };
 
-    Event(SimTime t, uint64_t s, EventFn f) : time{t}, seq(s), is_delivery(false) {
+    Event(SimTime t, uint64_t k, EventFn f) : time{t}, key(k), is_delivery(false) {
       ::new (&fn) EventFn(std::move(f));
     }
-    Event(SimTime t, uint64_t s, const DeliveryRec& d)
-        : time{t}, seq(s), is_delivery(true), del(d) {}
+    Event(SimTime t, uint64_t k, const DeliveryRec& d)
+        : time{t}, key(k), is_delivery(true), del(d) {}
 
     Event(Event&& other) noexcept
-        : time{other.time}, seq(other.seq), is_delivery(other.is_delivery) {
+        : time{other.time}, key(other.key), is_delivery(other.is_delivery) {
       if (is_delivery) {
         ::new (&del) DeliveryRec(other.del);
       } else {
@@ -155,7 +257,7 @@ class Simulator {
       if (this != &other) {
         DestroyPayload();
         time = other.time;
-        seq = other.seq;
+        key = other.key;
         is_delivery = other.is_delivery;
         if (is_delivery) {
           ::new (&del) DeliveryRec(other.del);
@@ -173,32 +275,101 @@ class Simulator {
       }
     }
 
-    // Min-heap order: earliest time first, FIFO within one instant.
+    // Min-heap order: earliest time first, canonical key within one instant.
+    // With a single stream the key degenerates to insertion sequence (FIFO).
     bool Before(const Event& other) const {
       if (time != other.time) {
         return time < other.time;
       }
-      return seq < other.seq;
+      return key < other.key;
     }
   };
 
-  void Push(Event ev);
-  Event Pop();
-  void Dispatch(Event& ev);
-  void RunDelivery(const DeliveryRec& first);
+  // One event stream. ctxs_[0] is the global/legacy stream; ctxs_[1..P] are
+  // the logical processes of parallel mode. Each is touched by exactly one
+  // thread at a time: its window worker inside a lookahead window, the
+  // coordinator everywhere else (handoffs ordered by the window barrier).
+  struct Ctx {
+    Simulator* sim = nullptr;
+    uint32_t index = 0;
+    SimTime now = 0;
+    uint64_t next_lseq = 0;
+    uint64_t events = 0;
+    uint64_t peak = 0;    // max heap size, sampled at timestamp advances
+    uint64_t stalls = 0;  // windows with no local work (LPs only)
+    uint64_t bursts = 0;
+    uint64_t burst_pkts = 0;
+    std::vector<Event> heap;  // explicit binary min-heap
+    // Cross-partition events produced inside a window, merged at the barrier.
+    std::vector<Event> staged;
+    std::vector<uint32_t> staged_dest;  // parallel array: destination ctx index
+    // Scratch buffers for RunDelivery, members so steady state allocates
+    // nothing per burst.
+    std::vector<DeliveryRec> batch;
+    std::vector<BurstArrival> arrivals;
+    PacketPool pool;
+  };
 
-  SimTime now_ = 0;
-  uint64_t next_seq_ = 0;
-  uint64_t events_processed_ = 0;
+  static void PushHeap(std::vector<Event>& q, Event ev);
+  static Event PopHeap(std::vector<Event>& q);
+
+  // The executing context: the global stream unless a window worker or a
+  // serial-instant dispatch installed an LP on this thread. The sim match
+  // guards against stale TLS from another Simulator (parallel sweeps).
+  Ctx* cur() const {
+    if (!partitioned_) {
+      return legacy_;
+    }
+    Ctx* c = tls_ctx_;
+    return (c != nullptr && c->sim == this) ? c : legacy_;
+  }
+
+  uint64_t NextKey(Ctx& c) {
+    return (static_cast<uint64_t>(c.index) << kStreamShift) | c.next_lseq++;
+  }
+
+  void Route(Ctx& from, Ctx& to, Event ev);
+  void RunWindowed(SimTime until);
+  void RunSerialInstant(SimTime t);
+  void RunWindow(SimTime wend);
+  void RunLpWindow(Ctx& lp, SimTime wend);
+  void MergeStaged();
+  void DispatchIn(Ctx& c, Event& ev, bool coalesce);
+  void RunDelivery(Ctx& c, const DeliveryRec& first, bool coalesce);
+  void StartWorkers();
+  void StopWorkers();
+  void WorkerMain(size_t slot);
+  void SamplePeak(Ctx& c) {
+    if (c.heap.size() > c.peak) {
+      c.peak = c.heap.size();
+    }
+  }
+
   bool coalesce_ = true;
-  uint64_t bursts_dispatched_ = 0;
-  uint64_t burst_packets_ = 0;
-  std::vector<Event> queue_;  // explicit binary min-heap
-  // Scratch buffers for RunDelivery, members so steady state allocates
-  // nothing per burst.
-  std::vector<DeliveryRec> batch_;
-  std::vector<BurstArrival> arrivals_;
-  PacketPool pool_;
+  bool partitioned_ = false;
+  // True only between a window's dispatch and its merge; cross-partition
+  // schedules are staged instead of pushed while set. Written by the
+  // coordinator outside the parallel region, so the barrier's release/acquire
+  // pair orders it for the workers.
+  bool in_window_ = false;
+  size_t threads_ = 1;
+  SimDuration lookahead_ = 0;
+  uint64_t windows_ = 0;
+  SimTime window_end_ = 0;
+  std::deque<Ctx> ctxs_;  // deque: Ctx owns a PacketPool and must never move
+  Ctx* legacy_ = nullptr;  // &ctxs_[0]
+  std::vector<Link*> links_;
+  DeliveryClassifier classifier_;
+
+  // Persistent spin-barrier window workers (slots 1..threads_-1; the
+  // coordinator executes slot 0). Spawned lazily on the first multi-threaded
+  // window, joined in the destructor.
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint32_t> done_{0};
+  std::atomic<bool> shutdown_{false};
+
+  static thread_local Ctx* tls_ctx_;
 };
 
 }  // namespace netcache

@@ -49,7 +49,8 @@ void CheckerRunner::Stop() {
 
 void CheckerRunner::ScheduleNext(SimDuration interval) {
   uint64_t gen = generation_;
-  sim_->Schedule(interval, [this, gen, interval] {
+  // Global stream: checkers read state across every partition.
+  sim_->ScheduleGlobal(interval, [this, gen, interval] {
     if (!running_ || gen != generation_) {
       return;
     }

@@ -11,6 +11,12 @@
 #    with --no-burst and asserts the metrics JSON is byte-identical — the
 #    net/simulator.h contract that coalescing same-instant deliveries into
 #    HandleBurst changes throughput, never results.
+# 4. Runs the rack under the partitioned schedule with --sim-threads=1 and
+#    --sim-threads=4 and asserts the metrics JSON is byte-identical — the
+#    parallel-DES contract that worker count never changes results (the
+#    windowed schedule itself is allowed to differ from the legacy serial
+#    dispatcher only in event tie-breaking, so the reference here is the
+#    1-thread partitioned run, not determinism_a.json).
 
 set(FLAGS rack --servers=4 --offered=150000 --duration=0.2 --seed=1234
     --metrics-interval=0.05 --check-invariants=0.02 --write-ratio=0.1)
@@ -90,4 +96,29 @@ if(NOT diff_rc EQUAL 0)
   message(FATAL_ERROR
       "burst-coalesced and --no-burst runs produced different metrics JSON "
       "(${WORK_DIR}/determinism_a.json vs determinism_noburst.json)")
+endif()
+
+# Parallel DES: 1 worker vs 4 workers over the identical partitioned
+# schedule, invariant checkers on, metrics JSON byte-identical.
+foreach(nthreads 1 4)
+  execute_process(
+    COMMAND ${SIM} ${FLAGS} --sim-threads=${nthreads}
+            --metrics-out=${WORK_DIR}/determinism_simthreads_${nthreads}.json
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--sim-threads=${nthreads} run exited ${rc}:\n${out}\n${err}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/determinism_simthreads_1.json
+          ${WORK_DIR}/determinism_simthreads_4.json
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+      "--sim-threads=1 and --sim-threads=4 produced different metrics JSON "
+      "(${WORK_DIR}/determinism_simthreads_1.json vs determinism_simthreads_4.json)")
 endif()

@@ -149,5 +149,68 @@ TEST(NodeTest, SendOnUnwiredPortIsSafeNoop) {
   EXPECT_EQ(a.received.size(), 0u);
 }
 
+TEST(ParallelSimTest, ZeroPropagationLinkForcesSerialFallback) {
+  // A cross-partition link with zero propagation gives a zero lookahead: no
+  // window can make progress, so ConfigurePartitions must refuse (with a
+  // logged warning) and leave the simulator on the serial dispatcher rather
+  // than deadlock.
+  Simulator sim;
+  SinkNode a("a");
+  SinkNode b("b");
+  a.set_lp(1);
+  b.set_lp(2);
+  LinkConfig cfg;
+  cfg.bandwidth_gbps = 8.0;
+  cfg.propagation = 0;  // zero lookahead across LPs 1 and 2
+  Link link(&sim, cfg);
+  link.Connect(&a, 0, &b, 0);
+
+  EXPECT_FALSE(sim.ConfigurePartitions(2, 2));
+  EXPECT_FALSE(sim.partitioned());
+
+  // Traffic still flows, in order, on the serial path.
+  Packet pkt = MakeGet(1, 2, Key::FromUint64(1), 1);
+  a.Send(0, pkt);
+  a.Send(0, pkt);
+  sim.RunAll();
+  EXPECT_EQ(b.received.size(), 2u);
+  EXPECT_EQ(link.stats(0).delivered, 2u);
+}
+
+TEST(ParallelSimTest, PartitionedRunMatchesSerialSchedule) {
+  // The same two-node ping stream executed serially and under a 2-LP
+  // partitioned schedule must deliver the same packets at the same times.
+  auto run = [](size_t sim_threads) {
+    Simulator sim;
+    SinkNode a("a");
+    SinkNode b("b");
+    LinkConfig cfg;
+    cfg.bandwidth_gbps = 8.0;
+    cfg.propagation = 400;
+    Link link(&sim, cfg);
+    link.Connect(&a, 0, &b, 0);
+    if (sim_threads > 0) {
+      a.set_lp(1);
+      b.set_lp(2);
+      EXPECT_TRUE(sim.ConfigurePartitions(2, sim_threads));
+    }
+    Packet pkt = MakeGet(1, 2, Key::FromUint64(1), 1);
+    for (int i = 0; i < 8; ++i) {
+      sim.ScheduleAtFor(&a, static_cast<SimTime>(i) * 150, [&a, pkt] {
+        Packet p = pkt;
+        a.Send(0, p);
+      });
+    }
+    sim.RunAll();
+    return std::pair<SimTime, size_t>(sim.Now(), b.received.size());
+  };
+  auto serial = run(0);
+  auto par1 = run(1);
+  auto par4 = run(4);
+  EXPECT_EQ(par1, par4);
+  EXPECT_EQ(serial.second, par1.second);
+  EXPECT_EQ(serial.first, par1.first);
+}
+
 }  // namespace
 }  // namespace netcache

@@ -57,6 +57,10 @@ int Usage(const char* program) {
                "rack:      --servers --rate --keys --zipf --cache --offered --duration\n"
                "           --write-ratio --skewed-writes --no-cache --cores --seed\n"
                "           --no-burst (disable same-instant delivery coalescing)\n"
+               "           --sim-threads=N (parallel DES: one logical process per\n"
+               "                            server plus one for switch+clients, run\n"
+               "                            on N threads; 0=serial dispatcher;\n"
+               "                            byte-identical for every N >= 1)\n"
                "           --trace=FILE (replay a G/P/D trace instead of synthetic load)\n"
                "sweep:     --zipf=A[,B...] --cache=N[,M...] --reps --seed --threads\n"
                "           --serial --servers --rate --keys --offered --duration\n"
@@ -150,6 +154,16 @@ int RunRack(ArgParser& args) {
   std::string metrics_out = args.GetString("metrics-out", "");
   double metrics_interval_s = args.GetDouble("metrics-interval", 0.1);
   std::string trace_out = args.GetString("trace-out", "");
+  cfg.sim_threads = static_cast<size_t>(args.GetInt("sim-threads", 0));
+  if (!trace_out.empty() && cfg.sim_threads > 1) {
+    // The trace recorder is one global ring; keep the windowed schedule (so
+    // results stay byte-identical to the requested thread count) but execute
+    // it on the calling thread.
+    std::fprintf(stderr,
+                 "warning: --trace-out forces --sim-threads=1 (trace ring is "
+                 "not thread-safe); the schedule is unchanged\n");
+    cfg.sim_threads = 1;
+  }
   size_t trace_limit = static_cast<size_t>(args.GetInt("trace-limit", 65536));
   double check_interval_s = 0;
   bool check_invariants = ParseCheckInvariants(args, &check_interval_s);
