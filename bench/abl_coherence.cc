@@ -33,9 +33,9 @@ struct Outcome {
   double wall_ms = 0;
 };
 
-Outcome RunMode(CoherenceMode mode, size_t sim_threads) {
+Outcome RunMode(bench::BenchHarness& harness, CoherenceMode mode) {
   RackConfig cfg;
-  cfg.sim_threads = sim_threads;
+  cfg.sim_threads = harness.sim_threads();
   cfg.num_servers = 4;
   cfg.num_clients = 1;
   cfg.switch_config.num_pipes = 1;
@@ -50,6 +50,7 @@ Outcome RunMode(CoherenceMode mode, size_t sim_threads) {
   // controller re-insertion is visible.
   cfg.controller_config.control_op_latency = 10 * kMillisecond;
   Rack rack(cfg);
+  harness.RecordEffectiveSimThreads(bench::EffectiveSimThreads(rack.sim()));
   rack.Populate(1000, 64);
   rack.WarmCache({K(1)});
   rack.StartController();
@@ -103,12 +104,11 @@ void Run(bench::BenchHarness& harness) {
       {"write-through sync", "write-through-sync", CoherenceMode::kWriteThroughSync},
       {"write-around", "write-around", CoherenceMode::kWriteAround},
   };
-  const size_t sim_threads = harness.sim_threads();
   std::vector<Outcome> outcomes =
       RunSweep(rows, harness.sweep_options(),
-               [sim_threads](const Row& row, uint64_t /*seed*/, size_t /*index*/) {
+               [&harness](const Row& row, uint64_t /*seed*/, size_t /*index*/) {
         auto start = std::chrono::steady_clock::now();
-        Outcome o = RunMode(row.mode, sim_threads);
+        Outcome o = RunMode(harness, row.mode);
         std::chrono::duration<double, std::milli> elapsed =
             std::chrono::steady_clock::now() - start;
         o.wall_ms = elapsed.count();

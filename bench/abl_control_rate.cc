@@ -27,10 +27,10 @@ struct HotInResult {
   double wall_ms = 0;
 };
 
-std::vector<double> RunHotIn(SimDuration control_op_latency, size_t sim_threads,
+std::vector<double> RunHotIn(bench::BenchHarness& harness, SimDuration control_op_latency,
                              uint64_t* events_out) {
   RackConfig cfg;
-  cfg.sim_threads = sim_threads;
+  cfg.sim_threads = harness.sim_threads();
   cfg.num_servers = 8;
   cfg.num_clients = 1;
   cfg.switch_config.num_pipes = 1;
@@ -45,6 +45,7 @@ std::vector<double> RunHotIn(SimDuration control_op_latency, size_t sim_threads,
   cfg.controller_config.control_op_latency = control_op_latency;
   cfg.controller_config.stats_epoch = 1 * kSecond;
   Rack rack(cfg);
+  harness.RecordEffectiveSimThreads(bench::EffectiveSimThreads(rack.sim()));
   rack.Populate(kNumKeys, 128);
 
   WorkloadConfig wl;
@@ -93,13 +94,12 @@ void Run(bench::BenchHarness& harness) {
   std::printf("\n");
   const std::vector<SimDuration> latencies = {100 * kMicrosecond, 1 * kMillisecond,
                                               10 * kMillisecond, 50 * kMillisecond};
-  const size_t sim_threads = harness.sim_threads();
   std::vector<HotInResult> results =
       RunSweep(latencies, harness.sweep_options(),
-               [sim_threads](SimDuration latency, uint64_t /*seed*/, size_t /*index*/) {
+               [&harness](SimDuration latency, uint64_t /*seed*/, size_t /*index*/) {
         auto start = std::chrono::steady_clock::now();
         HotInResult r;
-        r.bins = RunHotIn(latency, sim_threads, &r.events);
+        r.bins = RunHotIn(harness, latency, &r.events);
         std::chrono::duration<double, std::milli> elapsed =
             std::chrono::steady_clock::now() - start;
         r.wall_ms = elapsed.count();

@@ -13,10 +13,19 @@ BenchHarness::BenchHarness(int argc, char** argv, std::string name)
     : name_(std::move(name)) {
   ArgParser args(argc, argv);
   json_path_ = args.GetString("json", "");
+  profile_out_ = args.GetString("profile-out", "");
   seed_ = static_cast<uint64_t>(args.GetInt("seed", 42));
   threads_ = static_cast<size_t>(args.GetInt("threads", 0));
   sim_threads_ = static_cast<size_t>(args.GetInt("sim-threads", 0));
+  effective_sim_threads_.store(sim_threads_, std::memory_order_relaxed);
   serial_ = args.GetBool("serial", false);
+  if (!profile_out_.empty()) {
+    Profiler::Options popts;
+    popts.spans_per_lane =
+        static_cast<size_t>(args.GetInt("profile-limit", 1 << 18));
+    profiler_ = std::make_unique<Profiler>(popts);
+    InstallProfiler(profiler_.get());
+  }
 }
 
 TrialRecord& BenchHarness::AddTrial(const std::string& label) {
@@ -30,8 +39,30 @@ void BenchHarness::AddTrialRecord(TrialRecord record) {
 }
 
 int BenchHarness::Finish() const {
+  int rc = 0;
+  if (profiler_ != nullptr) {
+    InstallProfiler(nullptr);
+    std::ofstream prof_out(profile_out_);
+    if (!prof_out) {
+      std::fprintf(stderr, "bench_harness: cannot open '%s' for writing\n",
+                   profile_out_.c_str());
+      rc = 1;
+    } else {
+      profiler_->WriteChromeTrace(prof_out);
+      prof_out << "\n";
+      if (!prof_out.good()) {
+        std::fprintf(stderr, "bench_harness: write to '%s' failed\n", profile_out_.c_str());
+        rc = 1;
+      } else {
+        std::printf("profile         %llu spans in %zu lane(s) to %s (%llu dropped)\n",
+                    static_cast<unsigned long long>(profiler_->spans_recorded()),
+                    profiler_->lanes_used(), profile_out_.c_str(),
+                    static_cast<unsigned long long>(profiler_->spans_dropped()));
+      }
+    }
+  }
   if (json_path_.empty()) {
-    return 0;
+    return rc;
   }
   std::ofstream out(json_path_);
   if (!out) {
@@ -49,6 +80,11 @@ int BenchHarness::Finish() const {
   w.BeginObject();
   w.Field("threads", static_cast<uint64_t>(threads_));
   w.Field("sim_threads", static_cast<uint64_t>(sim_threads_));
+  // What the DES trials actually ran with (zero-lookahead topologies fall
+  // back to the serial dispatcher); equals sim_threads unless a bench
+  // reported otherwise via RecordEffectiveSimThreads.
+  w.Field("sim_threads_effective",
+          static_cast<uint64_t>(effective_sim_threads_.load(std::memory_order_relaxed)));
   w.Field("serial", serial_ ? 1 : 0);
   w.EndObject();
   w.Name("trials");
@@ -85,7 +121,7 @@ int BenchHarness::Finish() const {
     return 1;
   }
   std::printf("json            trial results to %s\n", json_path_.c_str());
-  return 0;
+  return rc;
 }
 
 }  // namespace bench

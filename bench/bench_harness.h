@@ -16,11 +16,19 @@
 //   --serial           force serial trial execution
 //   --sim-threads=N    parallel-DES threads inside each trial's simulator
 //                      (0 = serial dispatcher)
+//   --profile-out=FILE wall-clock profile of the whole run as Chrome
+//                      trace-event JSON (Perfetto-loadable; aggregate with
+//                      tools/profile_report.py) — installed for the process
+//                      lifetime, so every trial's spans land in one file
+//   --profile-limit=N  timeline spans kept per recording thread
 //
-// Both threading knobs are recorded in the JSON's top-level "config" object;
-// scripts/bench_regress.py refuses to compare documents whose threading
-// configs differ, so a parallel run can never be graded against a serial
-// baseline (or vice versa).
+// The threading knobs are recorded in the JSON's top-level "config" object —
+// including `sim_threads_effective`, which DES benches set to what actually
+// ran (RecordEffectiveSimThreads) when e.g. a zero-lookahead topology forces
+// the serial-dispatcher fallback. scripts/bench_regress.py refuses to compare
+// documents whose threading configs differ, so a parallel run can never be
+// graded against a serial baseline (or vice versa) — nor against a run whose
+// parallel request silently degraded.
 //
 // Wall-clock calls live only in bench/ — the simulation library and tools are
 // wall-clock-free by lint rule; benches are the one place timing is the point.
@@ -28,14 +36,18 @@
 #ifndef NETCACHE_BENCH_BENCH_HARNESS_H_
 #define NETCACHE_BENCH_BENCH_HARNESS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/profiler.h"
 #include "core/sweep.h"
+#include "net/simulator.h"
 
 namespace netcache {
 namespace bench {
@@ -79,6 +91,14 @@ class BenchHarness {
   // trials out, --sim-threads parallelizes inside one trial.
   size_t sim_threads() const { return sim_threads_; }
 
+  // DES benches report the worker count their simulator actually used (see
+  // EffectiveSimThreads below) — 0 when the partitioned schedule fell back
+  // to the serial dispatcher. Thread-safe: trials may run on sweep workers.
+  // Defaults to the requested --sim-threads when never called.
+  void RecordEffectiveSimThreads(size_t effective) {
+    effective_sim_threads_.store(effective, std::memory_order_relaxed);
+  }
+
   // Adds a trial; the reference stays valid for the harness's lifetime
   // (records live in a deque, which never relocates existing elements).
   TrialRecord& AddTrial(const std::string& label);
@@ -93,12 +113,23 @@ class BenchHarness {
  private:
   std::string name_;
   std::string json_path_;
+  std::string profile_out_;
   uint64_t seed_ = 42;
   size_t threads_ = 0;
   size_t sim_threads_ = 0;
+  std::atomic<size_t> effective_sim_threads_{0};
   bool serial_ = false;
   std::deque<TrialRecord> trials_;
+  // Destroyed after every trial's simulator (trials are function-local).
+  std::unique_ptr<Profiler> profiler_;
 };
+
+// The worker count a configured simulator actually runs with: 0 when the
+// partitioned schedule is off (never configured, or the zero-lookahead
+// fallback rejected it at ConfigurePartitions time).
+inline size_t EffectiveSimThreads(const Simulator& sim) {
+  return sim.partitioned() ? sim.sim_threads() : 0;
+}
 
 // RAII wall-clock scope for one trial's simulation section.
 class TrialTimer {

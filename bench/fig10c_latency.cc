@@ -30,9 +30,9 @@ struct Point {
   double wall_ms;
 };
 
-Point RunPoint(bool cache_enabled, double rate_qps, size_t sim_threads) {
+Point RunPoint(bench::BenchHarness& harness, bool cache_enabled, double rate_qps) {
   RackConfig cfg;
-  cfg.sim_threads = sim_threads;
+  cfg.sim_threads = harness.sim_threads();
   cfg.num_servers = 16;
   cfg.num_clients = 1;
   cfg.cache_enabled = cache_enabled;
@@ -47,6 +47,7 @@ Point RunPoint(bool cache_enabled, double rate_qps, size_t sim_threads) {
   cfg.client_template.reply_timeout = 50 * kMillisecond;
 
   Rack rack(cfg);
+  harness.RecordEffectiveSimThreads(bench::EffectiveSimThreads(rack.sim()));
   constexpr uint64_t kNumKeys = 20'000;
   rack.Populate(kNumKeys, 128);
 
@@ -108,12 +109,11 @@ void Run(bench::BenchHarness& harness) {
     grid.push_back(Trial{rate, false});
     grid.push_back(Trial{rate, true});
   }
-  const size_t sim_threads = harness.sim_threads();
   std::vector<Point> points =
       RunSweep(grid, harness.sweep_options(),
-               [sim_threads](const Trial& t, uint64_t /*seed*/, size_t /*index*/) {
+               [&harness](const Trial& t, uint64_t /*seed*/, size_t /*index*/) {
         auto start = std::chrono::steady_clock::now();
-        Point p = RunPoint(t.cache, t.rate, sim_threads);
+        Point p = RunPoint(harness, t.cache, t.rate);
         std::chrono::duration<double, std::milli> elapsed =
             std::chrono::steady_clock::now() - start;
         p.wall_ms = elapsed.count();

@@ -74,6 +74,7 @@ void RunDesTrial(bench::BenchHarness& harness, size_t racks, SimDuration duratio
   cfg.fabric_propagation = 2 * kMicrosecond;
   cfg.sim_threads = harness.sim_threads();
   Fabric fabric(cfg);
+  harness.RecordEffectiveSimThreads(bench::EffectiveSimThreads(fabric.sim()));
   fabric.Populate(kNumKeys, 128);
 
   // Per-client generators: same popularity law, decorrelated streams.

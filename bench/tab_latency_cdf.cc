@@ -24,10 +24,10 @@ struct LatencyRun {
   double wall_ms = 0;
 };
 
-std::vector<uint64_t> CollectLatencies(bool cache_enabled, double rate_qps,
-                                       size_t sim_threads, uint64_t* events_out) {
+std::vector<uint64_t> CollectLatencies(bench::BenchHarness& harness, bool cache_enabled,
+                                       double rate_qps, uint64_t* events_out) {
   RackConfig cfg;
-  cfg.sim_threads = sim_threads;
+  cfg.sim_threads = harness.sim_threads();
   cfg.num_servers = 16;
   cfg.num_clients = 1;
   cfg.cache_enabled = cache_enabled;
@@ -39,6 +39,7 @@ std::vector<uint64_t> CollectLatencies(bool cache_enabled, double rate_qps,
   cfg.client_template.reply_timeout = 50 * kMillisecond;
   cfg.controller_config.cache_capacity = 64;
   Rack rack(cfg);
+  harness.RecordEffectiveSimThreads(bench::EffectiveSimThreads(rack.sim()));
   constexpr uint64_t kNumKeys = 100'000;
   rack.Populate(kNumKeys, 128);
 
@@ -93,13 +94,12 @@ void Run(bench::BenchHarness& harness) {
       "(16 servers x 50 KQPS, zipf-0.99 over 100K keys, 64 cached items,\n"
       "100 KQPS offered — uncongested, so only cache hits change)");
   const std::vector<bool> systems = {false, true};
-  const size_t sim_threads = harness.sim_threads();
   std::vector<LatencyRun> runs =
       RunSweep(systems, harness.sweep_options(),
-               [sim_threads](bool cached, uint64_t /*seed*/, size_t /*index*/) {
+               [&harness](bool cached, uint64_t /*seed*/, size_t /*index*/) {
         auto start = std::chrono::steady_clock::now();
         LatencyRun run;
-        run.latencies = CollectLatencies(cached, 100e3, sim_threads, &run.events);
+        run.latencies = CollectLatencies(harness, cached, 100e3, &run.events);
         std::chrono::duration<double, std::milli> elapsed =
             std::chrono::steady_clock::now() - start;
         run.wall_ms = elapsed.count();

@@ -77,7 +77,7 @@ class Client : public Node {
   size_t Outstanding() const { return outstanding_.size(); }
 
   // Registers every ClientStats field, the outstanding-query gauge, and the
-  // latency histogram under `prefix` (e.g. "client[0].latency").
+  // latency histogram under `prefix` (e.g. "client.0.latency").
   void RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
                        MetricsRegistry::Labels labels = {}) const;
 

@@ -9,9 +9,9 @@
 // without knowing which struct a number lives in.
 //
 //   registry.AddCounter("switch.cache_hits", &counters_.cache_hits);
-//   registry.AddGauge("server[3].queue_depth", [this] { return QueueDepth(); },
+//   registry.AddGauge("server.3.queue_depth", [this] { return QueueDepth(); },
 //                     {{"server", "3"}});
-//   registry.AddHistogram("client[0].latency", &latency_);
+//   registry.AddHistogram("client.0.latency", &latency_);
 //
 // Metrics are *pull-based*: registration stores a source callback (or a
 // pointer to the live cell), so the hot paths keep bumping their existing
@@ -83,7 +83,7 @@ class MetricsRegistry {
 
   // Serializes every metric as one JSON object value keyed by name:
   //   "switch.cache_hits": {"kind":"counter","value":123}
-  //   "client[0].latency": {"kind":"histogram","count":...,"p99":...}
+  //   "client.0.latency": {"kind":"histogram","count":...,"p99":...}
   // Written inside an object the caller opened.
   void WriteJson(JsonWriter& w) const;
 

@@ -86,12 +86,12 @@ Rack::Rack(const RackConfig& config)
   tor_->RegisterMetrics(metrics_, "switch", {{"component", "switch"}});
   for (size_t i = 0; i < servers_.size(); ++i) {
     std::string index = std::to_string(i);
-    servers_[i]->RegisterMetrics(metrics_, "server[" + index + "]",
+    servers_[i]->RegisterMetrics(metrics_, "server." + index,
                                  {{"component", "server"}, {"index", index}});
   }
   for (size_t j = 0; j < clients_.size(); ++j) {
     std::string index = std::to_string(j);
-    clients_[j]->RegisterMetrics(metrics_, "client[" + index + "]",
+    clients_[j]->RegisterMetrics(metrics_, "client." + index,
                                  {{"component", "client"}, {"index", index}});
   }
   if (controller_ != nullptr) {

@@ -69,7 +69,7 @@ class Rack {
   Simulator& sim() { return sim_; }
 
   // Every component's telemetry under one namespace, wired at construction:
-  // "switch.*", "server[i].*", "client[j].*", and (cache_enabled only)
+  // "switch.*", "server.<i>.*", "client.<j>.*", and (cache_enabled only)
   // "controller.*". Attach a MetricsPoller for Fig-11-style dynamics.
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "common/trace_recorder.h"
 
 namespace netcache {
@@ -183,36 +184,44 @@ void NetCacheSwitch::ProcessBurst(std::span<BurstArrival> arrivals, EmitSink& si
 void NetCacheSwitch::ProcessGetRun(std::span<BurstArrival> run, EmitSink& sink) {
   // Stage 1 (ingress hash + match dispatch): digest every key once and warm
   // the lookup table's home buckets.
-  for (BurstArrival& a : run) {
-    Packet& p = *a.pkt;
-    if (p.digest.Empty()) {
-      p.digest = KeyDigest::Of(p.nc.key);
+  {
+    ProfScope prof(ProfCat::kSwitchDigest);
+    prof.set_arg(run.size());
+    for (BurstArrival& a : run) {
+      Packet& p = *a.pkt;
+      if (p.digest.Empty()) {
+        p.digest = KeyDigest::Of(p.nc.key);
+      }
+      lookup_.Prefetch(static_cast<size_t>(p.digest.h1));
     }
-    lookup_.Prefetch(static_cast<size_t>(p.digest.h1));
   }
 
   // Stage 2 (match + status): peek every packet's entry (uncounted; each
   // packet books its one counted lookup in stage 3) and warm the registers
   // its stage-3 turn will touch — the per-key counter and value rows on a
   // valid hit, the Count-Min rows on a miss.
-  staged_.clear();
-  for (BurstArrival& a : run) {
-    Packet& p = *a.pkt;
-    StagedGet s;
-    const CacheAction* action =
-        lookup_.PeekWithHash(p.nc.key, static_cast<size_t>(p.digest.h1));
-    s.found = action != nullptr;
-    if (action != nullptr) {
-      s.action = *action;
-      s.valid = status_.Read(action->key_index) != 0;
+  {
+    ProfScope prof(ProfCat::kSwitchMatchPeek);
+    prof.set_arg(run.size());
+    staged_.clear();
+    for (BurstArrival& a : run) {
+      Packet& p = *a.pkt;
+      StagedGet s;
+      const CacheAction* action =
+          lookup_.PeekWithHash(p.nc.key, static_cast<size_t>(p.digest.h1));
+      s.found = action != nullptr;
+      if (action != nullptr) {
+        s.action = *action;
+        s.valid = status_.Read(action->key_index) != 0;
+      }
+      if (s.found && s.valid) {
+        stats_.PrefetchCounter(s.action.key_index);
+        pipes_[s.action.pipe].values.Prefetch(s.action.bitmap, s.action.value_index);
+      } else {
+        stats_.PrefetchUncached(p.digest);
+      }
+      staged_.push_back(s);
     }
-    if (s.found && s.valid) {
-      stats_.PrefetchCounter(s.action.key_index);
-      pipes_[s.action.pipe].values.Prefetch(s.action.bitmap, s.action.value_index);
-    } else {
-      stats_.PrefetchUncached(p.digest);
-    }
-    staged_.push_back(s);
   }
 
   // Stage 3 (stats + value + emit), strictly in arrival order: every
@@ -220,6 +229,8 @@ void NetCacheSwitch::ProcessGetRun(std::span<BurstArrival> run, EmitSink& sink) 
   // reports, emit scheduling — happens at exactly the position it would in
   // the sequential schedule, which is what keeps burst output byte-identical
   // to single-packet processing.
+  ProfScope serve_prof(ProfCat::kSwitchValueServe);
+  serve_prof.set_arg(run.size());
   bool table_may_have_changed = false;
   for (size_t idx = 0; idx < run.size(); ++idx) {
     BurstArrival& a = run[idx];

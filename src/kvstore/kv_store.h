@@ -54,7 +54,7 @@ class KvStore {
   void ResetStats() { stats_ = Stats{}; }
 
   // Registers the operation counters and item count under `prefix`
-  // (e.g. "server[3].kv.gets").
+  // (e.g. "server.3.kv.gets").
   void RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
                        MetricsRegistry::Labels labels = {}) const;
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "net/link.h"
 
 namespace netcache {
@@ -222,6 +223,8 @@ void Simulator::RunSerialInstant(SimTime t) {
   // Drain every event at exactly `t`, across all heaps, in (key) order.
   // Handlers may schedule more events at `t` (into any partition — no window
   // is active); the rescan picks them up in canonical order.
+  ProfScope prof(ProfCat::kSerialFence);
+  uint64_t executed = 0;
   for (;;) {
     Ctx* best = nullptr;
     for (Ctx& c : ctxs_) {
@@ -241,6 +244,7 @@ void Simulator::RunSerialInstant(SimTime t) {
     Event ev = PopHeap(best->heap);
     best->now = t;
     ++best->events;
+    ++executed;
     // Install the event's home context so nested schedules stamp the right
     // stream (an LP's event re-arming itself stays in that LP).
     Ctx* prev = tls_ctx_;
@@ -248,6 +252,7 @@ void Simulator::RunSerialInstant(SimTime t) {
     DispatchIn(*best, ev, /*coalesce=*/false);
     tls_ctx_ = prev;
   }
+  prof.set_arg(executed);
 }
 
 void Simulator::RunWindow(SimTime wend) {
@@ -265,6 +270,7 @@ void Simulator::RunWindow(SimTime wend) {
     for (size_t i = 1; i < ctxs_.size(); i += threads_) {
       RunLpWindow(ctxs_[i], wend);
     }
+    ProfScope prof(ProfCat::kBarrierWait);
     int spins = 0;
     while (done_.load(std::memory_order_acquire) != workers_.size()) {
       if (++spins >= 256) {
@@ -277,27 +283,37 @@ void Simulator::RunWindow(SimTime wend) {
 }
 
 void Simulator::RunLpWindow(Ctx& lp, SimTime wend) {
+  if (lp.heap.empty() || lp.heap.front().time >= wend) {
+    // Stalled window: no local work. Counted (sim metric + profiler
+    // histogram bin 0) but never timed — stalls are too cheap to clock.
+    ++lp.stalls;
+    Profiler::CountWindowStall(lp.index);
+    return;
+  }
   Ctx* prev = tls_ctx_;
   tls_ctx_ = &lp;
-  bool worked = false;
-  while (!lp.heap.empty() && lp.heap.front().time < wend) {
-    if (lp.heap.front().time != lp.now) {
-      SamplePeak(lp);
-    }
-    Event ev = PopHeap(lp.heap);
-    lp.now = ev.time;
-    ++lp.events;
-    worked = true;
-    DispatchIn(lp, ev, coalesce_);
-  }
-  if (!worked) {
-    ++lp.stalls;
+  {
+    ProfScope prof(ProfCat::kLpExecute, lp.index);
+    uint64_t before = lp.events;
+    do {
+      if (lp.heap.front().time != lp.now) {
+        SamplePeak(lp);
+      }
+      Event ev = PopHeap(lp.heap);
+      lp.now = ev.time;
+      ++lp.events;
+      DispatchIn(lp, ev, coalesce_);
+    } while (!lp.heap.empty() && lp.heap.front().time < wend);
+    prof.set_arg(lp.events - before);
   }
   tls_ctx_ = prev;
 }
 
 void Simulator::MergeStaged() {
+  ProfScope prof(ProfCat::kMerge);
+  uint64_t merged = 0;
   for (Ctx& c : ctxs_) {
+    merged += c.staged.size();
     for (size_t i = 0; i < c.staged.size(); ++i) {
       Event& ev = c.staged[i];
       NC_CHECK(ev.time >= window_end_)
@@ -310,6 +326,7 @@ void Simulator::MergeStaged() {
     c.staged.clear();
     c.staged_dest.clear();
   }
+  prof.set_arg(merged);
 }
 
 void Simulator::StartWorkers() {
@@ -336,6 +353,10 @@ void Simulator::StopWorkers() {
 void Simulator::WorkerMain(size_t slot) {
   uint64_t seen = 0;
   for (;;) {
+    // Time the barrier park manually (no RAII): a spin that ends in shutdown
+    // is simulator teardown, not a stall, and must not be recorded — it
+    // would book the whole post-run idle tail as barrier-wait.
+    uint64_t wait_start = Profiler::TickIfEnabled();
     uint64_t e;
     int spins = 0;
     while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
@@ -348,6 +369,7 @@ void Simulator::WorkerMain(size_t slot) {
       }
     }
     seen = e;
+    Profiler::RecordSince(ProfCat::kBarrierWait, 0, wait_start);
     SimTime wend = window_end_;  // ordered by the epoch_ release/acquire pair
     for (size_t i = 1 + slot; i < ctxs_.size(); i += threads_) {
       RunLpWindow(ctxs_[i], wend);

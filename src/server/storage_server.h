@@ -146,7 +146,7 @@ class StorageServer : public Node {
   void ResetStats() { stats_ = ServerStats{}; }
 
   // Registers every ServerStats field, the live queue depth, and the
-  // underlying KV store under `prefix` (e.g. "server[3].queue_depth").
+  // underlying KV store under `prefix` (e.g. "server.3.queue_depth").
   void RegisterMetrics(MetricsRegistry& registry, const std::string& prefix,
                        MetricsRegistry::Labels labels = {}) const;
   size_t QueueDepth() const;

@@ -3,7 +3,9 @@
 #
 # 1. Runs netcache_sim rack twice with the same seed and asserts the metrics
 #    JSON is byte-identical. Invariant checking stays on for both runs: the
-#    checkers are read-only, so they must not perturb the simulation.
+#    checkers are read-only, so they must not perturb the simulation. The
+#    second run adds --profile-out, so this same byte-diff also proves the
+#    profiler (common/profiler.h) never perturbs simulation results.
 # 2. Runs netcache_sim sweep once serially and once on 4 worker threads and
 #    asserts both stdout and the metrics JSON are byte-identical — the
 #    core/sweep.h contract that parallel execution never changes results.
@@ -16,14 +18,22 @@
 #    parallel-DES contract that worker count never changes results (the
 #    windowed schedule itself is allowed to differ from the legacy serial
 #    dispatcher only in event tie-breaking, so the reference here is the
-#    1-thread partitioned run, not determinism_a.json).
+#    1-thread partitioned run, not determinism_a.json). Both runs profile
+#    (--profile-out), so multi-threaded span recording is exercised under
+#    the byte-identity contract too.
 
 set(FLAGS rack --servers=4 --offered=150000 --duration=0.2 --seed=1234
     --metrics-interval=0.05 --check-invariants=0.02 --write-ratio=0.1)
 
 foreach(run a b)
+  if(run STREQUAL "b")
+    set(profile_flag --profile-out=${WORK_DIR}/determinism_prof_b.json)
+  else()
+    set(profile_flag)
+  endif()
   execute_process(
-    COMMAND ${SIM} ${FLAGS} --metrics-out=${WORK_DIR}/determinism_${run}.json
+    COMMAND ${SIM} ${FLAGS} ${profile_flag}
+            --metrics-out=${WORK_DIR}/determinism_${run}.json
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err)
@@ -103,6 +113,7 @@ endif()
 foreach(nthreads 1 4)
   execute_process(
     COMMAND ${SIM} ${FLAGS} --sim-threads=${nthreads}
+            --profile-out=${WORK_DIR}/determinism_prof_simthreads_${nthreads}.json
             --metrics-out=${WORK_DIR}/determinism_simthreads_${nthreads}.json
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out

@@ -81,14 +81,14 @@ TEST(MetricsRegistryTest, RegistersAllKindsWithLabels) {
   Histogram lat;
   lat.Record(100);
   registry.AddCounter("switch.cache_hits", &hits, {{"component", "switch"}});
-  registry.AddGauge("server[3].queue_depth", [] { return 2.0; },
+  registry.AddGauge("server.3.queue_depth", [] { return 2.0; },
                     {{"component", "server"}, {"index", "3"}});
-  registry.AddHistogram("client[0].latency", &lat);
+  registry.AddHistogram("client.0.latency", &lat);
 
   EXPECT_EQ(registry.size(), 3u);
   EXPECT_TRUE(registry.Contains("switch.cache_hits"));
   EXPECT_FALSE(registry.Contains("switch.cache_misses"));
-  const MetricsRegistry::Labels* labels = registry.LabelsOf("server[3].queue_depth");
+  const MetricsRegistry::Labels* labels = registry.LabelsOf("server.3.queue_depth");
   ASSERT_NE(labels, nullptr);
   EXPECT_EQ(labels->at("index"), "3");
   EXPECT_EQ(registry.LabelsOf("no.such.metric"), nullptr);
@@ -128,7 +128,7 @@ TEST(MetricsRegistryTest, WriteJsonIsDeterministic) {
   }
   registry.AddCounter("switch.cache_hits", &hits, {{"component", "switch"}});
   registry.AddGauge("switch.cache_size", [] { return 12.0; });
-  registry.AddHistogram("client[0].latency", &lat);
+  registry.AddHistogram("client.0.latency", &lat);
 
   auto dump = [&registry] {
     std::ostringstream out;
@@ -180,6 +180,30 @@ TEST(HistogramTest, QuantilesOnEmptyHistogramAreZero) {
   for (uint64_t q : h.Quantiles({0.0, 0.5, 1.0})) {
     EXPECT_EQ(q, 0u);
   }
+}
+
+TEST(HistogramTest, SingleSampleAnswersEveryQuantile) {
+  Histogram h;
+  h.Record(37);  // <= 1024, so the bucket is exact
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 37u) << "q=" << q;
+  }
+  std::vector<uint64_t> batch = h.Quantiles({0.0, 0.5, 1.0});
+  EXPECT_EQ(batch, (std::vector<uint64_t>{37, 37, 37}));
+  EXPECT_EQ(h.min(), 37u);
+  EXPECT_EQ(h.max(), 37u);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, AllEqualSamplesCollapseToOneValue) {
+  Histogram h;
+  h.RecordN(500, 100000);
+  std::vector<uint64_t> batch = h.Quantiles({0.0, 0.001, 0.5, 0.999, 1.0});
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i], 500u) << "index " << i;
+  }
+  EXPECT_EQ(h.count(), 100000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 500.0);
 }
 
 TEST(HistogramTest, WriteJsonHasSummaryFields) {
@@ -254,11 +278,11 @@ TEST(MetricsPollerTest, RackRegistersEveryComponent) {
   const MetricsRegistry& m = rack.metrics();
   EXPECT_TRUE(m.Contains("switch.cache_hits"));
   EXPECT_TRUE(m.Contains("switch.stats.sampled"));
-  EXPECT_TRUE(m.Contains("server[0].queue_depth"));
-  EXPECT_TRUE(m.Contains("server[3].kv.gets"));
-  EXPECT_TRUE(m.Contains("client[0].latency"));
+  EXPECT_TRUE(m.Contains("server.0.queue_depth"));
+  EXPECT_TRUE(m.Contains("server.3.kv.gets"));
+  EXPECT_TRUE(m.Contains("client.0.latency"));
   EXPECT_TRUE(m.Contains("controller.insertions"));
-  const MetricsRegistry::Labels* labels = m.LabelsOf("server[2].received");
+  const MetricsRegistry::Labels* labels = m.LabelsOf("server.2.received");
   ASSERT_NE(labels, nullptr);
   EXPECT_EQ(labels->at("component"), "server");
   EXPECT_EQ(labels->at("index"), "2");

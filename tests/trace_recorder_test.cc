@@ -52,6 +52,33 @@ TEST(TraceRecorderTest, RingWrapsKeepingNewestOldestFirst) {
   }
 }
 
+TEST(TraceRecorderTest, WrapBoundariesAreExact) {
+  // Exactly at capacity: full, nothing dropped, order preserved.
+  TraceRecorder rec(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    rec.Record(R(i, i, TraceEvent::kClientSend));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  std::vector<SpanRecord> events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().query_id, 0u);
+  EXPECT_EQ(events.back().query_id, 3u);
+
+  // An exact multiple of capacity lands the write cursor back at slot 0 —
+  // the ring must still report the newest window, oldest first.
+  for (uint64_t i = 4; i < 12; ++i) {
+    rec.Record(R(i, i, TraceEvent::kClientSend));
+  }
+  EXPECT_EQ(rec.recorded(), 12u);
+  EXPECT_EQ(rec.dropped(), 8u);
+  events = rec.Events();
+  ASSERT_EQ(events.size(), 4u);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].query_id, 8 + i);
+  }
+}
+
 TEST(TraceRecorderTest, ZeroCapacityCountsButStoresNothing) {
   TraceRecorder rec(0);
   rec.Record(R(1, 1, TraceEvent::kClientSend));

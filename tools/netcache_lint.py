@@ -9,8 +9,10 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
                       same-seed runs stay byte-identical.
   determinism-clock   No wall-clock reads (std::chrono ::now clocks, time(),
                       gettimeofday, clock_gettime) outside
-                      src/common/time_units.h. Simulated time comes from
-                      Simulator::Now().
+                      src/common/time_units.h and the profiler
+                      (src/common/profiler.{h,cc} — observability only; it
+                      may never feed a simulation decision). Simulated time
+                      comes from Simulator::Now().
   no-naked-assert     No bare assert(); use NC_CHECK from common/logging.h,
                       which logs context and fires in release builds too.
                       (static_assert is fine.)
@@ -21,6 +23,16 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
                       library code logs through NC_LOG. Tools, examples,
                       benchmarks, and tests may print.
   no-using-namespace  No `using namespace std;` anywhere.
+  metric-naming       Metric names registered in src/ (AddCounter, AddGauge,
+                      AddHistogram, RegisterMetrics prefixes) are lowercase
+                      dotted snake_case: only [a-z0-9_] segments joined by
+                      dots (a leading/trailing dot is fine in a literal
+                      fragment that concatenates with a runtime prefix or
+                      index). No brackets, no uppercase — names must be
+                      stable jq paths. Full literal names must also be
+                      unique within their file (MetricsRegistry::Add enforces
+                      registry-wide uniqueness at runtime; the lint catches
+                      copy-paste duplicates before a run does).
   digest-fast-path    No per-probe SeededHash/SeededHashBytes on the switch
                       fast path (sketches, stats, match table, switch data
                       plane). Those files index through the per-packet
@@ -63,6 +75,16 @@ STDIO_PATTERN = re.compile(
 USING_NAMESPACE_STD = re.compile(r"using\s+namespace\s+std\s*;")
 
 SEEDED_HASH_PATTERN = re.compile(r"(?<![\w.])SeededHash(?:Bytes)?\s*\(")
+
+METRIC_REGISTER_PATTERN = re.compile(
+    r"(?:AddCounter|AddGauge|AddHistogram|RegisterMetrics)\s*\(")
+STRING_LITERAL_PATTERN = re.compile(r'"((?:[^"\\]|\\.)*)"')
+# A literal fragment is valid when every dot-separated segment it fully
+# contains is lowercase snake_case; leading/trailing dots mark open ends that
+# concatenate with a runtime prefix or index.
+METRIC_FRAGMENT_PATTERN = re.compile(r"^\.?[a-z0-9_]+(?:\.[a-z0-9_]+)*\.?$|^\.$")
+# A complete name (no open ends) — the unit of the uniqueness check.
+METRIC_FULL_NAME_PATTERN = re.compile(r"^[a-z0-9_]+(?:\.[a-z0-9_]+)+$")
 
 # Switch fast-path files: one hash per packet, all indices via KeyDigest.
 DIGEST_FAST_PATH_PREFIXES = (
@@ -112,6 +134,86 @@ def strip_comments_and_strings(line):
     return "".join(out)
 
 
+def strip_line_comment(line):
+    """Removes // and /* */ comment text but keeps string literals intact."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            end = line.find("*/", i + 2)
+            if end == -1:
+                break
+            i = end + 2
+            continue
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if line[j] == "\\":
+                    j += 2
+                    continue
+                if line[j] == quote:
+                    j += 1
+                    break
+                j += 1
+            out.append(line[i:j])
+            i = j
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def check_metric_naming(rel, raw_lines, findings):
+    """Lowercase dotted snake_case metric names, unique per file.
+
+    Scans registration calls (AddCounter/AddGauge/AddHistogram and the
+    RegisterMetrics prefix helpers) and checks every string literal that
+    feeds them. Literal fragments concatenated around a runtime index keep
+    their open end as a leading/trailing dot ("server." + i, i + ".latency");
+    anything with brackets, uppercase or spaces is a finding.
+    """
+    full_names = {}
+    n = len(raw_lines)
+    for i in range(n):
+        code = strip_line_comment(raw_lines[i])
+        m = METRIC_REGISTER_PATTERN.search(code)
+        if not m:
+            continue
+        is_add = "RegisterMetrics" not in code[m.start():m.end()]
+        # The call's argument text: from the opening paren to the statement's
+        # ';', capped at 4 lines (registration calls are short).
+        pieces = []
+        for j in range(i, min(i + 4, n)):
+            text = code if j == i else strip_line_comment(raw_lines[j])
+            if j == i:
+                text = text[m.end():]
+            semi = text.find(";")
+            if semi != -1:
+                pieces.append(text[:semi])
+                break
+            pieces.append(text)
+        chunk = " ".join(pieces)
+        for lit in STRING_LITERAL_PATTERN.findall(chunk):
+            if not METRIC_FRAGMENT_PATTERN.match(lit):
+                findings.append(
+                    (rel, i + 1, "metric-naming",
+                     "metric name %r is not lowercase dotted snake_case "
+                     "([a-z0-9_] segments joined by dots)" % lit))
+            elif is_add and METRIC_FULL_NAME_PATTERN.match(lit):
+                if lit in full_names:
+                    findings.append(
+                        (rel, i + 1, "metric-naming",
+                         "metric name %r already registered at line %d"
+                         % (lit, full_names[lit])))
+                else:
+                    full_names[lit] = i + 1
+
+
 def relpath(path, root):
     return os.path.relpath(path, root).replace(os.sep, "/")
 
@@ -142,7 +244,15 @@ def check_file(path, rel, findings):
                     (rel, num, "determinism-rng",
                      "direct randomness; use the seeded Rng in common/rng.h"))
 
-    if (in_src or in_tools) and rel != "src/common/time_units.h":
+    if (in_src or in_tools) and rel not in (
+        "src/common/time_units.h",
+        # The profiler is the one sanctioned wall-clock consumer in src/:
+        # it observes the simulation (scoped timers for the Perfetto
+        # export) and by contract never feeds state back into it —
+        # determinism_test runs with --profile-out on to enforce that.
+        "src/common/profiler.h",
+        "src/common/profiler.cc",
+    ):
         for num, text in lines:
             if CLOCK_PATTERN.search(text):
                 findings.append(
@@ -178,6 +288,9 @@ def check_file(path, rel, findings):
             findings.append(
                 (rel, num, "no-using-namespace",
                  "`using namespace std;` pollutes every includer"))
+
+    if in_src:
+        check_metric_naming(rel, raw_lines, findings)
 
     if in_src and rel.endswith(".h"):
         check_include_guard(rel, raw_lines, findings)

@@ -37,6 +37,7 @@
 #include "common/cli.h"
 #include "common/json_writer.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/trace_recorder.h"
 #include "core/multirack.h"
 #include "core/rack.h"
@@ -79,7 +80,13 @@ int Usage(const char* program) {
                "                                     exits 1 on any violation\n"
                "rack only: --metrics-interval=SECS   time-series sampling bin (default 0.1)\n"
                "           --trace-out=FILE.jsonl    packet-lifecycle span events\n"
-               "           --trace-limit=N           trace ring-buffer capacity (default 65536)\n",
+               "           --trace-limit=N           trace ring-buffer capacity (default 65536)\n"
+               "           --profile-out=FILE.json   wall-clock profile (Chrome trace JSON,\n"
+               "                                     Perfetto-loadable; aggregate with\n"
+               "                                     tools/profile_report.py)\n"
+               "           --profile-limit=N         timeline spans kept per thread\n"
+               "                                     (default 262144; aggregates are exact\n"
+               "                                     regardless)\n",
                program);
   return 2;
 }
@@ -154,7 +161,10 @@ int RunRack(ArgParser& args) {
   std::string metrics_out = args.GetString("metrics-out", "");
   double metrics_interval_s = args.GetDouble("metrics-interval", 0.1);
   std::string trace_out = args.GetString("trace-out", "");
-  cfg.sim_threads = static_cast<size_t>(args.GetInt("sim-threads", 0));
+  std::string profile_out = args.GetString("profile-out", "");
+  size_t profile_limit = static_cast<size_t>(args.GetInt("profile-limit", 1 << 18));
+  size_t sim_threads_requested = static_cast<size_t>(args.GetInt("sim-threads", 0));
+  cfg.sim_threads = sim_threads_requested;
   if (!trace_out.empty() && cfg.sim_threads > 1) {
     // The trace recorder is one global ring; keep the windowed schedule (so
     // results stay byte-identical to the requested thread count) but execute
@@ -178,10 +188,28 @@ int RunRack(ArgParser& args) {
     return 2;
   }
 
+  // Declared before the Rack so it outlives the simulator: a window worker
+  // may still hold the profiler pointer it loaded at span entry when the
+  // profiler is uninstalled (see common/profiler.h, "Ownership").
+  std::unique_ptr<Profiler> profiler;
+
   Rack rack(cfg);
   // Burst coalescing must produce byte-identical output (determinism_test leg
   // 3 diffs this against the default); the flag exists to prove it.
   rack.sim().set_burst_coalescing(!args.GetBool("no-burst", false));
+  // The effective worker count can differ from the request: --trace-out
+  // forces 1 (above) and a zero-lookahead topology falls back to the serial
+  // dispatcher. Recorded in the metrics JSON when they differ so downstream
+  // comparisons see what actually ran.
+  size_t sim_threads_effective =
+      rack.sim().partitioned() ? rack.sim().sim_threads() : 0;
+  if (!profile_out.empty()) {
+    Profiler::Options popts;
+    popts.spans_per_lane = profile_limit;
+    popts.max_lps = rack.sim().num_lps() + 1;
+    profiler = std::make_unique<Profiler>(popts);
+    InstallProfiler(profiler.get());
+  }
   rack.Populate(num_keys, 128);
   if (check_invariants) {
     rack.EnableInvariantChecks(static_cast<SimDuration>(check_interval_s * 1e9));
@@ -305,10 +333,42 @@ int RunRack(ArgParser& args) {
                   static_cast<unsigned long long>(tracer->dropped()));
     }
   }
+  if (profiler != nullptr) {
+    InstallProfiler(nullptr);
+    std::ofstream out(profile_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", profile_out.c_str());
+      rc = 1;
+    } else {
+      profiler->WriteChromeTrace(out);
+      out << "\n";
+      if (!out.good()) {
+        std::fprintf(stderr, "write to '%s' failed\n", profile_out.c_str());
+        rc = 1;
+      } else {
+        std::printf("profile         %llu spans in %zu lane(s) to %s (%llu dropped)\n",
+                    static_cast<unsigned long long>(profiler->spans_recorded()),
+                    profiler->lanes_used(), profile_out.c_str(),
+                    static_cast<unsigned long long>(profiler->spans_dropped()));
+      }
+    }
+  }
   if (!metrics_out.empty()) {
     bool ok = WriteJsonFile(metrics_out, [&](JsonWriter& w) {
       w.BeginObject();
       w.Field("command", "rack");
+      // Execution config that affects comparability. `schedule` says which
+      // dispatcher actually ran; `sim_threads_effective` appears only when
+      // it differs from the requested --sim-threads (--trace-out forcing,
+      // zero-lookahead fallback) — an unconditional field would break the
+      // determinism legs that byte-diff --sim-threads=1 against =4.
+      w.Name("config");
+      w.BeginObject();
+      w.Field("schedule", rack.sim().partitioned() ? "windowed" : "serial");
+      if (sim_threads_effective != sim_threads_requested) {
+        w.Field("sim_threads_effective", static_cast<uint64_t>(sim_threads_effective));
+      }
+      w.EndObject();
       w.Field("sim_time_ns", static_cast<uint64_t>(rack.sim().Now()));
       w.Field("duration_s", duration_s);
       w.Field("sent", driver.sent());
