@@ -31,10 +31,24 @@ reported but do not fail (they are additions, not regressions).
 """
 
 import argparse
+import difflib
 import json
 import sys
 
 EPS = 1e-12
+
+
+def closest(name, pool, n=3):
+    """Suggestion suffix listing the closest-matching names, if any.
+
+    Renamed trials are the common cause of a missing-label failure (a bench
+    tweak changes a config string baked into the label); pointing at the
+    near-miss makes the fix obvious without opening both JSON files.
+    """
+    matches = difflib.get_close_matches(name, pool, n=n, cutoff=0.4)
+    if not matches:
+        return ""
+    return " (closest in candidate: %s)" % ", ".join(repr(m) for m in matches)
 
 
 def load(path):
@@ -103,12 +117,14 @@ def main():
     for label, bt in base.items():
         ct = cand.get(label)
         if ct is None:
-            failures.append(f"trial {label!r}: missing from candidate")
+            failures.append(f"trial {label!r}: missing from candidate"
+                            + closest(label, cand))
             continue
         for name, old in bt.get("metrics", {}).items():
             if name not in ct.get("metrics", {}):
                 failures.append(f"trial {label!r}: metric {name!r} missing "
-                                "from candidate")
+                                "from candidate"
+                                + closest(name, ct.get("metrics", {})))
                 continue
             new = ct["metrics"][name]
             compared += 1

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""clang-tidy gate: fail CI on findings not in the committed baseline.
+
+Runs clang-tidy (checks from the repo's .clang-tidy) over every first-party
+TU in a compile database and diffs the findings against
+scripts/clang_tidy_baseline.txt. New findings fail the gate; baseline
+entries that no longer fire are reported as prunable. This is what turns
+clang-tidy from an advisory log into a ratchet: the backlog is frozen in the
+baseline, and no new instance of a curated check (bugprone-*, concurrency-*,
+performance-*, ...) can land.
+
+Baseline entries are line-number-free — `path [check] message` — so pure
+line churn (an unrelated edit above a finding) neither breaks the gate nor
+invites a baseline refresh. Identical findings on different lines of the
+same file collapse into one entry; that coarseness is the price of a stable
+baseline and errs toward fewer gate failures, never spurious ones.
+
+Usage:
+  python3 scripts/clang_tidy_gate.py --build-dir build-clang
+  python3 scripts/clang_tidy_gate.py --build-dir build --update-baseline
+
+Requires clang-tidy and a compile_commands.json (configure with
+-DCMAKE_EXPORT_COMPILE_COMMANDS=ON, which the top-level CMakeLists sets).
+Exits 0 when findings == baseline, 1 on new findings, 2 on setup errors.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+FINDING = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<msg>.*?) \[(?P<check>[\w.,-]+)\]\s*$")
+
+# First-party code the gate covers; generated/third-party TUs are skipped.
+TU_PREFIXES = ("src/", "tools/")
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def load_entries(build_dir):
+    cc = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(cc):
+        sys.exit(f"clang_tidy_gate: {cc} not found (configure with "
+                 "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+    with open(cc, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def norm(path, root):
+    if not os.path.isabs(path):
+        path = os.path.join(root, path)
+    rel = os.path.relpath(os.path.realpath(path), root)
+    return rel.replace(os.sep, "/")
+
+
+def run_one(tidy, build_dir, src):
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", src],
+        capture_output=True, text=True)
+    # clang-tidy exits non-zero on hard errors (missing headers, bad flags);
+    # surface those separately from findings.
+    return src, proc.returncode, proc.stdout, proc.stderr
+
+
+def parse_findings(stdout, root):
+    found = set()
+    for line in stdout.splitlines():
+        m = FINDING.match(line)
+        if not m:
+            continue
+        rel = norm(m.group("path"), root)
+        if not rel.startswith(TU_PREFIXES):
+            continue  # headers outside first-party code
+        # One baseline entry per (file, check, message); see module docstring.
+        found.add("%s [%s] %s" % (rel, m.group("check"), m.group("msg")))
+    return found
+
+
+def read_baseline(path):
+    entries = set()
+    if not os.path.isfile(path):
+        return entries
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if line and not line.startswith("#"):
+                entries.add(line)
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build",
+                    help="build tree with compile_commands.json")
+    ap.add_argument("--baseline",
+                    default=os.path.join(repo_root(), "scripts",
+                                         "clang_tidy_baseline.txt"))
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from this run's findings")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    ap.add_argument("--clang-tidy", default=None,
+                    help="clang-tidy binary (default: from PATH)")
+    args = ap.parse_args()
+
+    tidy = args.clang_tidy or shutil.which("clang-tidy")
+    if tidy is None:
+        sys.exit("clang_tidy_gate: clang-tidy not on PATH")
+    root = repo_root()
+    build_dir = os.path.abspath(args.build_dir)
+
+    sources = []
+    for entry in load_entries(build_dir):
+        src = entry.get("file") or ""
+        if not os.path.isabs(src):
+            src = os.path.join(entry.get("directory", build_dir), src)
+        if norm(src, root).startswith(TU_PREFIXES):
+            sources.append(src)
+    if not sources:
+        sys.exit("clang_tidy_gate: no first-party TUs in compile database")
+
+    findings = set()
+    hard_errors = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [pool.submit(run_one, tidy, build_dir, s) for s in sources]
+        for fut in concurrent.futures.as_completed(futures):
+            src, rc, out, err = fut.result()
+            tu_findings = parse_findings(out, root)
+            findings |= tu_findings
+            if rc != 0 and not tu_findings:
+                hard_errors.append((norm(src, root), err.strip()[-2000:]))
+
+    if hard_errors:
+        for src, err in sorted(hard_errors):
+            print(f"clang_tidy_gate: hard error on {src}:\n{err}",
+                  file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            f.write("# clang-tidy suppression baseline — regenerate with\n"
+                    "#   python3 scripts/clang_tidy_gate.py --build-dir "
+                    "<dir> --update-baseline\n"
+                    "# One `path [check] message` per line; the gate fails "
+                    "on findings not listed here.\n")
+            for entry in sorted(findings):
+                f.write(entry + "\n")
+        print(f"clang_tidy_gate: baseline updated with {len(findings)} "
+              f"entr{'y' if len(findings) == 1 else 'ies'}")
+        return 0
+
+    baseline = read_baseline(args.baseline)
+    new = sorted(findings - baseline)
+    stale = sorted(baseline - findings)
+    if stale:
+        print(f"note: {len(stale)} baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} no longer fire(s) — "
+              "prune with --update-baseline:")
+        for entry in stale:
+            print(f"  STALE {entry}")
+    if new:
+        print(f"clang_tidy_gate: {len(new)} finding(s) not in baseline "
+              f"({args.baseline}):")
+        for entry in new:
+            print(f"  FAIL {entry}")
+        return 1
+    print(f"clang_tidy_gate: OK — {len(findings)} finding(s), all baselined "
+          f"({len(sources)} TU(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "common/histogram.h"
+#include "common/lp_ownership.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/time_units.h"
@@ -91,12 +92,14 @@ class Client : public Node {
 
   void SendQuery(Packet pkt, ResponseCallback cb);
 
-  Simulator* sim_;
-  ClientConfig config_;
-  uint32_t next_seq_ = 1;
-  std::unordered_map<uint32_t, Pending> outstanding_;
-  ClientStats stats_;
-  Histogram latency_;
+  // LP ownership: everything mutable is driven from this client's own events
+  // (queries, replies, timeouts), all scheduled node-affine via ScheduleFor.
+  NC_LP_SHARED Simulator* sim_;
+  NC_LP_SHARED ClientConfig config_;
+  NC_LP_OWNED uint32_t next_seq_ = 1;
+  NC_LP_OWNED std::unordered_map<uint32_t, Pending> outstanding_;
+  NC_LP_OWNED ClientStats stats_;
+  NC_LP_OWNED Histogram latency_;
 };
 
 }  // namespace netcache

@@ -66,7 +66,11 @@ Profiler::Profiler(const Options& options)
 Profiler::Lane* Profiler::LaneForThisThread() {
   TlsSlot& slot = tls_slot_;
   if (slot.owner_id != id_) {
-    size_t idx = lane_count_.fetch_add(1, std::memory_order_relaxed);
+    size_t idx;
+    {
+      MutexLock lock(reg_mu_);
+      idx = lane_count_++;
+    }
     slot.owner_id = id_;
     slot.lane = nullptr;
     if (idx < lanes_.size()) {
@@ -122,7 +126,8 @@ void Profiler::RecordWindowStall(uint32_t lp) {
 }
 
 size_t Profiler::lanes_used() const {
-  return std::min(lane_count_.load(std::memory_order_relaxed), lanes_.size());
+  MutexLock lock(reg_mu_);
+  return std::min(lane_count_, lanes_.size());
 }
 
 uint64_t Profiler::spans_recorded() const {

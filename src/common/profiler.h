@@ -46,6 +46,8 @@
 #include <iosfwd>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace netcache {
 
 // Span categories. The first four are the parallel-DES buckets the
@@ -184,7 +186,12 @@ class Profiler {
   const uint64_t t0_ns_;
   std::vector<Lane> lanes_;
   std::vector<LpAgg> lps_;
-  std::atomic<size_t> lane_count_{0};
+  // Lane registry: reg_mu_ serializes lane handout (each thread pays it once,
+  // on its first span) and guards the count the serializer reads; the lanes
+  // themselves stay lock-free — after registration a Lane is written by
+  // exactly one thread, and the window barrier orders it for the serializer.
+  mutable Mutex reg_mu_;
+  size_t lane_count_ NC_GUARDED_BY(reg_mu_) = 0;
   std::atomic<uint64_t> unassigned_drops_{0};  // spans from threads past max_lanes
 };
 

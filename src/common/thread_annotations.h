@@ -1,18 +1,23 @@
 // Clang thread-safety-analysis annotations (no-ops elsewhere) and a tiny
 // annotated Mutex/MutexLock pair built on std::mutex.
 //
-// The simulator core is single-threaded by design (see net/simulator.h), but
-// two substrates are specified as concurrently accessible and are exercised
-// by real threads in tests and the TSan CI leg:
+// Simulator state is single-writer by the LP-ownership design (see
+// common/lp_ownership.h), but several substrates are specified as
+// concurrently accessible and are exercised by real threads in tests and the
+// TSan CI leg:
 //   - kvstore/sharded_store.h: one mutex per shard (per-core sharding, §6)
 //   - server/storage_server.*: the KV store is reachable from both the
 //     simulated data path and the controller's control channel
+//   - common/thread_pool.h: the sweep engine's task queue
+//   - common/profiler.{h,cc}: lane registration (first span of each thread)
+//   - common/trace_recorder.*: the span ring buffer
 // Annotating those paths lets `clang -Wthread-safety` prove lock discipline
 // statically; under GCC the macros compile away.
 
 #ifndef NETCACHE_COMMON_THREAD_ANNOTATIONS_H_
 #define NETCACHE_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <condition_variable>
 #include <mutex>
 
 #if defined(__clang__)
@@ -46,7 +51,35 @@ class NC_CAPABILITY("mutex") Mutex {
   bool TryLock() NC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
 
  private:
+  friend class CondVar;  // Wait() releases/reacquires the underlying mutex
   std::mutex mu_;
+};
+
+// Condition variable bound to the annotated Mutex. Wait() declares via
+// NC_REQUIRES that the caller holds the mutex, so the analysis verifies the
+// hold at every wait site; use the classic loop form:
+//
+//   MutexLock lock(mu_);
+//   while (!ReadyLocked()) cv_.Wait(mu_);
+//
+// (a predicate-lambda overload is deliberately omitted — the analysis cannot
+// see through std::condition_variable invoking the closure under the lock).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) NC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's scope still owns the mutex
+  }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
 };
 
 // RAII lock whose scope the analysis understands.

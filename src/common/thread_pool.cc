@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -26,16 +26,16 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Post(std::function<void()> task) {
   NC_CHECK(task != nullptr) << "posting an empty task";
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     NC_CHECK(!shutdown_) << "posting to a thread pool that is shutting down";
     queue_.push_back(std::move(task));
     ++tasks_posted_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 uint64_t ThreadPool::tasks_posted() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tasks_posted_;
 }
 
@@ -43,8 +43,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) {
+        cv_.Wait(mu_);
+      }
       if (queue_.empty()) {
         return;  // shutdown requested and the queue has drained
       }

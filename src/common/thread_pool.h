@@ -14,18 +14,18 @@
 #ifndef NETCACHE_COMMON_THREAD_POOL_H_
 #define NETCACHE_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace netcache {
 
@@ -63,12 +63,12 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;  // guarded by mu_
-  bool shutdown_ = false;                    // guarded by mu_
-  uint64_t tasks_posted_ = 0;                // guarded by mu_
-  std::vector<std::thread> workers_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ NC_GUARDED_BY(mu_);
+  bool shutdown_ NC_GUARDED_BY(mu_) = false;
+  uint64_t tasks_posted_ NC_GUARDED_BY(mu_) = 0;
+  std::vector<std::thread> workers_;  // written only in the constructor
 };
 
 }  // namespace netcache

@@ -36,6 +36,7 @@ TraceRecorder::TraceRecorder(size_t capacity) : capacity_(capacity) {
 }
 
 void TraceRecorder::Record(const SpanRecord& record) {
+  MutexLock lock(mu_);
   ++recorded_;
   if (capacity_ == 0) {
     return;
@@ -47,9 +48,27 @@ void TraceRecorder::Record(const SpanRecord& record) {
   }
 }
 
-size_t TraceRecorder::size() const { return ring_.size(); }
+size_t TraceRecorder::size() const {
+  MutexLock lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceRecorder::recorded() const {
+  MutexLock lock(mu_);
+  return recorded_;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  MutexLock lock(mu_);
+  return recorded_ - ring_.size();
+}
 
 std::vector<SpanRecord> TraceRecorder::Events() const {
+  MutexLock lock(mu_);
+  return EventsLocked();
+}
+
+std::vector<SpanRecord> TraceRecorder::EventsLocked() const {
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_ || capacity_ == 0) {
@@ -64,12 +83,14 @@ std::vector<SpanRecord> TraceRecorder::Events() const {
 }
 
 void TraceRecorder::Clear() {
+  MutexLock lock(mu_);
   ring_.clear();
   recorded_ = 0;
 }
 
 void TraceRecorder::WriteJsonl(std::ostream& out) const {
-  for (const SpanRecord& r : Events()) {
+  MutexLock lock(mu_);
+  for (const SpanRecord& r : EventsLocked()) {
     out << "{\"t\":" << r.time << ",\"qid\":" << r.query_id << ",\"ev\":\""
         << TraceEventName(r.event) << "\",\"node\":" << r.node << ",\"detail\":" << r.detail
         << "}\n";

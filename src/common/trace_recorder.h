@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/time_units.h"
 
 namespace netcache {
@@ -73,9 +74,9 @@ class TraceRecorder {
   // Events currently held (<= capacity).
   size_t size() const;
   // Total Record() calls, including overwritten ones.
-  uint64_t recorded() const { return recorded_; }
+  uint64_t recorded() const;
   // Events lost to ring wraparound (or zero capacity).
-  uint64_t dropped() const { return recorded_ - size(); }
+  uint64_t dropped() const;
 
   // Events oldest-first.
   std::vector<SpanRecord> Events() const;
@@ -91,14 +92,24 @@ class TraceRecorder {
   static std::vector<SpanRecord> ReadJsonl(std::istream& in);
 
  private:
-  size_t capacity_;
-  std::vector<SpanRecord> ring_;
-  uint64_t recorded_ = 0;
+  std::vector<SpanRecord> EventsLocked() const NC_REQUIRES(mu_);
+
+  const size_t capacity_;
+  // The ring is mutex-guarded so stray multi-threaded use is safe and the
+  // lock discipline is provable under -Wthread-safety — but the ORDER of
+  // interleaved events would still be schedule-dependent, which is why
+  // --trace-out forces a single-threaded execution of the windowed schedule
+  // (tools/netcache_sim.cpp): traces must stay byte-identical per seed.
+  mutable Mutex mu_;
+  std::vector<SpanRecord> ring_ NC_GUARDED_BY(mu_);
+  uint64_t recorded_ NC_GUARDED_BY(mu_) = 0;
 };
 
 namespace internal {
-// Not a std::atomic: the simulator is single-threaded, and a plain pointer
-// keeps the hot-path check to one load.
+// Not a std::atomic: the recorder is installed before any worker threads
+// run and uninstalled after they join, so the pointer itself is only ever
+// written in single-threaded phases; a plain pointer keeps the hot-path
+// check to one load. (The ring behind it is mutex-guarded.)
 extern TraceRecorder* g_trace_recorder;
 }  // namespace internal
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/lp_ownership.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/time_units.h"
@@ -299,40 +300,45 @@ class NetCacheSwitch : public Node {
   // working copy instead of paying another ~190-byte Packet copy per hop.
   void ForwardByDst(Packet&& pkt, std::vector<Emit>& out);
 
-  Simulator* sim_;
-  SwitchConfig config_;
+  // LP ownership (parallel DES): the data plane — tables, registers, sketch,
+  // counters, scratch — is owned by the switch's LP; the controller's
+  // control-plane calls (InsertCacheEntry, DrainDirty, ResetStatistics, ...)
+  // run in global-stream serial instants, which are coordinator context and
+  // therefore allowed on owned state.
+  NC_LP_SHARED Simulator* sim_;
+  NC_LP_SHARED SwitchConfig config_;
 
-  ExactMatchTable<CacheAction> lookup_;
-  std::vector<PipeState> pipes_;
+  NC_LP_OWNED ExactMatchTable<CacheAction> lookup_;
+  NC_LP_OWNED std::vector<PipeState> pipes_;
   // Valid bit per cached key (cache-status module, Fig 8).
-  RegisterArray<uint8_t> status_;
+  NC_LP_OWNED RegisterArray<uint8_t> status_;
   // Dirty bit per cached key (write-back mode only).
-  RegisterArray<uint8_t> dirty_;
+  NC_LP_OWNED RegisterArray<uint8_t> dirty_;
   // Exact value length in bytes per cached key; written by data-plane cache
   // updates so no control-plane action is needed on a write-through refresh.
-  RegisterArray<uint8_t> value_size_;
-  std::vector<uint32_t> free_key_indexes_;
+  NC_LP_OWNED RegisterArray<uint8_t> value_size_;
+  NC_LP_OWNED std::vector<uint32_t> free_key_indexes_;
 
-  QueryStatistics stats_;
+  NC_LP_OWNED QueryStatistics stats_;
   // Open-addressing route table: ForwardByDst runs once per emitted packet,
   // and flat probing on the Mix64-spread address beats the chained
   // unordered_map there (see micro_datastructures BM_*RouteLookup).
-  FlatTable<IpAddress, uint32_t, UintHasher> routes_;
+  NC_LP_OWNED FlatTable<IpAddress, uint32_t, UintHasher> routes_;
   struct SnakeHop {
     uint32_t out_port = 0;
     bool strip_value = false;
   };
-  std::vector<std::optional<SnakeHop>> snake_;
-  HotReportHandler hot_report_;
+  NC_LP_FENCED std::vector<std::optional<SnakeHop>> snake_;  // harness setup only
+  NC_LP_SHARED HotReportHandler hot_report_;  // installed at wiring time
 
-  SwitchCounters counters_;
-  std::vector<uint64_t> pipe_value_reads_;
+  NC_LP_OWNED SwitchCounters counters_;
+  NC_LP_OWNED std::vector<uint64_t> pipe_value_reads_;
   // Per-pipe transmitter state for the optional rate bound.
-  std::vector<SimTime> pipe_busy_until_;
+  NC_LP_OWNED std::vector<SimTime> pipe_busy_until_;
   // Scratch buffers for HandlePacket / burst processing; members so the
   // steady state allocates nothing per packet or burst.
-  std::vector<Emit> scratch_emits_;
-  std::vector<StagedGet> staged_;
+  NC_LP_OWNED std::vector<Emit> scratch_emits_;
+  NC_LP_OWNED std::vector<StagedGet> staged_;
 };
 
 }  // namespace netcache

@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "common/lp_ownership.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "kvstore/hash_table.h"
@@ -59,8 +60,11 @@ class KvStore {
                        MetricsRegistry::Labels labels = {}) const;
 
  private:
-  HashDyn<Key, Value, KeyHasher> table_;
-  mutable Stats stats_;
+  // LP classification is inherited from the embedding object: StorageServer
+  // holds its KvStore under store_mu_ (the control channel runs concurrently
+  // with the data path), so the store is safe from any context.
+  NC_LP_SHARED HashDyn<Key, Value, KeyHasher> table_;
+  NC_LP_SHARED mutable Stats stats_;
 };
 
 }  // namespace netcache

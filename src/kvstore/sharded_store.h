@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/lp_ownership.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "kvstore/kv_store.h"
@@ -53,9 +54,11 @@ class ShardedStore {
     uint64_t accesses NC_GUARDED_BY(mu) = 0;
   };
 
-  uint64_t seed_;
+  // Mutex-per-shard makes the whole store safe from any LP or thread — the
+  // -Wthread-safety annotations above carry the proof.
+  NC_LP_SHARED uint64_t seed_;
   // unique_ptr because Mutex is neither movable nor copyable.
-  std::vector<std::unique_ptr<Shard>> shards_;
+  NC_LP_SHARED std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace netcache

@@ -30,6 +30,11 @@ void Link::Connect(Node* a, uint32_t a_port, Node* b, uint32_t b_port) {
 void Link::Transmit(int from_end, const Packet& pkt) {
   NC_CHECK(from_end == 0 || from_end == 1);
   NC_CHECK(ends_[0].node != nullptr && ends_[1].node != nullptr) << "link not connected";
+  // The transmitter (busy_until chain, queue occupancy, loss RNG draw order)
+  // is owned by the sending end's LP; a foreign LP driving it would make the
+  // RNG draw order and the deadline chain schedule-dependent.
+  NC_LP_CHECK("Link::Transmit", ends_[from_end].node->name().c_str(),
+              ends_[from_end].node->lp());
   Direction& dir = dirs_[from_end];
   size_t bytes = pkt.WireSize();
   ++dir.stats.offered;

@@ -20,6 +20,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/lp_ownership.h"
 #include "common/rng.h"
 #include "common/time_units.h"
 #include "net/node.h"
@@ -55,6 +56,10 @@ class Link {
   // RECEIVING node's partition under parallel DES, which is why `in_flight`
   // is the one atomic field (see DirectionStats).
   void AccountDelivery(int from_end, uint32_t bytes) {
+    // Delivery accounting belongs to the receiving end's partition (the
+    // dispatcher books it alongside handler dispatch).
+    NC_LP_CHECK("Link::AccountDelivery", ends_[1 - from_end].node->name().c_str(),
+                ends_[1 - from_end].node->lp());
     dirs_[from_end].stats.in_flight.fetch_sub(1, std::memory_order_relaxed);
     ++dirs_[from_end].stats.delivered;
     dirs_[from_end].stats.bytes += bytes;
@@ -100,15 +105,19 @@ class Link {
     DirectionStats stats;
   };
 
-  Simulator* sim_;
-  LinkConfig config_;
-  uint64_t ps_per_byte_;
+  NC_LP_SHARED Simulator* sim_;
+  NC_LP_SHARED LinkConfig config_;
+  NC_LP_SHARED uint64_t ps_per_byte_;
   // One loss stream per direction: under parallel DES the two directions are
   // driven from different partitions, and a shared generator would be both a
-  // data race and a thread-count-dependent draw order.
-  Rng loss_rng_[2];
-  Endpoint ends_[2];
-  Direction dirs_[2];  // dirs_[i] carries traffic from end i to end 1-i
+  // data race and a thread-count-dependent draw order. loss_rng_[i] and
+  // dirs_[i] are owned by end i's LP (checked in Transmit), except
+  // dirs_[i].stats.delivered/bytes/in_flight which the receiving partition
+  // books via AccountDelivery — in_flight is the one field both ends touch,
+  // hence the atomic in DirectionStats.
+  NC_LP_OWNED Rng loss_rng_[2];
+  NC_LP_SHARED Endpoint ends_[2];  // wiring-time, immutable after Connect
+  NC_LP_OWNED Direction dirs_[2];  // dirs_[i] carries traffic from end i to end 1-i
 };
 
 }  // namespace netcache

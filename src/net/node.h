@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lp_ownership.h"
 #include "proto/packet.h"
 
 namespace netcache {
@@ -69,9 +70,11 @@ class Node {
     int end = 0;
   };
 
-  std::string name_;
-  uint32_t lp_ = 0;
-  std::vector<PortSlot> links_;
+  // All three are wiring-time state: written while the topology is built
+  // (single-threaded, before ConfigurePartitions), immutable while events run.
+  NC_LP_SHARED std::string name_;
+  NC_LP_SHARED uint32_t lp_ = 0;
+  NC_LP_SHARED std::vector<PortSlot> links_;
 };
 
 }  // namespace netcache

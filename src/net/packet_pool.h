@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/lp_ownership.h"
 #include "proto/packet.h"
 
 namespace netcache {
@@ -42,6 +43,7 @@ class PacketPool {
   // Returns a packet from the freelist (contents unspecified) or allocates a
   // fresh chunk when empty.
   Packet* Acquire() {
+    NC_LP_CHECK("PacketPool::Acquire", "packet pool shard", owner_lp_);
     ++acquires_;
     if (free_.empty()) {
       Grow();
@@ -59,6 +61,7 @@ class PacketPool {
   }
 
   void Release(Packet* p) {
+    NC_LP_CHECK("PacketPool::Release", "packet pool shard", owner_lp_);
     free_.push_back(p);
   }
 
@@ -72,6 +75,11 @@ class PacketPool {
   uint64_t acquires() const { return acquires_; }
   size_t allocated() const { return chunks_.size() * kChunkPackets; }
   size_t free_count() const { return free_.size(); }
+
+  // Labels the shard with the LP whose thread may touch it (0 = global /
+  // unpartitioned). Set by Simulator::ConfigurePartitions.
+  void set_owner_lp(uint32_t lp) { owner_lp_ = lp; }
+  uint32_t owner_lp() const { return owner_lp_; }
 
  private:
   // Packets are allocated in chunks to amortize allocator traffic and keep
@@ -87,9 +95,10 @@ class PacketPool {
     }
   }
 
-  std::vector<std::unique_ptr<Packet[]>> chunks_;
-  std::vector<Packet*> free_;
-  uint64_t acquires_ = 0;
+  NC_LP_OWNED std::vector<std::unique_ptr<Packet[]>> chunks_;
+  NC_LP_OWNED std::vector<Packet*> free_;
+  NC_LP_OWNED uint64_t acquires_ = 0;
+  NC_LP_SHARED uint32_t owner_lp_ = 0;  // written once before events run
 };
 
 }  // namespace netcache

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/lp_ownership.h"
 #include "common/profiler.h"
 #include "net/link.h"
 
@@ -119,6 +120,9 @@ bool Simulator::ConfigurePartitions(size_t num_lps, size_t threads) {
     c.heap.reserve(kDefaultReserveEvents / 4);
     c.staged.reserve(256);
     c.staged_dest.reserve(256);
+    // Label the pool shard for the runtime ownership sanitizer: only the
+    // thread executing LP i may acquire from / release into shard i.
+    c.pool.set_owner_lp(c.index);
   }
   legacy_ = &ctxs_[0];
   lookahead_ = look;
@@ -198,6 +202,9 @@ void Simulator::RunWindowed(SimTime until) {
       wend = std::min(wend, until + 1);  // events at exactly `until` still run
     }
     ++windows_;
+    if (lp::ChecksEnabled()) {
+      lp::SetCurrentWindow(windows_);  // diagnostics for violation reports
+    }
     RunWindow(wend);
     MergeStaged();
   }
@@ -292,6 +299,11 @@ void Simulator::RunLpWindow(Ctx& lp, SimTime wend) {
   }
   Ctx* prev = tls_ctx_;
   tls_ctx_ = &lp;
+  // Publish the executing LP for the runtime ownership sanitizer: every
+  // NC_LP_CHECK fired from events in this window compares owners against
+  // lp.index. Serial instants and merges deliberately run with LP 0 (the
+  // coordinator), which the sanitizer lets touch anything.
+  lp::ScopedExecutor lp_exec(lp.index);
   {
     ProfScope prof(ProfCat::kLpExecute, lp.index);
     uint64_t before = lp.events;
@@ -310,6 +322,9 @@ void Simulator::RunLpWindow(Ctx& lp, SimTime wend) {
 }
 
 void Simulator::MergeStaged() {
+  // Staged-merge application mutates every LP's heap; it is only safe at the
+  // barrier, on the coordinator, with no window in flight.
+  NC_LP_CHECK_COORDINATOR("Simulator::MergeStaged");
   ProfScope prof(ProfCat::kMerge);
   uint64_t merged = 0;
   for (Ctx& c : ctxs_) {
@@ -398,6 +413,11 @@ void Simulator::RunDelivery(Ctx& c, const DeliveryRec& first, bool coalesce) {
       c.batch.push_back(next.del);
     }
   }
+  // The destination node's handler (and its delivery accounting below) must
+  // execute in the node's own partition — the routing in ScheduleDeliveryAt
+  // guarantees it, and the sanitizer re-checks at dispatch so a handler that
+  // re-entered the dispatcher from a foreign LP aborts here.
+  NC_LP_CHECK("Node packet dispatch", first.node->name().c_str(), first.node->lp());
   // Book the link-side delivery accounting for the whole batch up front.
   // Safe for the batch > 1 case: no other event runs between these
   // deliveries in the sequential schedule either, so nothing can observe

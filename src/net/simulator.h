@@ -76,6 +76,7 @@
 #include <vector>
 
 #include "common/inline_function.h"
+#include "common/lp_ownership.h"
 #include "common/time_units.h"
 #include "net/node.h"
 #include "net/packet_pool.h"
@@ -290,24 +291,26 @@ class Simulator {
   // thread at a time: its window worker inside a lookahead window, the
   // coordinator everywhere else (handoffs ordered by the window barrier).
   struct Ctx {
-    Simulator* sim = nullptr;
-    uint32_t index = 0;
-    SimTime now = 0;
-    uint64_t next_lseq = 0;
-    uint64_t events = 0;
-    uint64_t peak = 0;    // max heap size, sampled at timestamp advances
-    uint64_t stalls = 0;  // windows with no local work (LPs only)
-    uint64_t bursts = 0;
-    uint64_t burst_pkts = 0;
-    std::vector<Event> heap;  // explicit binary min-heap
+    NC_LP_SHARED Simulator* sim = nullptr;  // wiring-time, immutable after setup
+    NC_LP_SHARED uint32_t index = 0;
+    NC_LP_OWNED SimTime now = 0;
+    NC_LP_OWNED uint64_t next_lseq = 0;
+    NC_LP_OWNED uint64_t events = 0;
+    NC_LP_OWNED uint64_t peak = 0;    // max heap size, sampled at timestamp advances
+    NC_LP_OWNED uint64_t stalls = 0;  // windows with no local work (LPs only)
+    NC_LP_OWNED uint64_t bursts = 0;
+    NC_LP_OWNED uint64_t burst_pkts = 0;
+    NC_LP_OWNED std::vector<Event> heap;  // explicit binary min-heap
     // Cross-partition events produced inside a window, merged at the barrier.
-    std::vector<Event> staged;
-    std::vector<uint32_t> staged_dest;  // parallel array: destination ctx index
+    // Owned by the PRODUCING stream (each worker appends only to its own
+    // staging queue); the coordinator drains them in MergeStaged.
+    NC_LP_OWNED std::vector<Event> staged;
+    NC_LP_OWNED std::vector<uint32_t> staged_dest;  // parallel array: destination ctx index
     // Scratch buffers for RunDelivery, members so steady state allocates
     // nothing per burst.
-    std::vector<DeliveryRec> batch;
-    std::vector<BurstArrival> arrivals;
-    PacketPool pool;
+    NC_LP_OWNED std::vector<DeliveryRec> batch;
+    NC_LP_OWNED std::vector<BurstArrival> arrivals;
+    NC_LP_OWNED PacketPool pool;
   };
 
   static void PushHeap(std::vector<Event>& q, Event ev);
@@ -345,29 +348,29 @@ class Simulator {
     }
   }
 
-  bool coalesce_ = true;
-  bool partitioned_ = false;
+  NC_LP_SHARED bool coalesce_ = true;   // set before running, read-only after
+  NC_LP_SHARED bool partitioned_ = false;
   // True only between a window's dispatch and its merge; cross-partition
   // schedules are staged instead of pushed while set. Written by the
   // coordinator outside the parallel region, so the barrier's release/acquire
   // pair orders it for the workers.
-  bool in_window_ = false;
-  size_t threads_ = 1;
-  SimDuration lookahead_ = 0;
-  uint64_t windows_ = 0;
-  SimTime window_end_ = 0;
-  std::deque<Ctx> ctxs_;  // deque: Ctx owns a PacketPool and must never move
-  Ctx* legacy_ = nullptr;  // &ctxs_[0]
-  std::vector<Link*> links_;
-  DeliveryClassifier classifier_;
+  NC_LP_FENCED bool in_window_ = false;
+  NC_LP_SHARED size_t threads_ = 1;
+  NC_LP_SHARED SimDuration lookahead_ = 0;
+  NC_LP_FENCED uint64_t windows_ = 0;     // coordinator-only, between windows
+  NC_LP_FENCED SimTime window_end_ = 0;   // written between windows, barrier-ordered
+  NC_LP_SHARED std::deque<Ctx> ctxs_;  // deque: Ctx owns a PacketPool and must never move
+  NC_LP_SHARED Ctx* legacy_ = nullptr;  // &ctxs_[0]
+  NC_LP_SHARED std::vector<Link*> links_;  // wiring-time registry
+  NC_LP_SHARED DeliveryClassifier classifier_;  // installed before running
 
   // Persistent spin-barrier window workers (slots 1..threads_-1; the
   // coordinator executes slot 0). Spawned lazily on the first multi-threaded
   // window, joined in the destructor.
-  std::vector<std::thread> workers_;
-  std::atomic<uint64_t> epoch_{0};
-  std::atomic<uint32_t> done_{0};
-  std::atomic<bool> shutdown_{false};
+  NC_LP_SHARED std::vector<std::thread> workers_;  // coordinator start/join only
+  NC_LP_SHARED std::atomic<uint64_t> epoch_{0};
+  NC_LP_SHARED std::atomic<uint32_t> done_{0};
+  NC_LP_SHARED std::atomic<bool> shutdown_{false};
 
   static thread_local Ctx* tls_ctx_;
 };

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lp_ownership.h"
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -190,21 +191,26 @@ class StorageServer : public Node {
   void ScheduleUpdateRetry(const Key& key, uint64_t epoch);
   void ReleaseBlock(const Key& key);
 
-  Simulator* sim_;
-  ServerConfig config_;
-  mutable Mutex store_mu_;
-  KvStore store_ NC_GUARDED_BY(store_mu_);
-  bool online_ = true;
+  // LP ownership: the data path (cores, queues, coherence bookkeeping,
+  // stats) belongs to this server's LP; the store is the one piece of state
+  // shared with the controller's control channel and is mutex-protected
+  // (covered by -Wthread-safety, hence NC_LP_SHARED); online_ is flipped only
+  // by failover harness code in the global stream.
+  NC_LP_SHARED Simulator* sim_;
+  NC_LP_SHARED ServerConfig config_;
+  NC_LP_SHARED mutable Mutex store_mu_;
+  NC_LP_SHARED KvStore store_ NC_GUARDED_BY(store_mu_);
+  NC_LP_FENCED bool online_ = true;
 
-  std::vector<Core> cores_;
+  NC_LP_OWNED std::vector<Core> cores_;
 
-  std::unordered_map<Key, BlockState, KeyHasher> blocked_;
-  std::unordered_map<Key, PendingUpdate, KeyHasher> pending_updates_;
-  uint64_t update_epoch_ = 0;
+  NC_LP_OWNED std::unordered_map<Key, BlockState, KeyHasher> blocked_;
+  NC_LP_OWNED std::unordered_map<Key, PendingUpdate, KeyHasher> pending_updates_;
+  NC_LP_OWNED uint64_t update_epoch_ = 0;
 
-  UpdateRejectHandler update_reject_;
-  ServerStats stats_;
-  uint64_t burst_packets_received_ = 0;
+  NC_LP_SHARED UpdateRejectHandler update_reject_;  // installed at wiring time
+  NC_LP_OWNED ServerStats stats_;
+  NC_LP_OWNED uint64_t burst_packets_received_ = 0;
 };
 
 }  // namespace netcache

@@ -1,0 +1,65 @@
+# Exit-code and suggestion self-test for scripts/bench_regress.py, invoked:
+#   cmake -DPYTHON=<python3> -DREGRESS=<bench_regress.py> -DWORK_DIR=<dir>
+#         -P bench_regress_selftest.cmake
+#
+# Covers the contract CI relies on: exit 0 on a matching pair, exit 1 on a
+# metric regression, and exit 1 with closest-label suggestions when a
+# baseline trial label is missing from the candidate (the renamed-trial
+# case).
+
+set(DIR ${WORK_DIR}/bench_regress_selftest)
+file(MAKE_DIRECTORY ${DIR})
+
+file(WRITE ${DIR}/base.json [=[
+{"bench": "fixture", "seed": 1, "trials": [
+  {"label": "zipf_0.99_cache_128", "metrics": {"hit_ratio": 0.8, "qps": 1000.0}}
+]}
+]=])
+file(WRITE ${DIR}/same.json [=[
+{"bench": "fixture", "seed": 1, "trials": [
+  {"label": "zipf_0.99_cache_128", "metrics": {"hit_ratio": 0.8, "qps": 1000.0}}
+]}
+]=])
+file(WRITE ${DIR}/regressed.json [=[
+{"bench": "fixture", "seed": 1, "trials": [
+  {"label": "zipf_0.99_cache_128", "metrics": {"hit_ratio": 0.5, "qps": 1000.0}}
+]}
+]=])
+file(WRITE ${DIR}/renamed.json [=[
+{"bench": "fixture", "seed": 1, "trials": [
+  {"label": "zipf_0.99_cache_256", "metrics": {"hit_ratio": 0.8, "qps": 1000.0}}
+]}
+]=])
+
+execute_process(
+  COMMAND ${PYTHON} ${REGRESS} ${DIR}/base.json ${DIR}/same.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "identical files should exit 0, got ${rc}:\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${REGRESS} ${DIR}/base.json ${DIR}/regressed.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "metric regression should exit 1, got ${rc}:\n${out}\n${err}")
+endif()
+string(FIND "${out}" "hit_ratio" idx)
+if(idx EQUAL -1)
+  message(FATAL_ERROR "regression output does not name the metric:\n${out}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${REGRESS} ${DIR}/base.json ${DIR}/renamed.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "missing label should exit 1, got ${rc}:\n${out}\n${err}")
+endif()
+string(FIND "${out}" "closest in candidate" idx)
+if(idx EQUAL -1)
+  message(FATAL_ERROR "missing-label failure lacks suggestions:\n${out}")
+endif()
+string(FIND "${out}" "zipf_0.99_cache_256" idx)
+if(idx EQUAL -1)
+  message(FATAL_ERROR "suggestion does not list the renamed label:\n${out}")
+endif()

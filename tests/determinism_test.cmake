@@ -21,6 +21,10 @@
 #    1-thread partitioned run, not determinism_a.json). Both runs profile
 #    (--profile-out), so multi-threaded span recording is exercised under
 #    the byte-identity contract too.
+# 5. Runs the 4-worker rack again with the LP-ownership sanitizer armed
+#    (--lp-checks) and asserts the metrics JSON matches run 4's — the
+#    common/lp_ownership.h contract that the sanitizer observes, never
+#    perturbs.
 
 set(FLAGS rack --servers=4 --offered=150000 --duration=0.2 --seed=1234
     --metrics-interval=0.05 --check-invariants=0.02 --write-ratio=0.1)
@@ -132,4 +136,30 @@ if(NOT diff_rc EQUAL 0)
   message(FATAL_ERROR
       "--sim-threads=1 and --sim-threads=4 produced different metrics JSON "
       "(${WORK_DIR}/determinism_simthreads_1.json vs determinism_simthreads_4.json)")
+endif()
+
+# LP-ownership sanitizer (--lp-checks, common/lp_ownership.h): the runtime
+# checks are read-only assertions, so a checked 4-worker run must stay
+# byte-identical to the unchecked partitioned runs above — and must pass,
+# proving the production node/link/pool paths contain no cross-LP touches.
+execute_process(
+  COMMAND ${SIM} ${FLAGS} --sim-threads=4 --lp-checks
+          --metrics-out=${WORK_DIR}/determinism_lpchecks.json
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--lp-checks run exited ${rc}:\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/determinism_simthreads_4.json
+          ${WORK_DIR}/determinism_lpchecks.json
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+      "--lp-checks changed the metrics JSON: the ownership sanitizer must "
+      "observe, never perturb "
+      "(${WORK_DIR}/determinism_simthreads_4.json vs determinism_lpchecks.json)")
 endif()

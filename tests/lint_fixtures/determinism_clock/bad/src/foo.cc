@@ -1,0 +1,4 @@
+// Fixture: wall-clock read in simulation code (determinism-clock).
+namespace netcache {
+long NowWall() { return time(nullptr); }
+}  // namespace netcache

@@ -1,0 +1,4 @@
+// Fixture: simulated time comes from the simulator.
+namespace netcache {
+SimTime NowSim(Simulator* sim) { return sim->Now(); }
+}  // namespace netcache

@@ -1,0 +1,4 @@
+// Fixture: direct randomness outside common/rng (determinism-rng).
+namespace netcache {
+int Draw() { return rand(); }
+}  // namespace netcache

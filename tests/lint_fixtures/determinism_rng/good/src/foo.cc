@@ -1,0 +1,4 @@
+// Fixture: all randomness flows through the seeded Rng.
+namespace netcache {
+uint64_t Draw(Rng& rng) { return rng.Next(); }
+}  // namespace netcache

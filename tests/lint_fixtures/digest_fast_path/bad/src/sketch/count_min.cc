@@ -1,0 +1,4 @@
+// Fixture: per-probe seeded hash on the switch fast path (digest-fast-path).
+namespace netcache {
+size_t Probe(const Key& key, uint64_t seed) { return SeededHash(key, seed); }
+}  // namespace netcache

@@ -1,0 +1,4 @@
+// Fixture: every downstream slot derives from the per-packet KeyDigest.
+namespace netcache {
+size_t Probe(const KeyDigest& digest, size_t row) { return digest.Probe(row); }
+}  // namespace netcache

@@ -1,0 +1,3 @@
+// Fixture: pragma once instead of a NETCACHE_..._H_ guard (include-guards).
+#pragma once
+namespace netcache {}

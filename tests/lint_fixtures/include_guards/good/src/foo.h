@@ -1,0 +1,5 @@
+// Fixture: guard matches the file's path.
+#ifndef NETCACHE_FOO_H_
+#define NETCACHE_FOO_H_
+namespace netcache {}
+#endif  // NETCACHE_FOO_H_

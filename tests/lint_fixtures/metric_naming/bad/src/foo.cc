@@ -1,0 +1,6 @@
+// Fixture: uppercase metric name (metric-naming).
+namespace netcache {
+void Register(MetricsRegistry& registry, Counter* c) {
+  registry.AddCounter("Queue.Depth", c);
+}
+}  // namespace netcache

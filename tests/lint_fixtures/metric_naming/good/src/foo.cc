@@ -1,0 +1,6 @@
+// Fixture: lowercase dotted snake_case, unique per file.
+namespace netcache {
+void Register(MetricsRegistry& registry, Counter* c) {
+  registry.AddCounter("queue.depth", c);
+}
+}  // namespace netcache

@@ -1,0 +1,4 @@
+// Fixture: bare assert (no-naked-assert).
+namespace netcache {
+void Check(int x) { assert(x > 0); }
+}  // namespace netcache

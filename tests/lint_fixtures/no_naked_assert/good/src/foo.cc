@@ -1,0 +1,4 @@
+// Fixture: NC_CHECK logs context and fires in release builds too.
+namespace netcache {
+void Check(int x) { NC_CHECK(x > 0) << "x must be positive"; }
+}  // namespace netcache

@@ -1,0 +1,4 @@
+// Fixture: stdio logging in library code (no-stdio-logging).
+namespace netcache {
+void Report() { std::cout << "done\n"; }
+}  // namespace netcache

@@ -1,0 +1,4 @@
+// Fixture: library code logs through NC_LOG.
+namespace netcache {
+void Report() { NC_LOG(INFO) << "done"; }
+}  // namespace netcache

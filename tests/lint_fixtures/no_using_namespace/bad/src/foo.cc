@@ -1,0 +1,3 @@
+// Fixture: namespace-wide using directive (no-using-namespace).
+using namespace std;
+namespace netcache {}

@@ -1,0 +1,3 @@
+// Fixture: targeted using declarations only.
+using std::vector;
+namespace netcache {}

@@ -1,0 +1,74 @@
+# Fixture self-test for tools/lp_analyze.py, invoked by CTest as:
+#   cmake -DPYTHON=<python3> -DANALYZE=<lp_analyze.py> -DFIXTURES=<dir>
+#         -P lp_analyze_selftest.cmake
+#
+# The planted tree must trip all four rules — unclassified-field,
+# foreign-owned-write, unfenced-global, raw-cross-schedule — in BOTH engines
+# (lexical over the source fixtures; the AST walker over a pre-dumped Clang
+# JSON AST, so the CI-only clang leg is exercised without clang). The
+# compliant twin must pass, and --only must filter. The clean-tree gate is a
+# separate ctest (lp_analyze).
+
+set(ALL_RULES
+    unclassified-field foreign-owned-write unfenced-global raw-cross-schedule)
+
+function(expect_all_rules out engine)
+  foreach(rule ${ALL_RULES})
+    string(FIND "${out}" "[${rule}]" idx)
+    if(idx EQUAL -1)
+      message(FATAL_ERROR
+          "${engine} engine did not flag the planted ${rule} violation:\n${out}")
+    endif()
+  endforeach()
+endfunction()
+
+execute_process(
+  COMMAND ${PYTHON} ${ANALYZE} --list-rules
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--list-rules exited ${rc}")
+endif()
+
+# Lexical engine over the planted source tree: all four rule kinds.
+execute_process(
+  COMMAND ${PYTHON} ${ANALYZE} --root ${FIXTURES}/bad --mode=lexical
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "bad fixture should exit 1, got ${rc}:\n${out}\n${err}")
+endif()
+expect_all_rules("${out}" lexical)
+
+# Compliant twin: classified fields, fenced global, ScheduleFor/Global only.
+execute_process(
+  COMMAND ${PYTHON} ${ANALYZE} --root ${FIXTURES}/good --mode=lexical
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "good fixture should pass, got ${rc}:\n${out}\n${err}")
+endif()
+
+# AST walker over a synthetic clang -ast-dump=json translation unit.
+execute_process(
+  COMMAND ${PYTHON} ${ANALYZE} --root ${FIXTURES}/ast
+          --ast-json ${FIXTURES}/ast/bad_ast.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "AST fixture should exit 1, got ${rc}:\n${out}\n${err}")
+endif()
+expect_all_rules("${out}" ast)
+
+# --only restricts to the named rule.
+execute_process(
+  COMMAND ${PYTHON} ${ANALYZE} --root ${FIXTURES}/bad --mode=lexical
+          --only unfenced-global
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "--only run should exit 1, got ${rc}:\n${out}\n${err}")
+endif()
+string(FIND "${out}" "[unfenced-global]" idx)
+if(idx EQUAL -1)
+  message(FATAL_ERROR "--only unfenced-global dropped its own rule:\n${out}")
+endif()
+string(FIND "${out}" "[raw-cross-schedule]" idx)
+if(NOT idx EQUAL -1)
+  message(FATAL_ERROR "--only unfenced-global leaked other rules:\n${out}")
+endif()

@@ -1,0 +1,21 @@
+// lp_analyze self-test fixture: a Node subclass with one deliberately
+// unclassified member (rule: unclassified-field) and one NC_LP_OWNED member
+// that bad_sched.cc reaches into (rule: foreign-owned-write). Never compiled.
+#ifndef NETCACHE_TESTS_LP_FIXTURES_BAD_SRC_FAKE_BAD_NODE_H_
+#define NETCACHE_TESTS_LP_FIXTURES_BAD_SRC_FAKE_BAD_NODE_H_
+
+namespace netcache {
+
+class BadNode : public Node {
+ public:
+  void Tick();
+
+ private:
+  NC_LP_SHARED Simulator* sim_ = nullptr;
+  NC_LP_OWNED uint64_t owned_reorder_count_ = 0;
+  uint64_t unclassified_scratch_ = 0;  // planted: no NC_LP_* classification
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_TESTS_LP_FIXTURES_BAD_SRC_FAKE_BAD_NODE_H_

@@ -1,0 +1,18 @@
+// lp_analyze self-test fixture: node-subsystem source planting an unfenced
+// namespace-scope global, a raw context-affine schedule call, and a write to
+// a foreign object's NC_LP_OWNED state. Never compiled.
+#include "fake/bad_node.h"
+
+namespace netcache {
+
+uint64_t g_retry_epoch = 0;  // planted: mutable global without NC_LP_FENCED
+
+void BadScheduler::Arm() {
+  sim_->ScheduleAt(100, [] {});  // planted: raw schedule into executing ctx
+}
+
+void BadScheduler::Poke(BadNode* peer) {
+  peer->owned_reorder_count_ += 1;  // planted: foreign lp_owned mutation
+}
+
+}  // namespace netcache

@@ -1,0 +1,15 @@
+// Compliant fixture source: owner-file access to own owned state, fenced
+// global, node-affine scheduling only.
+#include "server/good_node.h"
+
+namespace netcache {
+
+NC_LP_FENCED uint64_t g_good_epoch = 0;
+
+void GoodNode::Tick() {
+  reorder_count_ += 1;                        // own state, own file: fine
+  sim_->ScheduleFor(this, 100, [] {});        // node-affine: fine
+  sim_->ScheduleGlobal(200, [] {});           // serial fence: fine
+}
+
+}  // namespace netcache

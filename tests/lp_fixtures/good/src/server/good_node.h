@@ -1,0 +1,21 @@
+// lp_analyze self-test fixture: the compliant twin of the bad tree — every
+// mutable member classified, global fenced, schedules routed through
+// ScheduleFor/ScheduleGlobal. Must produce zero findings. Never compiled.
+#ifndef NETCACHE_TESTS_LP_FIXTURES_GOOD_SRC_SERVER_GOOD_NODE_H_
+#define NETCACHE_TESTS_LP_FIXTURES_GOOD_SRC_SERVER_GOOD_NODE_H_
+
+namespace netcache {
+
+class GoodNode : public Node {
+ public:
+  void Tick();
+
+ private:
+  NC_LP_SHARED Simulator* sim_ = nullptr;
+  NC_LP_OWNED uint64_t reorder_count_ = 0;
+  NC_LP_FENCED bool online_ = false;
+};
+
+}  // namespace netcache
+
+#endif  // NETCACHE_TESTS_LP_FIXTURES_GOOD_SRC_SERVER_GOOD_NODE_H_

@@ -1,0 +1,695 @@
+#!/usr/bin/env python3
+"""lp_analyze: static checker for the LP-ownership model of the parallel DES.
+
+The conservative parallel simulator (src/net/simulator.h) is correct only
+when every logical process (LP) touches nothing but its own state inside a
+lookahead window. src/common/lp_ownership.h turns that discipline into
+machine-readable classifications (NC_LP_OWNED / NC_LP_SHARED / NC_LP_FENCED);
+this tool audits the classifications and the code against them. It is the
+static sibling of the runtime sanitizer (--lp-checks): the sanitizer catches
+what actually executed, this catches what could.
+
+Rules:
+
+  unclassified-field    Every mutable member of a Node subclass (and of any
+                        class that already carries one NC_LP_* annotation)
+                        must be classified OWNED / SHARED / FENCED. State a
+                        DES event can touch with no declared owner is exactly
+                        the state the sync-protocol rewrite will race on.
+  foreign-owned-write   Code outside the owning class's own files must not
+                        touch another object's NC_LP_OWNED state. Cross-LP
+                        effects route through ScheduleFor / ScheduleGlobal /
+                        the staged merge; the merge/fence machinery in
+                        src/net/simulator.{h,cc} is the one allowlisted
+                        exception.
+  unfenced-global       Mutable namespace-scope state in the simulation
+                        subsystems must be NC_LP_FENCED (mutated only in
+                        serial fences) or NC_LP_SHARED (atomic / immutable /
+                        mutex-protected). An unannotated global written from
+                        an LP window is a cross-LP race by construction.
+  raw-cross-schedule    Node-subsystem code (src/dataplane, src/server,
+                        src/client) must not call the context-affine
+                        Simulator::Schedule / ScheduleAt: a single serial
+                        instant would capture the rescheduling chain into the
+                        global stream forever, and a handler running in a
+                        foreign context would schedule into the wrong heap.
+                        Use ScheduleFor / ScheduleGlobal (/ ScheduleDeliveryAt).
+
+Engines:
+
+  --mode=lexical  Zero-dependency scan of the source tree (same philosophy
+                  as netcache_lint.py). Runs everywhere, gates the ctest leg.
+                  Lexical limits, by rule: unclassified-field keys on the
+                  repo's `name_` member convention; unfenced-global keys on
+                  the `g_`-prefix convention plus thread_local; the other two
+                  are exact enough lexically (private members cannot be
+                  foreign-accessed without the text saying so).
+  --mode=ast      Consumes compile_commands.json and per-TU Clang JSON AST
+                  dumps (`clang++ ... -fsyntax-only -Xclang -ast-dump=json`,
+                  no libclang bindings). Sees through macros and naming
+                  conventions; gates the CI static-analysis leg where clang
+                  is installed. --ast-json FILE feeds a pre-dumped AST
+                  (fixture self-tests; no clang needed).
+  --mode=auto     ast when clang + compile_commands.json are available,
+                  lexical otherwise.
+
+Usage: python3 tools/lp_analyze.py [--root DIR] [--mode M] [--only RULE]
+                                   [--list-rules] [--compile-commands FILE]
+                                   [--ast-json FILE]
+Prints findings as `path:line: [rule] message` and exits 1 if any.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+RULES = {
+    "unclassified-field":
+        "mutable Node-subclass / annotated-class member without an NC_LP_* "
+        "classification",
+    "foreign-owned-write":
+        "access to another object's NC_LP_OWNED state outside the owning "
+        "class's files (and outside the simulator merge/fence allowlist)",
+    "unfenced-global":
+        "mutable namespace-scope state in a simulation subsystem not marked "
+        "NC_LP_FENCED / NC_LP_SHARED",
+    "raw-cross-schedule":
+        "context-affine Schedule/ScheduleAt call in node-subsystem code; use "
+        "ScheduleFor / ScheduleGlobal",
+}
+
+CXX_EXTENSIONS = (".h", ".cc", ".cpp")
+
+# Subsystems whose state the DES executes on (rule scopes).
+SIM_SUBSYSTEMS = (
+    "src/net/", "src/dataplane/", "src/server/", "src/client/",
+    "src/controller/", "src/kvstore/", "src/core/",
+)
+# Node-handler subsystems where raw Schedule calls are wrong by construction.
+NODE_SUBSYSTEMS = ("src/dataplane/", "src/server/", "src/client/")
+# The sanctioned cross-LP machinery: staged merges, serial fences, worker
+# TLS. It reaches into every LP's heap by design.
+ALLOWLIST = ("src/net/simulator.h", "src/net/simulator.cc")
+
+ANNOTATIONS = ("NC_LP_OWNED", "NC_LP_SHARED", "NC_LP_FENCED")
+AST_ANNOTATIONS = ("netcache::lp_owned", "netcache::lp_shared",
+                   "netcache::lp_fenced")
+
+CLASS_DECL = re.compile(
+    r"^\s*(?:class|struct)\s+(?:NC_\w+\s+)?"           # optional attr macro
+    r"([A-Za-z_]\w*(?:::[A-Za-z_]\w*)*)\s*"            # name (maybe qualified)
+    r"(?:final\s*)?"
+    r"(?::\s*([^\{]*))?"                               # base clause
+    r"\{")
+# A member declaration line, keyed on the repo's `name_` suffix convention:
+# optional annotation/qualifiers, a type, then `foo_` with an optional array
+# extent / initializer. Multi-declarator lines are rare enough to ignore.
+FIELD_DECL = re.compile(
+    r"^\s*(?:NC_LP_(?:OWNED|SHARED|FENCED)\s+)?"
+    r"(?:mutable\s+|static\s+|constexpr\s+|inline\s+|thread_local\s+|const\s+)*"
+    r"[A-Za-z_][\w:<>,\s\*&\(\)\.]*?[\s\*&>]"
+    r"([A-Za-z_]\w*_)\s*(?:\[[^\]]*\]\s*)?"
+    r"(?:=[^;]*|\{[^;]*\}|NC_GUARDED_BY\s*\([^)]*\))?;")
+RAW_SCHEDULE = re.compile(r"\bSchedule(?:At)?\s*\(")
+GLOBAL_VAR = re.compile(
+    r"^\s*(?:NC_LP_(?:FENCED|SHARED)\s+)?"
+    r"(?:static\s+|inline\s+|thread_local\s+)*"
+    r"[A-Za-z_][\w:<>,\s\*&]*?[\s\*&>]"
+    r"(g_\w+|tls_\w+)\s*(?:=[^;]*|\{[^;]*\})?;")
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Removes string/char literals, // and /* */ comments from one line.
+
+    Returns (stripped_line, still_in_block_comment). Multi-line block
+    comments are tracked via the flag so class-body brace counting stays
+    honest across them.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end == -1:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append(quote + quote)
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def relpath(path, root):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def iter_sources(root, tops=("src",)):
+    for top in tops:
+        top_dir = os.path.join(root, top)
+        if not os.path.isdir(top_dir):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top_dir):
+            # Self-test fixture trees plant violations on purpose.
+            dirnames[:] = [d for d in dirnames if not d.endswith("_fixtures")]
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    path = os.path.join(dirpath, name)
+                    yield path, relpath(path, root)
+
+
+def stem_of(rel):
+    """src/net/link.h -> src/net/link (owner files share the stem)."""
+    return rel.rsplit(".", 1)[0]
+
+
+class ClassInfo:
+    def __init__(self, name, rel, is_node):
+        self.name = name
+        self.rel = rel
+        self.is_node = is_node
+        self.annotated = False
+        # (line, name, has_annotation, decl_text) of direct fields.
+        self.fields = []
+
+
+def parse_classes(path, rel):
+    """Lexical pass 1: class extents, bases, direct field declarations.
+
+    Brace-counting state machine over comment/string-stripped lines. Nested
+    structs inside a tracked class are pushed as their own (untracked)
+    scopes, so their members never count as direct fields of the outer class
+    — a nested aggregate inherits the classification of the field that
+    embeds it.
+    """
+    classes = []
+    stack = []  # (ClassInfo-or-None, depth_at_entry)
+    depth = 0
+    in_block = False
+    with open(path, encoding="utf-8", errors="replace") as f:
+        for num, raw in enumerate(f, start=1):
+            line, in_block = strip_comments_and_strings(raw.rstrip("\n"), in_block)
+            m = CLASS_DECL.match(line)
+            if m and not line.rstrip().endswith(";"):
+                bases = m.group(2) or ""
+                is_node = bool(re.search(r"\bNode\b", bases))
+                info = ClassInfo(m.group(1), rel, is_node)
+                classes.append(info)
+                depth += line.count("{") - line.count("}")
+                stack.append((info, depth))
+                continue
+            opens = line.count("{")
+            closes = line.count("}")
+            if stack and opens > 0 and re.match(
+                    r"^\s*(?:class|struct|union|enum)\b", line):
+                # Nested type: own scope, fields exempt.
+                depth += opens - closes
+                if opens > closes:
+                    stack.append((None, depth))
+                continue
+            if stack and stack[-1][0] is not None and depth == stack[-1][1]:
+                info = stack[-1][0]
+                fm = FIELD_DECL.match(line)
+                if fm and "(" not in line.split(fm.group(1))[0].split("<")[0]:
+                    decl = line.strip()
+                    has_annotation = any(a in line for a in ANNOTATIONS)
+                    is_static = bool(re.match(r"\s*(?:static|constexpr)\b", line))
+                    is_plain_const = (
+                        re.match(r"\s*(?:NC_LP_\w+\s+)?const\b", line)
+                        and "*" not in decl and "&" not in decl)
+                    if not is_static and not is_plain_const:
+                        info.fields.append((num, fm.group(1), has_annotation, decl))
+                        if has_annotation:
+                            info.annotated = True
+            depth += opens - closes
+            while stack and depth < stack[-1][1]:
+                stack.pop()
+    return classes
+
+
+def lexical_engine(root, findings):
+    classes = []
+    sources = list(iter_sources(root))
+    for path, rel in sources:
+        classes.extend(parse_classes(path, rel))
+
+    # Rule 1: unclassified fields.
+    for info in classes:
+        if not (info.is_node or info.annotated):
+            continue
+        for num, name, has_annotation, decl in info.fields:
+            if not has_annotation:
+                findings.append(
+                    (info.rel, num, "unclassified-field",
+                     "mutable member %r of %s has no NC_LP_OWNED / "
+                     "NC_LP_SHARED / NC_LP_FENCED classification" %
+                     (name, info.name)))
+
+    # Rule 2: foreign access to owned state. Owned members are private, so
+    # any textual `expr->member_` / `expr.member_` outside the owner's own
+    # files is either a friend reaching in or code that will not compile —
+    # both findings.
+    owned = {}  # field name -> set of owner stems
+    declared = {}  # field name -> set of stems declaring a field of that name
+    for info in classes:
+        for _, name, has_annotation, decl in info.fields:
+            declared.setdefault(name, set()).add(stem_of(info.rel))
+            if has_annotation and "NC_LP_OWNED" in decl:
+                owned.setdefault(name, set()).add(stem_of(info.rel))
+    if owned:
+        member_access = re.compile(
+            r"(\b[A-Za-z_]\w*|\)|\])\s*(?:->|\.)\s*(%s)\b(?!\s*\()" %
+            "|".join(re.escape(f) for f in sorted(owned)))
+        for path, rel in sources:
+            if rel in ALLOWLIST:
+                continue
+            in_block = False
+            with open(path, encoding="utf-8", errors="replace") as f:
+                for num, raw in enumerate(f, start=1):
+                    line, in_block = strip_comments_and_strings(
+                        raw.rstrip("\n"), in_block)
+                    for m in member_access.finditer(line):
+                        obj, field = m.group(1), m.group(2)
+                        if obj == "this":
+                            continue
+                        if stem_of(rel) in owned[field]:
+                            continue  # the owner's own files
+                        if stem_of(rel) in declared.get(field, ()):
+                            # A class in this file's own header/source pair
+                            # declares a member of the same name: the access
+                            # resolves to that class, not the foreign owner
+                            # (same-name disambiguation).
+                            continue
+                        findings.append(
+                            (rel, num, "foreign-owned-write",
+                             "access to NC_LP_OWNED member %r of a foreign "
+                             "object (owned state may only be touched by its "
+                             "own class or the simulator merge/fence code)" %
+                             field))
+
+    # Rules 3 + 4: per-line scans over the sim subsystems.
+    for path, rel in sources:
+        in_sim = any(rel.startswith(p) for p in SIM_SUBSYSTEMS)
+        in_node_subsystem = any(rel.startswith(p) for p in NODE_SUBSYSTEMS)
+        if not in_sim or rel in ALLOWLIST:
+            continue
+        # Scope stack distinguishing namespace braces from all others, so
+        # rule 3 sees `namespace netcache { uint64_t g_x; }` as
+        # namespace-scope but not function/class bodies.
+        scopes = []
+        in_block = False
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for num, raw in enumerate(f, start=1):
+                line, in_block = strip_comments_and_strings(
+                    raw.rstrip("\n"), in_block)
+                at_ns_scope = all(s == "ns" for s in scopes)
+                if at_ns_scope:
+                    gm = GLOBAL_VAR.match(line)
+                    if (gm and not re.search(
+                            r"NC_LP_(?:FENCED|SHARED)|\bconst\b|\bconstexpr\b"
+                            r"|std::atomic", line)
+                            and "::" not in line.split(gm.group(1))[0].split("<")[0]
+                            .replace("std::", "")):
+                        findings.append(
+                            (rel, num, "unfenced-global",
+                             "mutable namespace-scope state %r must be "
+                             "NC_LP_FENCED (serial-fence writers only) or "
+                             "NC_LP_SHARED (atomic/immutable)" % gm.group(1)))
+                if in_node_subsystem and RAW_SCHEDULE.search(line):
+                    findings.append(
+                        (rel, num, "raw-cross-schedule",
+                         "raw Schedule/ScheduleAt in node-subsystem code "
+                         "schedules into the executing context, not the "
+                         "node's LP; use ScheduleFor (node-affine) or "
+                         "ScheduleGlobal (control plane)"))
+                is_ns_open = bool(
+                    re.match(r"\s*(?:inline\s+)?namespace\b", line))
+                for _ in range(line.count("{")):
+                    scopes.append("ns" if is_ns_open else "other")
+                    is_ns_open = False  # only the first brace is the ns
+                for _ in range(line.count("}")):
+                    if scopes:
+                        scopes.pop()
+
+
+# ---------------------------------------------------------------------------
+# AST engine: Clang JSON AST dumps (-Xclang -ast-dump=json), no libclang.
+# ---------------------------------------------------------------------------
+
+
+class AstWalk:
+    """One pass over a TU's JSON AST.
+
+    Clang emits file names differentially (a node's loc carries "file" only
+    when it differs from the previous node's), so the walk threads a
+    current-file cursor through the traversal.
+    """
+
+    def __init__(self, root):
+        self.root = root
+        self.cur_file = None
+        # FieldDecl id -> (name, owner record name, owner rel, classification)
+        self.fields_by_id = {}
+        self.records = []  # (name, rel, is_node, annotated, fields)
+        self.accesses = []  # (rel, line, field_id, enclosing_record)
+        self.globals = []  # (rel, line, name, annotated, qual_type)
+        self.schedule_calls = []  # (rel, line, callee)
+
+    def norm(self, f):
+        if not f:
+            return None
+        if not os.path.isabs(f):
+            f = os.path.join(self.root, f)
+        try:
+            rel = os.path.relpath(f, self.root)
+        except ValueError:
+            return None
+        rel = rel.replace(os.sep, "/")
+        return None if rel.startswith("..") else rel
+
+    def update_file(self, node):
+        loc = node.get("loc") or {}
+        for key in ("file", "spellingLoc", "expansionLoc"):
+            v = loc.get(key)
+            if isinstance(v, str):
+                self.cur_file = v
+            elif isinstance(v, dict) and v.get("file"):
+                self.cur_file = v["file"]
+        rng = node.get("range") or {}
+        begin = rng.get("begin") or {}
+        if isinstance(begin, dict):
+            if begin.get("file"):
+                self.cur_file = begin["file"]
+            exp = begin.get("expansionLoc") or {}
+            if isinstance(exp, dict) and exp.get("file"):
+                self.cur_file = exp["file"]
+
+    @staticmethod
+    def line_of(node):
+        loc = node.get("loc") or {}
+        if isinstance(loc.get("line"), int):
+            return loc["line"]
+        for key in ("spellingLoc", "expansionLoc"):
+            v = loc.get(key)
+            if isinstance(v, dict) and isinstance(v.get("line"), int):
+                return v["line"]
+        rng = node.get("range") or {}
+        begin = rng.get("begin") or {}
+        if isinstance(begin, dict) and isinstance(begin.get("line"), int):
+            return begin["line"]
+        return 0
+
+    @staticmethod
+    def annotation_of(node):
+        """The netcache::lp_* classification on a decl, if any."""
+        for attr in node.get("inner") or []:
+            if attr.get("kind") != "AnnotateAttr":
+                continue
+            # Newer clangs put the annotation text in inner StringLiterals;
+            # older ones omit it. Treat a text-less AnnotateAttr as a
+            # classification too (tolerant: the lexical engine still keys on
+            # the exact macro).
+            text = AstWalk.find_string(attr)
+            if text is None or text.startswith("netcache::lp_"):
+                return text or "netcache::lp_unknown"
+        return None
+
+    @staticmethod
+    def find_string(node):
+        if node.get("kind") == "StringLiteral":
+            v = node.get("value")
+            if isinstance(v, str):
+                return v.strip('"')
+        for child in node.get("inner") or []:
+            found = AstWalk.find_string(child)
+            if found is not None:
+                return found
+        return None
+
+    @staticmethod
+    def is_mutable_field(node):
+        qt = ((node.get("type") or {}).get("qualType")) or ""
+        if qt.startswith("const ") and "*" not in qt and "&" not in qt:
+            return False
+        return True
+
+    def walk(self, node, enclosing_record=None):
+        if not isinstance(node, dict):
+            return
+        self.update_file(node)
+        kind = node.get("kind")
+        rel = self.norm(self.cur_file)
+
+        if kind == "CXXRecordDecl" and node.get("completeDefinition"):
+            name = node.get("name") or "<anon>"
+            bases = node.get("bases") or []
+            is_node = any(
+                re.search(r"\bNode\b",
+                          ((b.get("type") or {}).get("qualType")) or "")
+                for b in bases)
+            fields = []
+            annotated = False
+            for child in node.get("inner") or []:
+                if child.get("kind") != "FieldDecl":
+                    continue
+                self.update_file(child)
+                classification = self.annotation_of(child)
+                if classification:
+                    annotated = True
+                fid = child.get("id")
+                fname = child.get("name") or "<anon>"
+                frel = self.norm(self.cur_file)
+                if fid:
+                    self.fields_by_id[fid] = (fname, name, frel, classification)
+                fields.append((self.line_of(child), fname, classification,
+                               self.is_mutable_field(child), frel))
+            if rel:
+                self.records.append((name, rel, is_node, annotated, fields))
+            for child in node.get("inner") or []:
+                self.walk(child, enclosing_record=name)
+            return
+
+        if kind == "VarDecl" and enclosing_record is None and rel:
+            qt = ((node.get("type") or {}).get("qualType")) or ""
+            if node.get("name") and "const" not in qt.split("[")[0] \
+                    and "atomic" not in qt:
+                self.globals.append(
+                    (rel, self.line_of(node), node["name"],
+                     self.annotation_of(node) is not None, qt))
+
+        if kind == "MemberExpr" and rel:
+            ref = node.get("referencedMemberDecl")
+            if ref and ref in self.fields_by_id:
+                # Foreign unless the base expression is `this` (an implicit
+                # or explicit CXXThisExpr child).
+                base_is_this = any(
+                    c.get("kind") == "CXXThisExpr"
+                    for c in node.get("inner") or [])
+                if not base_is_this:
+                    self.accesses.append(
+                        (rel, self.line_of(node), ref, enclosing_record))
+            name = node.get("name")
+            if name in ("Schedule", "ScheduleAt"):
+                self.schedule_calls.append((rel, self.line_of(node), name))
+
+        for child in node.get("inner") or []:
+            self.walk(child, enclosing_record=enclosing_record)
+
+
+def ast_engine_from_json(root, tu_json, findings, seen):
+    walk = AstWalk(root)
+    walk.walk(tu_json)
+
+    for name, rel, is_node, annotated, fields in walk.records:
+        if not any(rel.startswith(p) for p in SIM_SUBSYSTEMS):
+            continue
+        if not (is_node or annotated):
+            continue
+        for line, fname, classification, mutable_, frel in fields:
+            if mutable_ and classification is None and frel:
+                key = (frel, line, "unclassified-field", fname)
+                if key not in seen:
+                    seen.add(key)
+                    findings.append(
+                        (frel, line, "unclassified-field",
+                         "mutable member %r of %s has no netcache::lp_* "
+                         "classification" % (fname, name)))
+
+    for rel, line, fid, enclosing in walk.accesses:
+        fname, owner, frel, classification = walk.fields_by_id[fid]
+        if classification != "netcache::lp_owned":
+            continue
+        if enclosing == owner or rel in ALLOWLIST:
+            continue
+        key = (rel, line, "foreign-owned-write", fname)
+        if key not in seen:
+            seen.add(key)
+            findings.append(
+                (rel, line, "foreign-owned-write",
+                 "access to lp_owned member %s::%s from %s" %
+                 (owner, fname, enclosing or "<free function>")))
+
+    for rel, line, name, annotated, qt in walk.globals:
+        if not any(rel.startswith(p) for p in SIM_SUBSYSTEMS):
+            continue
+        if rel in ALLOWLIST or annotated:
+            continue
+        key = (rel, line, "unfenced-global", name)
+        if key not in seen:
+            seen.add(key)
+            findings.append(
+                (rel, line, "unfenced-global",
+                 "mutable namespace-scope state %r (%s) must carry a "
+                 "netcache::lp_* classification" % (name, qt)))
+
+    for rel, line, callee in walk.schedule_calls:
+        if not any(rel.startswith(p) for p in NODE_SUBSYSTEMS):
+            continue
+        key = (rel, line, "raw-cross-schedule", callee)
+        if key not in seen:
+            seen.add(key)
+            findings.append(
+                (rel, line, "raw-cross-schedule",
+                 "%s() in node-subsystem code; use ScheduleFor / "
+                 "ScheduleGlobal" % callee))
+
+
+def ast_engine(root, compile_commands, findings):
+    with open(compile_commands, encoding="utf-8") as f:
+        entries = json.load(f)
+    clang = shutil.which("clang++") or shutil.which("clang")
+    if clang is None:
+        print("lp_analyze: --mode=ast requires clang", file=sys.stderr)
+        return False
+    seen = set()
+    tus = 0
+    for entry in entries:
+        src = entry.get("file") or ""
+        rel = relpath(os.path.join(entry.get("directory", "."), src)
+                      if not os.path.isabs(src) else src, root)
+        if not any(rel.startswith(p) for p in SIM_SUBSYSTEMS):
+            continue
+        if "arguments" in entry:
+            args = list(entry["arguments"])
+        else:
+            # Shell-grade splitting is overkill: the exported commands are
+            # cmake-generated and contain no quoted spaces.
+            args = entry["command"].split()
+        # Strip the output clauses and the original driver; re-drive clang.
+        filtered = []
+        skip = False
+        for a in args[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-o", "-c"):
+                skip = a == "-o"
+                continue
+            filtered.append(a)
+        cmd = [clang] + filtered + ["-fsyntax-only", "-Wno-everything",
+                                    "-Xclang", "-ast-dump=json"]
+        proc = subprocess.run(cmd, cwd=entry.get("directory", root),
+                              capture_output=True, text=True)
+        if proc.returncode != 0 or not proc.stdout:
+            print("lp_analyze: AST dump failed for %s:\n%s" %
+                  (rel, proc.stderr[-2000:]), file=sys.stderr)
+            return False
+        ast_engine_from_json(root, json.loads(proc.stdout), findings, seen)
+        tus += 1
+    print("lp_analyze: %d TU(s) analyzed (ast)" % tus, file=sys.stderr)
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script's directory)")
+    parser.add_argument("--mode", choices=("lexical", "ast", "auto"),
+                        default="lexical")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json for --mode=ast "
+                             "(default: <root>/build/compile_commands.json)")
+    parser.add_argument("--ast-json", default=None,
+                        help="pre-dumped Clang JSON AST file to analyze "
+                             "instead of invoking clang (self-tests)")
+    parser.add_argument("--only", metavar="RULE", action="append", default=None,
+                        help="restrict output to RULE (repeatable)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print("%-22s %s" % (rule, RULES[rule]))
+        return 0
+    if args.only:
+        unknown = [r for r in args.only if r not in RULES]
+        if unknown:
+            print("lp_analyze: unknown rule(s): %s (see --list-rules)" %
+                  ", ".join(unknown), file=sys.stderr)
+            return 2
+
+    root = os.path.abspath(args.root)
+    findings = []
+
+    if args.ast_json:
+        with open(args.ast_json, encoding="utf-8") as f:
+            ast_engine_from_json(root, json.load(f), findings, set())
+    elif args.mode == "lexical":
+        lexical_engine(root, findings)
+    else:
+        cc = args.compile_commands or os.path.join(
+            root, "build", "compile_commands.json")
+        have_ast = os.path.isfile(cc) and (
+            shutil.which("clang++") or shutil.which("clang"))
+        if args.mode == "ast":
+            if not os.path.isfile(cc):
+                print("lp_analyze: %s not found (configure with "
+                      "CMAKE_EXPORT_COMPILE_COMMANDS=ON)" % cc, file=sys.stderr)
+                return 2
+            if not ast_engine(root, cc, findings):
+                return 2
+        elif have_ast:
+            if not ast_engine(root, cc, findings):
+                return 2
+        else:
+            lexical_engine(root, findings)
+
+    if args.only:
+        findings = [f for f in findings if f[2] in set(args.only)]
+    findings.sort()
+    for rel, num, rule, msg in findings:
+        print("%s:%d: [%s] %s" % (rel, num, rule, msg))
+    print("lp_analyze: %d finding(s)" % len(findings), file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

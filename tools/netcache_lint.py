@@ -42,7 +42,7 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
                       silently reintroduces the per-probe cost the digest
                       removed.
 
-Usage: python3 tools/netcache_lint.py [--root DIR]
+Usage: python3 tools/netcache_lint.py [--root DIR] [--only RULE] [--list-rules]
 Prints findings as `path:line: [rule] message` and exits 1 if any.
 """
 
@@ -52,6 +52,25 @@ import re
 import sys
 
 CXX_EXTENSIONS = (".h", ".cc", ".cpp")
+
+RULES = {
+    "determinism-rng":
+        "no direct randomness outside common/rng.*; use the seeded Rng",
+    "determinism-clock":
+        "no wall-clock reads outside time_units.h / the profiler",
+    "no-naked-assert":
+        "no bare assert(); use NC_CHECK from common/logging.h",
+    "include-guards":
+        "headers use NETCACHE_<PATH>_H_ guards matching the file path",
+    "no-stdio-logging":
+        "no std::cout/printf logging inside src/; use NC_LOG",
+    "no-using-namespace":
+        "no `using namespace std;` anywhere",
+    "metric-naming":
+        "metric names are lowercase dotted snake_case, unique per file",
+    "digest-fast-path":
+        "no per-probe SeededHash on the switch fast path; use KeyDigest",
+}
 
 RNG_PATTERN = re.compile(
     r"(?<![\w.])(?:rand|srand|rand_r|drand48|lrand48|random)\s*\("
@@ -355,7 +374,23 @@ def main():
         "--root",
         default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
         help="repository root (default: parent of this script's directory)")
+    parser.add_argument("--only", metavar="RULE", action="append", default=None,
+                        help="restrict output to RULE (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule names and exit")
     args = parser.parse_args()
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print("%-20s %s" % (rule, RULES[rule]))
+        return 0
+    if args.only:
+        unknown = [r for r in args.only if r not in RULES]
+        if unknown:
+            print("netcache_lint: unknown rule(s): %s (see --list-rules)" %
+                  ", ".join(unknown), file=sys.stderr)
+            return 2
+
     root = os.path.abspath(args.root)
 
     findings = []
@@ -364,7 +399,11 @@ def main():
         top_dir = os.path.join(root, top)
         if not os.path.isdir(top_dir):
             continue
-        for dirpath, _, filenames in os.walk(top_dir):
+        for dirpath, dirnames, filenames in os.walk(top_dir):
+            # Lint/analyzer self-test fixtures plant violations on purpose;
+            # they are scanned by their own ctests with --root pointed at the
+            # fixture tree, never as part of the repo walk.
+            dirnames[:] = [d for d in dirnames if not d.endswith("_fixtures")]
             for name in sorted(filenames):
                 if not name.endswith(CXX_EXTENSIONS):
                     continue
@@ -372,6 +411,8 @@ def main():
                 check_file(path, relpath(path, root), findings)
                 scanned += 1
 
+    if args.only:
+        findings = [f for f in findings if f[2] in set(args.only)]
     findings.sort()
     for rel, num, rule, msg in findings:
         print("%s:%d: [%s] %s" % (rel, num, rule, msg))

@@ -36,6 +36,7 @@
 #include "client/workload_driver.h"
 #include "common/cli.h"
 #include "common/json_writer.h"
+#include "common/lp_ownership.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
 #include "common/trace_recorder.h"
@@ -78,6 +79,10 @@ int Usage(const char* program) {
                "                                     re-check every SECS simulated seconds\n"
                "                                     (default 0.05) plus a final sweep;\n"
                "                                     exits 1 on any violation\n"
+               "           --lp-checks               runtime LP-ownership sanitizer: abort\n"
+               "                                     with an attributed diagnostic if any\n"
+               "                                     event touches state owned by another\n"
+               "                                     logical process (parallel DES)\n"
                "rack only: --metrics-interval=SECS   time-series sampling bin (default 0.1)\n"
                "           --trace-out=FILE.jsonl    packet-lifecycle span events\n"
                "           --trace-limit=N           trace ring-buffer capacity (default 65536)\n"
@@ -166,12 +171,15 @@ int RunRack(ArgParser& args) {
   size_t sim_threads_requested = static_cast<size_t>(args.GetInt("sim-threads", 0));
   cfg.sim_threads = sim_threads_requested;
   if (!trace_out.empty() && cfg.sim_threads > 1) {
-    // The trace recorder is one global ring; keep the windowed schedule (so
-    // results stay byte-identical to the requested thread count) but execute
-    // it on the calling thread.
+    // The trace ring is mutex-guarded (common/trace_recorder.h), so a
+    // multi-worker run would be SAFE — but the interleaving of events from
+    // concurrent windows is schedule-dependent, and traces must stay
+    // byte-identical for a fixed seed. Keep the windowed schedule (results
+    // match the requested thread count) but execute it on one thread.
     std::fprintf(stderr,
-                 "warning: --trace-out forces --sim-threads=1 (trace ring is "
-                 "not thread-safe); the schedule is unchanged\n");
+                 "warning: --trace-out forces --sim-threads=1 (concurrent "
+                 "workers would interleave trace events nondeterministically); "
+                 "the schedule is unchanged\n");
     cfg.sim_threads = 1;
   }
   size_t trace_limit = static_cast<size_t>(args.GetInt("trace-limit", 65536));
@@ -882,6 +890,14 @@ int Main(int argc, char** argv) {
     return Usage(argv[0]);
   }
   const std::string& command = args.positional()[0];
+  if (args.GetBool("lp-checks", false)) {
+#if NETCACHE_LP_CHECKS
+    lp::SetChecksEnabled(true);
+#else
+    std::fprintf(stderr,
+                 "--lp-checks ignored: built with -DNETCACHE_LP_CHECKS=OFF\n");
+#endif
+  }
   int rc;
   if (command == "rack") {
     rc = RunRack(args);
