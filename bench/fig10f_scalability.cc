@@ -14,6 +14,9 @@
 // Extra flags: --des-racks=N   run ONE DES trial at N racks (0 = default
 //                              sweep over {1, 4}; 16 is the speedup config)
 //              --des-duration-ms=M  simulated time per DES trial (default 200)
+//              --lp-checks     arm the LP-ownership sanitizer for the DES
+//                              trials (common/lp_ownership.h; CI's TSan leg
+//                              runs the 8-worker config with it on)
 
 #include <cstdio>
 #include <memory>
@@ -24,6 +27,7 @@
 #include "bench/bench_util.h"
 #include "client/workload_driver.h"
 #include "common/cli.h"
+#include "common/lp_ownership.h"
 #include "core/fabric.h"
 #include "core/multirack.h"
 #include "workload/generator.h"
@@ -129,6 +133,17 @@ void RunDesTrial(bench::BenchHarness& harness, size_t racks, SimDuration duratio
       .Metric("spine_hits", static_cast<double>(fabric.TotalSpineHits()))
       .Metric("tor_hits", static_cast<double>(fabric.TotalTorHits()))
       .Metric("server_reads", static_cast<double>(fabric.TotalServerReads()));
+  uint64_t windows = fabric.sim().windows_run();
+  uint64_t merged = 0;
+  for (size_t lp = 1; lp <= fabric.sim().num_lps(); ++lp) {
+    merged += fabric.sim().lp_windows_merged(lp);
+  }
+  rec.Metric("windows", static_cast<double>(windows))
+      .Metric("windows_merged", static_cast<double>(merged))
+      .Metric("avg_events_per_window",
+              windows > 0 ? static_cast<double>(fabric.sim().events_processed()) /
+                                static_cast<double>(windows)
+                          : 0.0);
   harness.AddTrialRecord(std::move(rec));
 }
 
@@ -182,6 +197,13 @@ void Run(bench::BenchHarness& harness, size_t des_racks, SimDuration des_duratio
 int main(int argc, char** argv) {
   netcache::bench::BenchHarness harness(argc, argv, "fig10f_scalability");
   netcache::ArgParser args(argc, argv);
+  if (args.GetBool("lp-checks", false)) {
+#if NETCACHE_LP_CHECKS
+    netcache::lp::SetChecksEnabled(true);
+#else
+    std::fprintf(stderr, "--lp-checks ignored: built with -DNETCACHE_LP_CHECKS=OFF\n");
+#endif
+  }
   size_t des_racks = static_cast<size_t>(args.GetInt("des-racks", 0));
   netcache::SimDuration des_duration =
       static_cast<netcache::SimDuration>(args.GetInt("des-duration-ms", 200)) *

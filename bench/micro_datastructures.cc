@@ -447,11 +447,11 @@ void RunBurstTrials(bench::BenchHarness& harness) {
 }
 
 // --- ParallelDes trials: one rack workload under the windowed partitioned
-// schedule with 1 worker vs 4 workers. The two runs execute the exact same
-// event schedule by construction (staging and merge are used uniformly for
-// every --sim-threads >= 1), so every counter below must agree bit-for-bit —
+// schedule with 1, 4 and 8 workers. The runs execute the exact same event
+// schedule by construction (staging and merge are used uniformly for every
+// --sim-threads >= 1), so every counter below must agree bit-for-bit —
 // checked here on each CI run. wall_ms/events feed the --perf gate like the
-// other trial groups.
+// other trial groups, and the 1-vs-8 pair feeds bench_regress.py --scaling.
 
 struct ParallelDesOutcome {
   uint64_t completed = 0;
@@ -459,6 +459,7 @@ struct ParallelDesOutcome {
   uint64_t server_reads = 0;
   uint64_t events = 0;
   uint64_t windows = 0;
+  uint64_t windows_merged = 0;  // summed over LPs
 };
 
 ParallelDesOutcome RunParallelDesRack(size_t sim_threads, double* wall_sink,
@@ -509,13 +510,16 @@ ParallelDesOutcome RunParallelDesRack(size_t sim_threads, double* wall_sink,
   }
   out.events = rack.sim().events_processed();
   out.windows = rack.sim().windows_run();
+  for (size_t lp = 1; lp <= rack.sim().num_lps(); ++lp) {
+    out.windows_merged += rack.sim().lp_windows_merged(lp);
+  }
   return out;
 }
 
 void RunParallelDesTrials(bench::BenchHarness& harness) {
-  ParallelDesOutcome outcomes[2];
+  ParallelDesOutcome outcomes[3];
   size_t idx = 0;
-  for (size_t st : {1ul, 4ul}) {
+  for (size_t st : {1ul, 4ul, 8ul}) {
     auto& trial = harness.AddTrial("ParallelDes/sim_threads=" + std::to_string(st));
     trial.Config("sim_threads", static_cast<double>(st));
     double wall = 0;
@@ -524,15 +528,24 @@ void RunParallelDesTrials(bench::BenchHarness& harness) {
     trial.Metric("completed", static_cast<double>(o.completed))
         .Metric("cache_hits", static_cast<double>(o.cache_hits))
         .Metric("server_reads", static_cast<double>(o.server_reads))
-        .Metric("windows", static_cast<double>(o.windows));
+        .Metric("windows", static_cast<double>(o.windows))
+        .Metric("windows_merged", static_cast<double>(o.windows_merged))
+        .Metric("avg_events_per_window",
+                o.windows > 0 ? static_cast<double>(o.events) /
+                                    static_cast<double>(o.windows)
+                              : 0.0);
     ++idx;
   }
-  // The parallel-equivalence property, enforced on every run.
-  NC_CHECK(outcomes[0].completed == outcomes[1].completed);
-  NC_CHECK(outcomes[0].cache_hits == outcomes[1].cache_hits);
-  NC_CHECK(outcomes[0].server_reads == outcomes[1].server_reads);
-  NC_CHECK(outcomes[0].events == outcomes[1].events);
-  NC_CHECK(outcomes[0].windows == outcomes[1].windows);
+  // The parallel-equivalence property, enforced on every run: worker count
+  // must never change results, round decomposition or merge decisions.
+  for (size_t i = 1; i < 3; ++i) {
+    NC_CHECK(outcomes[0].completed == outcomes[i].completed);
+    NC_CHECK(outcomes[0].cache_hits == outcomes[i].cache_hits);
+    NC_CHECK(outcomes[0].server_reads == outcomes[i].server_reads);
+    NC_CHECK(outcomes[0].events == outcomes[i].events);
+    NC_CHECK(outcomes[0].windows == outcomes[i].windows);
+    NC_CHECK(outcomes[0].windows_merged == outcomes[i].windows_merged);
+  }
 }
 
 }  // namespace

@@ -30,6 +30,8 @@ const char* ProfCatName(ProfCat cat) {
       return "merge";
     case ProfCat::kSerialFence:
       return "serial_fence";
+    case ProfCat::kCoordinate:
+      return "coordinate";
     case ProfCat::kSwitchDigest:
       return "switch_digest";
     case ProfCat::kSwitchMatchPeek:

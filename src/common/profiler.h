@@ -50,20 +50,21 @@
 
 namespace netcache {
 
-// Span categories. The first four are the parallel-DES buckets the
+// Span categories. The first five are the parallel-DES buckets the
 // attribution table is defined over; the switch_* stages nest inside
 // lp_execute spans and are reported as a breakdown within execute, never
 // added to the wall-clock buckets (that would double-count).
 enum class ProfCat : uint8_t {
-  kLpExecute = 0,    // one LP draining its heap inside a lookahead window
-  kBarrierWait = 1,  // coordinator or worker spinning at the window barrier
-  kMerge = 2,        // cross-partition staged-event merge at the barrier
+  kLpExecute = 0,    // one LP draining its heap inside a round
+  kBarrierWait = 1,  // coordinator or worker spinning at the round barrier
+  kMerge = 2,        // an LP draining last round's inbound cross-LP mail
   kSerialFence = 3,  // global-stream serial instant (whole sim serialized)
-  kSwitchDigest = 4,      // burst stage 1: key digest + match prefetch
-  kSwitchMatchPeek = 5,   // burst stage 2: match/peek + stats/value prefetch
-  kSwitchValueServe = 6,  // burst stage 3: stats + value read + emit
+  kCoordinate = 4,   // round boundary: channel clocks, horizons, participants
+  kSwitchDigest = 5,      // burst stage 1: key digest + match prefetch
+  kSwitchMatchPeek = 6,   // burst stage 2: match/peek + stats/value prefetch
+  kSwitchValueServe = 7,  // burst stage 3: stats + value read + emit
 };
-inline constexpr size_t kNumProfCats = 7;
+inline constexpr size_t kNumProfCats = 8;
 
 // Stable names used in the JSON output ("lp_execute", "barrier_wait", ...).
 const char* ProfCatName(ProfCat cat);

@@ -1,9 +1,12 @@
 #include "common/trace_recorder.h"
 
+#include <algorithm>
 #include <array>
 #include <istream>
 #include <ostream>
 #include <string>
+
+#include "common/lp_ownership.h"
 
 namespace netcache {
 
@@ -36,15 +39,24 @@ TraceRecorder::TraceRecorder(size_t capacity) : capacity_(capacity) {
 }
 
 void TraceRecorder::Record(const SpanRecord& record) {
+  // Stamp the producing stream (executing LP; 0 for the coordinator and
+  // serial instants) and its per-stream ordinal. Per-stream order is the
+  // LP's own execution order, which is deterministic at every worker count.
+  SpanRecord stamped = record;
+  stamped.stream = lp::CurrentLp();
   MutexLock lock(mu_);
   ++recorded_;
+  if (stamped.stream >= stream_seq_.size()) {
+    stream_seq_.resize(stamped.stream + 1, 0);
+  }
+  stamped.seq = stream_seq_[stamped.stream]++;
   if (capacity_ == 0) {
     return;
   }
   if (ring_.size() < capacity_) {
-    ring_.push_back(record);
+    ring_.push_back(stamped);
   } else {
-    ring_[(recorded_ - 1) % capacity_] = record;
+    ring_[(recorded_ - 1) % capacity_] = stamped;
   }
 }
 
@@ -86,14 +98,29 @@ void TraceRecorder::Clear() {
   MutexLock lock(mu_);
   ring_.clear();
   recorded_ = 0;
+  stream_seq_.clear();
 }
 
 void TraceRecorder::WriteJsonl(std::ostream& out) const {
   MutexLock lock(mu_);
-  for (const SpanRecord& r : EventsLocked()) {
+  // Canonical order: the ring's arrival order interleaves streams however
+  // the workers raced, but (t, stream, seq) is a schedule-independent total
+  // order over the surviving records.
+  std::vector<SpanRecord> events = EventsLocked();
+  std::sort(events.begin(), events.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.time != b.time) {
+                return a.time < b.time;
+              }
+              if (a.stream != b.stream) {
+                return a.stream < b.stream;
+              }
+              return a.seq < b.seq;
+            });
+  for (const SpanRecord& r : events) {
     out << "{\"t\":" << r.time << ",\"qid\":" << r.query_id << ",\"ev\":\""
         << TraceEventName(r.event) << "\",\"node\":" << r.node << ",\"detail\":" << r.detail
-        << "}\n";
+        << ",\"stream\":" << r.stream << ",\"seq\":" << r.seq << "}\n";
   }
 }
 
@@ -146,6 +173,14 @@ std::vector<SpanRecord> TraceRecorder::ReadJsonl(std::istream& in) {
       r.query_id = std::stoull(qid);
       r.node = static_cast<uint32_t>(std::stoul(node));
       r.detail = std::stoull(detail);
+      // Optional (absent in pre-parallel traces): default to stream 0/seq 0.
+      std::string stream, seq;
+      if (FieldValue(line, "stream", &stream)) {
+        r.stream = static_cast<uint32_t>(std::stoul(stream));
+      }
+      if (FieldValue(line, "seq", &seq)) {
+        r.seq = std::stoull(seq);
+      }
     } catch (...) {
       continue;
     }

@@ -56,6 +56,14 @@ struct SpanRecord {
   TraceEvent event = TraceEvent::kClientSend;
   uint32_t node = 0;   // IP of the component that recorded the event
   uint64_t detail = 0;  // event-specific (e.g. OpCode, queue depth)
+  // Stamped by Record(): the event stream that produced the record (the
+  // executing LP, 0 for the coordinator / serial instants) and the record's
+  // ordinal within that stream. Together with `time` they define the
+  // canonical output order WriteJsonl emits — per-stream order is the LP's
+  // own deterministic execution order, so the sorted trace is byte-identical
+  // at every --sim-threads value.
+  uint32_t stream = 0;
+  uint64_t seq = 0;
 
   bool operator==(const SpanRecord& other) const = default;
 };
@@ -83,8 +91,8 @@ class TraceRecorder {
 
   void Clear();
 
-  // One JSON object per line:
-  //   {"t":1200,"qid":792633534417207297,"ev":"switch_hit","node":4294901761,"detail":0}
+  // One JSON object per line, in canonical (t, stream, seq) order:
+  //   {"t":1200,"qid":792633534417207297,"ev":"switch_hit","node":4294901761,"detail":0,"stream":1,"seq":42}
   void WriteJsonl(std::ostream& out) const;
 
   // Parses WriteJsonl output (exactly this schema; not a general JSON
@@ -95,21 +103,25 @@ class TraceRecorder {
   std::vector<SpanRecord> EventsLocked() const NC_REQUIRES(mu_);
 
   const size_t capacity_;
-  // The ring is mutex-guarded so stray multi-threaded use is safe and the
-  // lock discipline is provable under -Wthread-safety — but the ORDER of
-  // interleaved events would still be schedule-dependent, which is why
-  // --trace-out forces a single-threaded execution of the windowed schedule
-  // (tools/netcache_sim.cpp): traces must stay byte-identical per seed.
+  // The ring is mutex-guarded: DES workers record concurrently from any LP
+  // window. The ring's arrival order IS schedule-dependent, but each record
+  // carries its (stream, seq) stamp, and WriteJsonl sorts by (t, stream,
+  // seq) — so the serialized trace stays byte-identical per seed at every
+  // worker count, as long as the ring did not wrap (a wrapped ring drops a
+  // schedule-dependent subset; the CLI warns).
   mutable Mutex mu_;
   std::vector<SpanRecord> ring_ NC_GUARDED_BY(mu_);
   uint64_t recorded_ NC_GUARDED_BY(mu_) = 0;
+  std::vector<uint64_t> stream_seq_ NC_GUARDED_BY(mu_);  // next seq per stream
 };
 
 namespace internal {
-// Not a std::atomic: the recorder is installed before any worker threads
-// run and uninstalled after they join, so the pointer itself is only ever
-// written in single-threaded phases; a plain pointer keeps the hot-path
-// check to one load. (The ring behind it is mutex-guarded.)
+// Not a std::atomic: the recorder is installed before the simulation runs
+// and uninstalled after it returns. DES workers only read the pointer while
+// executing an LP window — i.e. while the coordinator is blocked inside the
+// run — so the pointer is never written concurrently with a read; a plain
+// pointer keeps the hot-path check to one load. (The ring behind it is
+// mutex-guarded.)
 extern TraceRecorder* g_trace_recorder;
 }  // namespace internal
 

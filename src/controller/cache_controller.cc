@@ -19,8 +19,16 @@ CacheController::CacheController(Simulator* sim, NetCacheSwitch* sw,
 
 void CacheController::RegisterServer(IpAddress ip, StorageServer* server) {
   servers_[ip] = server;
-  server->SetUpdateRejectHandler(
-      [this](const Key& key, const Value& value) { OnUpdateReject(key, value); });
+  // The reject packet is delivered on the owning server's LP stream; the
+  // controller's reaction (switch eviction + re-insert queueing) crosses
+  // partitions, so it is deferred one control-plane operation onto the
+  // global stream rather than run inline in the server's window. That keeps
+  // reject delivery parallel and models the ToR-to-controller notification
+  // latency that a real deployment would pay anyway.
+  server->SetUpdateRejectHandler([this](const Key& key, const Value& value) {
+    sim_->ScheduleGlobal(config_.control_op_latency,
+                         [this, key, value] { OnUpdateReject(key, value); });
+  });
 }
 
 void CacheController::Start() {

@@ -139,10 +139,16 @@ Fabric::Fabric(const FabricConfig& config)
     for (size_t g = 0; g < racks * n; ++g) {
       servers_[g]->set_lp(static_cast<uint32_t>(1 + spines + g / n));
     }
-    sim_.SetDeliveryClassifier([](const Simulator::DeliveryRec& rec) {
-      return rec.pkt->is_netcache && rec.pkt->nc.op == OpCode::kCacheUpdateReject;
-    });
+    // Cache-update rejects deliver on the owning rack's LP stream; the
+    // controller defers its cross-partition reaction onto the global stream
+    // itself (CacheController::RegisterServer), so no delivery classifier
+    // is needed.
     sim_.ConfigurePartitions(spines + racks, config.sim_threads);
+    if (!controllers_.empty()) {
+      // LP-context ScheduleGlobal calls (hot-report pump, reject deferral)
+      // all carry at least one control-plane operation.
+      sim_.SetGlobalLookahead(config.controller_config.control_op_latency);
+    }
   }
 }
 

@@ -73,13 +73,18 @@ Rack::Rack(const RackConfig& config)
     for (size_t i = 0; i < servers_.size(); ++i) {
       servers_[i]->set_lp(static_cast<uint32_t>(2 + i));
     }
-    // A cache-update reject's handler calls straight into the controller
-    // (server -> controller eviction), which may touch any partition: run
-    // those deliveries in the global stream.
-    sim_.SetDeliveryClassifier([](const Simulator::DeliveryRec& rec) {
-      return rec.pkt->is_netcache && rec.pkt->nc.op == OpCode::kCacheUpdateReject;
-    });
+    // Cache-update rejects deliver on the owning server's LP stream like any
+    // other packet; the controller defers its cross-partition reaction onto
+    // the global stream itself (CacheController::RegisterServer), so no
+    // delivery classifier is needed.
     sim_.ConfigurePartitions(1 + servers_.size(), config_.sim_threads);
+    if (config_.cache_enabled) {
+      // Every ScheduleGlobal issued from LP context (hot-report pump,
+      // reject deferral) carries at least one control-plane operation, so
+      // advertise that as the global lookahead: rounds can run up to
+      // t0 + control_op_latency before a new global event can exist.
+      sim_.SetGlobalLookahead(config_.controller_config.control_op_latency);
+    }
   }
 
   // One namespace for the whole rack's telemetry.
@@ -108,11 +113,24 @@ Rack::Rack(const RackConfig& config)
                     [this] { return static_cast<double>(sim_.event_queue_peak()); },
                     {{"component", "sim"}});
   for (size_t lp = 1; lp <= sim_.num_lps(); ++lp) {
+    const std::string lp_prefix = "sim.lp" + std::to_string(lp);
     metrics_.AddCounter(
-        "sim.lp" + std::to_string(lp) + ".window_stalls",
+        lp_prefix + ".window_stalls",
         [this, lp] { return static_cast<double>(sim_.lp_window_stalls(lp)); },
         {{"component", "sim"}, {"lp", std::to_string(lp)}});
+    metrics_.AddCounter(
+        lp_prefix + ".windows_merged",
+        [this, lp] { return static_cast<double>(sim_.lp_windows_merged(lp)); },
+        {{"component", "sim"}, {"lp", std::to_string(lp)}});
   }
+  metrics_.AddGauge("sim.avg_events_per_window",
+                    [this] {
+                      uint64_t w = sim_.windows_run();
+                      return w == 0 ? 0.0
+                                    : static_cast<double>(sim_.events_processed()) /
+                                          static_cast<double>(w);
+                    },
+                    {{"component", "sim"}});
 }
 
 IpAddress Rack::server_ip(size_t i) const {

@@ -71,17 +71,26 @@ void Simulator::ScheduleDeliveryAt(SimTime at, const DeliveryRec& rec) {
 }
 
 void Simulator::Route(Ctx& from, Ctx& to, Event ev) {
-  // Inside a lookahead window each heap belongs to its own worker, so a
-  // cross-partition event is staged in the producing stream and merged at the
-  // barrier. Merge order cannot matter: keys are a total order, and a binary
-  // heap's pop sequence depends only on its content set — which is also why
-  // --sim-threads=1 and =N produce byte-identical schedules.
+  // Inside a round each heap belongs to its own worker, so a cross-partition
+  // event is staged into the producer's per-destination outbox bucket (this
+  // round's parity side) and drained by the destination — or, for the global
+  // stream, by the coordinator at the boundary. Merge order cannot matter:
+  // keys are a total order, and a binary heap's pop sequence depends only on
+  // its content set — which is also why --sim-threads=1 and =N produce
+  // byte-identical schedules.
   if (!in_window_ || &from == &to) {
     PushHeap(to.heap, std::move(ev));
     return;
   }
-  from.staged.push_back(std::move(ev));
-  from.staged_dest.push_back(to.index);
+  OutBucket& bucket = from.out[to.index];
+  std::vector<Event>& side = bucket.ev[parity_];
+  if (side.empty()) {
+    from.touched.push_back(to.index);
+    bucket.min_time[parity_] = ev.time;
+  } else if (ev.time < bucket.min_time[parity_]) {
+    bucket.min_time[parity_] = ev.time;
+  }
+  side.push_back(std::move(ev));
 }
 
 bool Simulator::ConfigurePartitions(size_t num_lps, size_t threads) {
@@ -89,12 +98,12 @@ bool Simulator::ConfigurePartitions(size_t num_lps, size_t threads) {
   NC_CHECK(num_lps >= 1 && num_lps < (1u << 16)) << "num_lps out of range";
   NC_CHECK(threads >= 1);
   // Lookahead: minimum propagation delay over inter-partition links. Links
-  // inside one partition don't constrain the window. The link's
+  // inside one partition don't constrain the horizon. The link's
   // integer-picosecond transmit grid guarantees every delivery lands at least
   // propagation + 1 ns after the instant that produced it, so any delivery
-  // scheduled inside a window of this width lands at or beyond the window
-  // end. kNeverTime (no cross links at all) means windows are bounded only by
-  // the next global event.
+  // scheduled inside a round lands at or beyond every horizon derived from
+  // these distances. kNeverTime (no cross links at all) means rounds are
+  // bounded only by the global stream.
   SimDuration look = kNeverTime;
   for (Link* link : links_) {
     Node* a = link->end_node(0);
@@ -112,23 +121,67 @@ bool Simulator::ConfigurePartitions(size_t num_lps, size_t threads) {
                     "serial dispatcher";
     return false;
   }
+  const size_t n = num_lps + 1;
   for (size_t i = 1; i <= num_lps; ++i) {
     ctxs_.emplace_back();
     Ctx& c = ctxs_.back();
     c.sim = this;
     c.index = static_cast<uint32_t>(i);
     c.heap.reserve(kDefaultReserveEvents / 4);
-    c.staged.reserve(256);
-    c.staged_dest.reserve(256);
     // Label the pool shard for the runtime ownership sanitizer: only the
     // thread executing LP i may acquire from / release into shard i.
     c.pool.set_owner_lp(c.index);
   }
+  for (Ctx& c : ctxs_) {
+    c.out.resize(n);
+    c.touched.reserve(n);
+  }
   legacy_ = &ctxs_[0];
+  // Per-LP channel clocks need the transitive closure of link propagation
+  // delays: influence can relay through an idle intermediate LP, so a
+  // horizon derived from direct in-edges alone would be unsound.
+  // Floyd–Warshall over at most 2^16 LPs at wiring time is negligible next
+  // to any run.
+  dist_.assign(n * n, kNeverTime);
+  for (Link* link : links_) {
+    Node* a = link->end_node(0);
+    Node* b = link->end_node(1);
+    if (a == nullptr || b == nullptr || a->lp() == b->lp()) {
+      continue;
+    }
+    SimDuration& ab = dist_[a->lp() * n + b->lp()];
+    SimDuration& ba = dist_[b->lp() * n + a->lp()];
+    ab = std::min(ab, link->config().propagation);
+    ba = std::min(ba, link->config().propagation);
+  }
+  for (size_t k = 1; k < n; ++k) {
+    for (size_t i = 1; i < n; ++i) {
+      SimDuration ik = dist_[i * n + k];
+      if (ik == kNeverTime) {
+        continue;
+      }
+      for (size_t j = 1; j < n; ++j) {
+        SimDuration kj = dist_[k * n + j];
+        if (kj == kNeverTime || kj >= kNeverTime - ik) {
+          continue;
+        }
+        SimDuration& ij = dist_[i * n + j];
+        ij = std::min(ij, ik + kj);
+      }
+    }
+  }
+  next_.assign(n, kNeverTime);
+  mail_min_.assign(n, kNeverTime);
+  participants_.reserve(num_lps);
   lookahead_ = look;
   threads_ = std::min(threads, num_lps);
   partitioned_ = true;
   return true;
+}
+
+void Simulator::SetGlobalLookahead(SimDuration g) {
+  NC_CHECK(g > 0) << "global lookahead must be positive";
+  global_lookahead_ = g;
 }
 
 void Simulator::DispatchIn(Ctx& c, Event& ev, bool coalesce) {
@@ -179,34 +232,55 @@ void Simulator::RunAll() {
 
 void Simulator::RunWindowed(SimTime until) {
   for (;;) {
-    SimTime t0 = kNeverTime;
-    for (const Ctx& c : ctxs_) {
-      if (!c.heap.empty() && c.heap.front().time < t0) {
-        t0 = c.heap.front().time;
+    SimTime tg = kNeverTime;
+    bool serial = false;
+    bool exit_loop = false;
+    {
+      // Round boundary: single-threaded coordinator work — skim last round's
+      // outboxes, advance the channel clocks, pick this round's participants
+      // and horizons. O(LPs + mail minima), never O(events).
+      ProfScope prof(ProfCat::kCoordinate);
+      CollectOutboxes();
+      SimTime t0 = kNeverTime;
+      for (size_t i = 1; i < ctxs_.size(); ++i) {
+        const Ctx& c = ctxs_[i];
+        SimTime t = c.heap.empty() ? kNeverTime : c.heap.front().time;
+        next_[i] = std::min(t, mail_min_[i]);
+        t0 = std::min(t0, next_[i]);
       }
+      tg = ctxs_[0].heap.empty() ? kNeverTime : ctxs_[0].heap.front().time;
+      t0 = std::min(t0, tg);
+      if (t0 == kNeverTime || t0 > until) {
+        // Leave every event in a heap so PendingEvents and a later RunUntil
+        // see canonical state.
+        DrainAllMail();
+        exit_loop = true;
+      } else if (tg <= t0) {
+        // A global event is next: it may touch any partition, so the whole
+        // instant runs serially on this thread, with all mail delivered.
+        DrainAllMail();
+        serial = true;
+      } else if (!BuildRound(t0, tg, until)) {
+        // Every LP's earliest work sits at or beyond its horizon and no mail
+        // is pending — only the global stream can advance time. (With a
+        // finite horizon below tg this cannot happen: the t0 LP always
+        // clears its own t0 event. Defensive for kNeverTime arithmetic.)
+        DrainAllMail();
+        serial = true;
+      }
+      prof.set_arg(participants_.size());
     }
-    if (t0 == kNeverTime || t0 > until) {
+    if (exit_loop) {
       break;
     }
-    SimTime tg = ctxs_[0].heap.empty() ? kNeverTime : ctxs_[0].heap.front().time;
-    if (tg == t0) {
-      // A global event is next: it may touch any partition, so the whole
-      // instant runs serially on this thread, in canonical key order across
-      // all heaps.
-      RunSerialInstant(t0);
+    if (serial) {
+      if (tg == kNeverTime || tg > until) {
+        break;
+      }
+      RunSerialInstant(tg);
       continue;
     }
-    SimTime wend = (lookahead_ >= kNeverTime - t0) ? kNeverTime : t0 + lookahead_;
-    wend = std::min(wend, tg);
-    if (until != kNeverTime) {
-      wend = std::min(wend, until + 1);  // events at exactly `until` still run
-    }
-    ++windows_;
-    if (lp::ChecksEnabled()) {
-      lp::SetCurrentWindow(windows_);  // diagnostics for violation reports
-    }
-    RunWindow(wend);
-    MergeStaged();
+    RunRound();
   }
   // Sync every context's clock to the run's end so Now() is well-defined
   // from any calling context afterwards: `until` for a bounded run, the
@@ -226,9 +300,146 @@ void Simulator::RunWindowed(SimTime until) {
   }
 }
 
+void Simulator::CollectOutboxes() {
+  // Boundary bookkeeping for the round that just finished (outbox side
+  // parity_). Participants drained their inbound mail at the start of their
+  // turn, so their mail-clock resets before new mail is recorded.
+  for (uint32_t idx : participants_) {
+    mail_min_[idx] = kNeverTime;
+  }
+  participants_.clear();
+  SimTime max_now = 0;
+  for (const Ctx& c : ctxs_) {
+    max_now = std::max(max_now, c.now);
+  }
+  for (Ctx& c : ctxs_) {
+    if (c.touched.empty()) {
+      continue;
+    }
+    for (uint32_t dest : c.touched) {
+      OutBucket& bucket = c.out[dest];
+      std::vector<Event>& side = bucket.ev[parity_];
+      if (dest == 0) {
+        // Global mail is delivered here: the coordinator owns the global
+        // heap between rounds, and serial instants must see it. The sender
+        // contract (delay >= global lookahead) guarantees it lands beyond
+        // everything any LP has executed.
+        for (Event& ev : side) {
+          NC_CHECK(ev.time >= max_now)
+              << "ScheduleGlobal from an LP lands at t=" << ev.time
+              << " ns but an LP already executed t=" << max_now
+              << " ns; LP-context global schedules must carry at least the "
+                 "global lookahead (SetGlobalLookahead / control-plane "
+                 "latency), or run with --sim-threads=0";
+          PushHeap(ctxs_[0].heap, std::move(ev));
+        }
+        side.clear();
+      } else if (mail_min_[dest] == kNeverTime ||
+                 bucket.min_time[parity_] < mail_min_[dest]) {
+        mail_min_[dest] = bucket.min_time[parity_];
+      }
+    }
+    c.touched.clear();
+  }
+}
+
+bool Simulator::BuildRound(SimTime t0, SimTime tg, SimTime until) {
+  // Horizon cap shared by every LP: the next pending global event, the
+  // earliest instant a NEW global event could be scheduled for (t0 + G), and
+  // the run bound. When no global lookahead was declared the t0 + G term is
+  // omitted entirely — most workloads never ScheduleGlobal from LP context,
+  // and capping at t0 + link-lookahead would pin every horizon to the legacy
+  // fixed window. The contract stays enforced: CollectOutboxes fatally
+  // rejects any LP-context global event that lands at or below an executed
+  // instant, so a workload that does need the cap fails loudly until it
+  // calls SetGlobalLookahead.
+  SimTime cap = tg;
+  if (global_lookahead_ != 0 && global_lookahead_ < kNeverTime - t0) {
+    cap = std::min(cap, t0 + global_lookahead_);
+  }
+  if (until != kNeverTime) {
+    cap = std::min(cap, until + 1);  // events at exactly `until` still run
+  }
+  const size_t n = ctxs_.size();
+  for (size_t i = 1; i < n; ++i) {
+    Ctx& c = ctxs_[i];
+    // Per-LP safe horizon: nothing another stream executes this round can
+    // land in i below it (channel-clock argument, see the header).
+    SimTime horizon = cap;
+    for (size_t j = 1; j < n; ++j) {
+      // j == i is NOT skipped: Dist(i, i) is the shortest cycle through i
+      // (Floyd–Warshall's diagonal), and i's own sends can round-trip back
+      // to it — a request at next_i returns no earlier than next_i + that
+      // cycle, which bounds how far i itself may run ahead.
+      SimTime nj = next_[j];
+      SimDuration d = Dist(j, i);
+      if (nj == kNeverTime || d == kNeverTime || d >= kNeverTime - nj) {
+        continue;
+      }
+      horizon = std::min(horizon, nj + d);
+    }
+    bool mail = mail_min_[i] != kNeverTime;
+    bool work = !c.heap.empty() && c.heap.front().time < horizon;
+    if (!mail && !work) {
+      continue;  // idle LP: skips the round entirely, no stall spin
+    }
+    c.wend = horizon;
+    if (lookahead_ != kNeverTime && lookahead_ < kNeverTime - t0 &&
+        horizon > t0 + lookahead_) {
+      ++c.windows_merged;  // wider than the legacy global min(T0)+lookahead
+    }
+    participants_.push_back(c.index);
+  }
+  if (participants_.empty()) {
+    return false;
+  }
+  ++windows_;
+  if (lp::ChecksEnabled()) {
+    lp::SetCurrentWindow(windows_);  // diagnostics for violation reports
+  }
+  // Flip the outbox side: this round's producers write the fresh side while
+  // destinations drain the side CollectOutboxes just skimmed.
+  parity_ ^= 1;
+  return true;
+}
+
+void Simulator::DrainAllMail() {
+  // Deliver every undelivered outbox event into its destination heap (both
+  // sides; at most one is nonempty per bucket). Coordinator-only, between
+  // rounds: before serial instants — whose handlers may inspect any heap —
+  // and at run exit.
+  NC_LP_CHECK_COORDINATOR("Simulator::DrainAllMail");
+  for (Ctx& c : ctxs_) {
+    c.touched.clear();
+    for (size_t dest = 0; dest < c.out.size(); ++dest) {
+      OutBucket& bucket = c.out[dest];
+      for (std::vector<Event>& side : bucket.ev) {
+        if (side.empty()) {
+          continue;
+        }
+        Ctx& to = ctxs_[dest];
+        for (Event& ev : side) {
+          NC_CHECK(ev.time >= to.now)
+              << "cross-partition event lands at t=" << ev.time
+              << " ns, before its destination LP already reached t=" << to.now
+              << " ns; cross-partition schedules must carry at least the "
+                 "link-path propagation distance (run with --sim-threads=0 "
+                 "if the workload cannot)";
+          PushHeap(to.heap, std::move(ev));
+        }
+        side.clear();
+      }
+    }
+  }
+  for (size_t i = 0; i < mail_min_.size(); ++i) {
+    mail_min_[i] = kNeverTime;
+  }
+  participants_.clear();
+}
+
 void Simulator::RunSerialInstant(SimTime t) {
   // Drain every event at exactly `t`, across all heaps, in (key) order.
-  // Handlers may schedule more events at `t` (into any partition — no window
+  // Handlers may schedule more events at `t` (into any partition — no round
   // is active); the rescan picks them up in canonical order.
   ProfScope prof(ProfCat::kSerialFence);
   uint64_t executed = 0;
@@ -262,24 +473,29 @@ void Simulator::RunSerialInstant(SimTime t) {
   prof.set_arg(executed);
 }
 
-void Simulator::RunWindow(SimTime wend) {
-  window_end_ = wend;
+void Simulator::RunRound() {
   in_window_ = true;
-  size_t lanes = std::min(threads_, num_lps());
-  if (lanes <= 1) {
-    for (size_t i = 1; i < ctxs_.size(); ++i) {
-      RunLpWindow(ctxs_[i], wend);
+  const size_t nparts = participants_.size();
+  if (threads_ == 1 || nparts == 1) {
+    // Single lane (or a round too small to be worth a barrier): run the
+    // identical schedule inline. Content and counters cannot differ — this
+    // is the --sim-threads=1 byte-identity path.
+    for (uint32_t idx : participants_) {
+      RunLpWindow(ctxs_[idx]);
     }
   } else {
     StartWorkers();
-    done_.store(0, std::memory_order_relaxed);
-    epoch_.fetch_add(1, std::memory_order_release);
-    for (size_t i = 1; i < ctxs_.size(); i += threads_) {
-      RunLpWindow(ctxs_[i], wend);
+    for (BarrierNode& node : barrier_) {
+      node.count.store(0, std::memory_order_relaxed);
+    }
+    uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+    epoch_.store(epoch, std::memory_order_release);
+    for (size_t k = 0; k < nparts; k += threads_) {
+      RunLpWindow(ctxs_[participants_[k]]);
     }
     ProfScope prof(ProfCat::kBarrierWait);
     int spins = 0;
-    while (done_.load(std::memory_order_acquire) != workers_.size()) {
+    while (round_done_.load(std::memory_order_acquire) != epoch) {
       if (++spins >= 256) {
         std::this_thread::yield();
         spins = 0;
@@ -289,21 +505,25 @@ void Simulator::RunWindow(SimTime wend) {
   in_window_ = false;
 }
 
-void Simulator::RunLpWindow(Ctx& lp, SimTime wend) {
-  if (lp.heap.empty() || lp.heap.front().time >= wend) {
-    // Stalled window: no local work. Counted (sim metric + profiler
-    // histogram bin 0) but never timed — stalls are too cheap to clock.
-    ++lp.stalls;
-    Profiler::CountWindowStall(lp.index);
-    return;
-  }
+void Simulator::RunLpWindow(Ctx& lp) {
   Ctx* prev = tls_ctx_;
   tls_ctx_ = &lp;
   // Publish the executing LP for the runtime ownership sanitizer: every
-  // NC_LP_CHECK fired from events in this window compares owners against
-  // lp.index. Serial instants and merges deliberately run with LP 0 (the
-  // coordinator), which the sanitizer lets touch anything.
+  // NC_LP_CHECK fired from events in this round compares owners against
+  // lp.index. Serial instants and boundary drains deliberately run with LP 0
+  // (the coordinator), which the sanitizer lets touch anything.
   lp::ScopedExecutor lp_exec(lp.index);
+  DrainInbox(lp);
+  const SimTime wend = lp.wend;
+  if (lp.heap.empty() || lp.heap.front().time >= wend) {
+    // Participated (mail forced the turn) but nothing executable below the
+    // horizon. Counted (sim metric + profiler histogram bin 0) but never
+    // timed — stalls are too cheap to clock.
+    ++lp.stalls;
+    Profiler::CountWindowStall(lp.index);
+    tls_ctx_ = prev;
+    return;
+  }
   {
     ProfScope prof(ProfCat::kLpExecute, lp.index);
     uint64_t before = lp.events;
@@ -321,25 +541,35 @@ void Simulator::RunLpWindow(Ctx& lp, SimTime wend) {
   tls_ctx_ = prev;
 }
 
-void Simulator::MergeStaged() {
-  // Staged-merge application mutates every LP's heap; it is only safe at the
-  // barrier, on the coordinator, with no window in flight.
-  NC_LP_CHECK_COORDINATOR("Simulator::MergeStaged");
-  ProfScope prof(ProfCat::kMerge);
+void Simulator::DrainInbox(Ctx& lp) {
+  // Merge last round's mail addressed to this LP — the outbox side producers
+  // are NOT writing this round — into the local heap. Runs on the LP's own
+  // lane, so the coordinator's boundary section no longer pays O(events)
+  // merge work. Mail always lands at or beyond the destination's horizon;
+  // the check against lp.now is the exact causality condition and fires
+  // identically at every worker count (the schedule is content-determined).
+  ProfScope prof(ProfCat::kMerge, lp.index);
   uint64_t merged = 0;
-  for (Ctx& c : ctxs_) {
-    merged += c.staged.size();
-    for (size_t i = 0; i < c.staged.size(); ++i) {
-      Event& ev = c.staged[i];
-      NC_CHECK(ev.time >= window_end_)
-          << "cross-partition event staged inside a lookahead window lands at t="
-          << ev.time << " ns, before the window end t=" << window_end_
-          << " ns; cross-partition schedules must carry at least the lookahead "
-             "delay (run with --sim-threads=0 if the workload cannot)";
-      PushHeap(ctxs_[c.staged_dest[i]].heap, std::move(ev));
+  const uint32_t side = parity_ ^ 1;
+  for (Ctx& src : ctxs_) {
+    if (&src == &lp || src.out.empty()) {
+      continue;
     }
-    c.staged.clear();
-    c.staged_dest.clear();
+    std::vector<Event>& mail = src.out[lp.index].ev[side];
+    if (mail.empty()) {
+      continue;
+    }
+    for (Event& ev : mail) {
+      NC_CHECK(ev.time >= lp.now)
+          << "cross-partition event lands at t=" << ev.time
+          << " ns, before its destination LP already reached t=" << lp.now
+          << " ns; cross-partition schedules must carry at least the "
+             "link-path propagation distance (run with --sim-threads=0 if "
+             "the workload cannot)";
+      ++merged;
+      PushHeap(lp.heap, std::move(ev));
+    }
+    mail.clear();
   }
   prof.set_arg(merged);
 }
@@ -348,7 +578,25 @@ void Simulator::StartWorkers() {
   if (!workers_.empty()) {
     return;
   }
-  workers_.reserve(threads_ - 1);
+  // Barrier tree over the W = threads_-1 workers, kBarrierArity children per
+  // node, leaves first; the root arrival publishes the epoch to round_done_.
+  const size_t nworkers = threads_ - 1;
+  barrier_level_.clear();
+  size_t level_width = nworkers;
+  for (;;) {
+    size_t nodes = (level_width + kBarrierArity - 1) / kBarrierArity;
+    barrier_level_.push_back(barrier_.size());
+    for (size_t i = 0; i < nodes; ++i) {
+      barrier_.emplace_back();
+      barrier_.back().expect = static_cast<uint32_t>(
+          std::min(kBarrierArity, level_width - i * kBarrierArity));
+    }
+    if (nodes == 1) {
+      break;
+    }
+    level_width = nodes;
+  }
+  workers_.reserve(nworkers);
   for (size_t slot = 1; slot < threads_; ++slot) {
     workers_.emplace_back([this, slot] { WorkerMain(slot); });
   }
@@ -363,6 +611,25 @@ void Simulator::StopWorkers() {
     t.join();
   }
   workers_.clear();
+}
+
+void Simulator::BarrierArrive(size_t worker, uint64_t epoch) {
+  size_t level = 0;
+  size_t idx = worker / kBarrierArity;
+  for (;;) {
+    BarrierNode& node = barrier_[barrier_level_[level] + idx];
+    // acq_rel: the completing arrival must observe the siblings' LP writes
+    // before propagating (and ultimately publishing) completion.
+    if (node.count.fetch_add(1, std::memory_order_acq_rel) + 1 != node.expect) {
+      return;
+    }
+    if (level + 1 == barrier_level_.size()) {
+      round_done_.store(epoch, std::memory_order_release);
+      return;
+    }
+    idx /= kBarrierArity;
+    ++level;
+  }
 }
 
 void Simulator::WorkerMain(size_t slot) {
@@ -385,11 +652,10 @@ void Simulator::WorkerMain(size_t slot) {
     }
     seen = e;
     Profiler::RecordSince(ProfCat::kBarrierWait, 0, wait_start);
-    SimTime wend = window_end_;  // ordered by the epoch_ release/acquire pair
-    for (size_t i = 1 + slot; i < ctxs_.size(); i += threads_) {
-      RunLpWindow(ctxs_[i], wend);
+    for (size_t k = slot; k < participants_.size(); k += threads_) {
+      RunLpWindow(ctxs_[participants_[k]]);
     }
-    done_.fetch_add(1, std::memory_order_release);
+    BarrierArrive(slot - 1, seen);
   }
 }
 
@@ -453,6 +719,9 @@ size_t Simulator::PendingEvents() const {
   size_t n = 0;
   for (const Ctx& c : ctxs_) {
     n += c.heap.size();
+    for (const OutBucket& bucket : c.out) {
+      n += bucket.ev[0].size() + bucket.ev[1].size();
+    }
   }
   return n;
 }

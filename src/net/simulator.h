@@ -1,5 +1,5 @@
 // Discrete-event simulation engine: serial dispatcher plus an optional
-// conservative-parallel mode (link-lookahead windows, deterministic merge).
+// conservative-parallel mode (adaptive per-LP horizons, deterministic merge).
 //
 // Serial mode (the default): single-threaded, deterministic — events fire in
 // (time, insertion-sequence) order, so two events scheduled for the same
@@ -42,18 +42,52 @@
 //     coordinator drains every event at exactly that timestamp — from all
 //     heaps, in canonical key order — on one thread. Global events may touch
 //     any node, so they serialize the whole simulation for their instant.
-//   - lookahead windows: otherwise, with T0 the earliest pending time, every
-//     LP executes its local events with time < min(T0 + lookahead, next
-//     global time) concurrently. The lookahead is the minimum propagation
-//     delay over links whose endpoints sit in different partitions; the
-//     link's integer-picosecond serialization grid guarantees any delivery
-//     scheduled inside the window lands at or beyond the window end, so LPs
-//     never observe each other mid-window. Cross-partition events produced
-//     inside a window are buffered in per-source staging queues and merged
-//     into the destination heaps at the barrier; because keys are a total
-//     order, a binary heap's pop sequence depends only on its content set,
-//     so merge order is irrelevant and the parallel run is byte-identical
-//     to the same windowed schedule on one thread (--sim-threads=1).
+//     Because the global stream now only bounds windows when a global event
+//     is actually due (plus the t0+G cap below), an idle control plane costs
+//     no fences at all.
+//   - adaptive rounds (per-LP horizons, null-message-free Chandy–Misra-style
+//     conservative sync): with next_j the earliest pending event time of LP j
+//     (heap front or undelivered cross-LP mail addressed to j, whichever is
+//     earlier), every LP i gets its own safe horizon
+//
+//         horizon_i = min( tg,                      // next global event
+//                          t0 + G,                  // earliest possible NEW
+//                                                   // global event (t0 =
+//                                                   // min_j next_j, G the
+//                                                   // global lookahead)
+//                          min_j next_j + D(j, i) ) // channel clocks
+//
+//     where D(j, i) is the all-pairs shortest-path propagation distance over
+//     cross-partition links (Floyd–Warshall at ConfigurePartitions time; the
+//     transitive closure is what makes the bound sound when influence relays
+//     through an idle intermediate LP). Each participating LP executes its
+//     local events with time < horizon_i concurrently; LPs with no work
+//     before their horizon and no pending mail skip the round entirely
+//     instead of spinning through a stalled window. The link's integer-
+//     picosecond serialization grid guarantees any delivery lands at least
+//     propagation + 1 ns after the instant that produced it, so mail always
+//     lands at or beyond the destination's horizon (re-checked fatally at
+//     drain time).
+//
+// Cross-partition events produced inside a round are buffered in per-
+// (source, destination) outbox buckets, double-buffered by round parity: the
+// producer appends to this round's side while the destination drains the
+// previous round's side into its own heap at the start of its next turn —
+// so the coordinator's boundary section only skims bucket minima (O(LPs)),
+// not every staged event. An LP with pending mail always participates in the
+// next round, which is what bounds every bucket's lifetime to one round per
+// side. Because keys are a total order, a binary heap's pop sequence depends
+// only on its content set, so merge order is irrelevant and the parallel run
+// is byte-identical to the same round schedule on one thread
+// (--sim-threads=1).
+//
+// Cross-LP scheduling contract (enforced fatally at drain time): a packet
+// delivery satisfies it by construction; a direct cross-LP ScheduleAtFor
+// must carry at least D(src, dst); ScheduleGlobal from LP context requires a
+// declared global lookahead G (SetGlobalLookahead) and a delay of at least
+// G. Topologies that never ScheduleGlobal from LP context leave G unset and
+// horizons uncapped by the global stream. Workloads that cannot honor the
+// contract run with --sim-threads=0.
 //
 // Degenerate lookahead (a cross-partition link with zero propagation delay)
 // is detected at ConfigurePartitions time and falls back to the serial
@@ -61,7 +95,7 @@
 //
 // Parallel sweeps still run one Simulator per trial on worker threads
 // (core/sweep.h); a Simulator instance is externally single-threaded — the
-// internal window workers are invisible to callers.
+// internal round workers are invisible to callers.
 
 #ifndef NETCACHE_NET_SIMULATOR_H_
 #define NETCACHE_NET_SIMULATOR_H_
@@ -108,8 +142,10 @@ class Simulator {
 
   // Topology-installed predicate deciding which deliveries must run in the
   // global stream even though the destination node is partitioned — packets
-  // whose handler reaches across partitions (e.g. a cache-update reject that
-  // calls straight into the controller). Checked only in parallel mode.
+  // whose handler reaches across partitions. Checked only in parallel mode.
+  // Prefer deferring the cross-partition work onto the global stream with a
+  // control-plane latency instead (see CacheController::RegisterServer):
+  // classifying a delivery serializes an instant per packet.
   using DeliveryClassifier = std::function<bool(const DeliveryRec&)>;
 
   // `reserve_events` pre-sizes the event heap; steady-state runs should never
@@ -141,6 +177,8 @@ class Simulator {
   // workload driver's send loop, a server's service completion) must use
   // these, or a single serial instant would capture the chain into the
   // global stream forever. Identical to Schedule/ScheduleAt in serial mode.
+  // Targeting a FOREIGN LP from inside a round must carry at least the
+  // link-path distance D(src, dst) (see the header comment).
   void ScheduleFor(Node* node, SimDuration delay, EventFn fn) {
     ScheduleAtFor(node, Now() + delay, std::move(fn));
   }
@@ -148,7 +186,9 @@ class Simulator {
 
   // Schedules into the global stream explicitly: control-plane work that may
   // touch nodes in several partitions (controller queue pumps, invariant
-  // checkers). Runs in a serial instant when partitioned.
+  // checkers). Runs in a serial instant when partitioned. Calling this from
+  // LP context requires SetGlobalLookahead, with `delay` at least that
+  // lookahead (enforced fatally at drain time).
   void ScheduleGlobal(SimDuration delay, EventFn fn) {
     ScheduleGlobalAt(Now() + delay, std::move(fn));
   }
@@ -166,7 +206,7 @@ class Simulator {
   void RegisterLink(Link* link) { links_.push_back(link); }
 
   // Switches to parallel mode with `num_lps` logical processes executed by
-  // `threads` threads (clamped to num_lps; 1 runs the windowed schedule on
+  // `threads` threads (clamped to num_lps; 1 runs the round schedule on
   // the calling thread, which is what makes --sim-threads=1 vs =N
   // byte-identical). Nodes must already be labeled via Node::set_lp with
   // values in [1, num_lps]; unlabeled nodes (lp 0) run in the global stream.
@@ -175,6 +215,17 @@ class Simulator {
   // delay (zero lookahead would make windows empty and the engine would
   // deadlock conservatively; see header comment).
   bool ConfigurePartitions(size_t num_lps, size_t threads);
+
+  // Declares a lower bound on the delay of any LP-context ScheduleGlobal,
+  // which becomes the t0+G cap on round horizons. Unset (the default) means
+  // "no LP ever schedules into the global stream": horizons are then capped
+  // only by pending global events and per-LP channel clocks, and an
+  // LP-context ScheduleGlobal dies at drain time. A topology whose LP->
+  // global producers carry a physical control-plane latency (e.g. the cache
+  // controller's control_op_latency) declares that latency here. Call after
+  // ConfigurePartitions, before running; must be > 0.
+  void SetGlobalLookahead(SimDuration g);
+  SimDuration global_lookahead() const { return global_lookahead_; }
 
   bool partitioned() const { return partitioned_; }
   size_t num_lps() const { return ctxs_.size() - 1; }
@@ -216,10 +267,14 @@ class Simulator {
   // sampled when the dispatcher advances to a new timestamp — NOT per push —
   // so it is identical with and without burst coalescing and across
   // --sim-threads values (the determinism legs diff metrics JSON
-  // byte-for-byte). A window stall is a lookahead window in which an LP had
-  // no local event to run.
+  // byte-for-byte). A window stall is a round an LP participated in (forced
+  // by pending mail) but found no event below its horizon; a merged window
+  // is a round whose per-LP horizon exceeded the legacy global
+  // min(T0)+lookahead window end. Both are schedule properties, identical
+  // across worker counts.
   uint64_t event_queue_peak() const;
   uint64_t lp_window_stalls(size_t lp) const { return ctxs_[lp].stalls; }
+  uint64_t lp_windows_merged(size_t lp) const { return ctxs_[lp].windows_merged; }
   uint64_t windows_run() const { return windows_; }
 
   // Freelist for Packet payloads referenced by in-flight closures; resolves
@@ -230,6 +285,7 @@ class Simulator {
   static constexpr size_t kDefaultReserveEvents = 4096;
   static constexpr int kStreamShift = 48;
   static constexpr SimTime kNeverTime = ~SimTime{0};
+  static constexpr size_t kBarrierArity = 4;
 
   struct Event {
     SimTime time;
@@ -286,10 +342,21 @@ class Simulator {
     }
   };
 
+  // One per-(source, destination) cross-partition mail bucket, double-
+  // buffered by round parity: the producing LP appends to side (round & 1)
+  // during a round; the destination drains side (1 - round & 1) — last
+  // round's mail — at the start of its next participating turn. The two
+  // sides are never touched by two threads at once, and the window barrier's
+  // release/acquire chain orders the side handoff.
+  struct OutBucket {
+    std::vector<Event> ev[2];
+    SimTime min_time[2] = {0, 0};  // valid while the side is nonempty
+  };
+
   // One event stream. ctxs_[0] is the global/legacy stream; ctxs_[1..P] are
   // the logical processes of parallel mode. Each is touched by exactly one
-  // thread at a time: its window worker inside a lookahead window, the
-  // coordinator everywhere else (handoffs ordered by the window barrier).
+  // thread at a time: its round worker inside a round, the coordinator
+  // everywhere else (handoffs ordered by the round barrier).
   struct Ctx {
     NC_LP_SHARED Simulator* sim = nullptr;  // wiring-time, immutable after setup
     NC_LP_SHARED uint32_t index = 0;
@@ -297,15 +364,22 @@ class Simulator {
     NC_LP_OWNED uint64_t next_lseq = 0;
     NC_LP_OWNED uint64_t events = 0;
     NC_LP_OWNED uint64_t peak = 0;    // max heap size, sampled at timestamp advances
-    NC_LP_OWNED uint64_t stalls = 0;  // windows with no local work (LPs only)
+    NC_LP_OWNED uint64_t stalls = 0;  // participating rounds with no local work
     NC_LP_OWNED uint64_t bursts = 0;
     NC_LP_OWNED uint64_t burst_pkts = 0;
     NC_LP_OWNED std::vector<Event> heap;  // explicit binary min-heap
-    // Cross-partition events produced inside a window, merged at the barrier.
-    // Owned by the PRODUCING stream (each worker appends only to its own
-    // staging queue); the coordinator drains them in MergeStaged.
-    NC_LP_OWNED std::vector<Event> staged;
-    NC_LP_OWNED std::vector<uint32_t> staged_dest;  // parallel array: destination ctx index
+    // Cross-partition mail produced inside a round, one bucket per
+    // destination ctx index. The producing stream owns this round's parity
+    // side; each destination drains its own bucket's other side (see
+    // OutBucket). `touched` lists destinations whose current side went
+    // nonempty this round; the coordinator consumes and clears it at the
+    // boundary.
+    NC_LP_OWNED std::vector<OutBucket> out;
+    NC_LP_OWNED std::vector<uint32_t> touched;
+    // Per-round horizon and merged-window counter, written by the
+    // coordinator at the round boundary (barrier-ordered).
+    NC_LP_FENCED SimTime wend = 0;
+    NC_LP_FENCED uint64_t windows_merged = 0;
     // Scratch buffers for RunDelivery, members so steady state allocates
     // nothing per burst.
     NC_LP_OWNED std::vector<DeliveryRec> batch;
@@ -313,10 +387,19 @@ class Simulator {
     NC_LP_OWNED PacketPool pool;
   };
 
+  // Sense-reversing tree barrier node (arity kBarrierArity), padded to a
+  // cache line so sibling arrivals don't false-share. The "sense" is the
+  // round's epoch: the coordinator zeroes all counts before releasing the
+  // next epoch, so a node never carries state across rounds.
+  struct alignas(64) BarrierNode {
+    std::atomic<uint32_t> count{0};
+    uint32_t expect = 0;
+  };
+
   static void PushHeap(std::vector<Event>& q, Event ev);
   static Event PopHeap(std::vector<Event>& q);
 
-  // The executing context: the global stream unless a window worker or a
+  // The executing context: the global stream unless a round worker or a
   // serial-instant dispatch installed an LP on this thread. The sim match
   // guards against stale TLS from another Simulator (parallel sweeps).
   Ctx* cur() const {
@@ -331,17 +414,25 @@ class Simulator {
     return (static_cast<uint64_t>(c.index) << kStreamShift) | c.next_lseq++;
   }
 
+  SimDuration Dist(size_t from, size_t to) const {
+    return dist_[from * ctxs_.size() + to];
+  }
+
   void Route(Ctx& from, Ctx& to, Event ev);
   void RunWindowed(SimTime until);
   void RunSerialInstant(SimTime t);
-  void RunWindow(SimTime wend);
-  void RunLpWindow(Ctx& lp, SimTime wend);
-  void MergeStaged();
+  void CollectOutboxes();
+  bool BuildRound(SimTime t0, SimTime tg, SimTime until);
+  void DrainAllMail();
+  void RunRound();
+  void RunLpWindow(Ctx& lp);
+  void DrainInbox(Ctx& lp);
   void DispatchIn(Ctx& c, Event& ev, bool coalesce);
   void RunDelivery(Ctx& c, const DeliveryRec& first, bool coalesce);
   void StartWorkers();
   void StopWorkers();
   void WorkerMain(size_t slot);
+  void BarrierArrive(size_t worker, uint64_t epoch);
   void SamplePeak(Ctx& c) {
     if (c.heap.size() > c.peak) {
       c.peak = c.heap.size();
@@ -350,27 +441,44 @@ class Simulator {
 
   NC_LP_SHARED bool coalesce_ = true;   // set before running, read-only after
   NC_LP_SHARED bool partitioned_ = false;
-  // True only between a window's dispatch and its merge; cross-partition
-  // schedules are staged instead of pushed while set. Written by the
-  // coordinator outside the parallel region, so the barrier's release/acquire
-  // pair orders it for the workers.
+  // True only between a round's kick and its barrier; cross-partition
+  // schedules are staged into outbox buckets instead of pushed while set.
+  // Written by the coordinator outside the parallel region, so the barrier's
+  // release/acquire pair orders it for the workers.
   NC_LP_FENCED bool in_window_ = false;
+  // Round parity selecting the outbox side producers write (flipped by the
+  // coordinator at each boundary; the other side is being drained).
+  NC_LP_FENCED uint32_t parity_ = 0;
   NC_LP_SHARED size_t threads_ = 1;
   NC_LP_SHARED SimDuration lookahead_ = 0;
-  NC_LP_FENCED uint64_t windows_ = 0;     // coordinator-only, between windows
-  NC_LP_FENCED SimTime window_end_ = 0;   // written between windows, barrier-ordered
+  NC_LP_SHARED SimDuration global_lookahead_ = 0;  // 0 = default to lookahead_
+  NC_LP_FENCED uint64_t windows_ = 0;     // coordinator-only, between rounds
   NC_LP_SHARED std::deque<Ctx> ctxs_;  // deque: Ctx owns a PacketPool and must never move
   NC_LP_SHARED Ctx* legacy_ = nullptr;  // &ctxs_[0]
   NC_LP_SHARED std::vector<Link*> links_;  // wiring-time registry
   NC_LP_SHARED DeliveryClassifier classifier_;  // installed before running
 
-  // Persistent spin-barrier window workers (slots 1..threads_-1; the
+  // Per-link-clock state, coordinator-only between rounds: all-pairs
+  // shortest-path propagation distances (wiring-time, immutable after
+  // ConfigurePartitions), each stream's earliest pending time, the earliest
+  // undelivered mail per destination, and the participant list of the
+  // current round (read by workers after the epoch acquire).
+  NC_LP_SHARED std::vector<SimDuration> dist_;  // (P+1)^2, row-major
+  NC_LP_FENCED std::vector<SimTime> next_;
+  NC_LP_FENCED std::vector<SimTime> mail_min_;
+  NC_LP_FENCED std::vector<uint32_t> participants_;
+
+  // Persistent spin-barrier round workers (slots 1..threads_-1; the
   // coordinator executes slot 0). Spawned lazily on the first multi-threaded
-  // window, joined in the destructor.
+  // round, joined in the destructor. Workers park on epoch_ and arrive
+  // through the barrier tree; the root arrival publishes the epoch into
+  // round_done_.
   NC_LP_SHARED std::vector<std::thread> workers_;  // coordinator start/join only
   NC_LP_SHARED std::atomic<uint64_t> epoch_{0};
-  NC_LP_SHARED std::atomic<uint32_t> done_{0};
+  NC_LP_SHARED std::atomic<uint64_t> round_done_{0};
   NC_LP_SHARED std::atomic<bool> shutdown_{false};
+  NC_LP_SHARED std::deque<BarrierNode> barrier_;   // tree levels, leaves first
+  NC_LP_SHARED std::vector<size_t> barrier_level_; // start index of each level
 
   static thread_local Ctx* tls_ctx_;
 };

@@ -13,20 +13,26 @@
 #    with --no-burst and asserts the metrics JSON is byte-identical — the
 #    net/simulator.h contract that coalescing same-instant deliveries into
 #    HandleBurst changes throughput, never results.
-# 4. Runs the rack under the partitioned schedule with --sim-threads=1 and
-#    --sim-threads=4 and asserts the metrics JSON is byte-identical — the
-#    parallel-DES contract that worker count never changes results (the
+# 4. Runs the rack under the partitioned schedule with --sim-threads=1, =4
+#    and =8 and asserts the metrics JSON is byte-identical across all three —
+#    the parallel-DES contract that worker count never changes results (the
 #    windowed schedule itself is allowed to differ from the legacy serial
 #    dispatcher only in event tie-breaking, so the reference here is the
-#    1-thread partitioned run, not determinism_a.json). Both runs profile
+#    1-thread partitioned run, not determinism_a.json). All runs profile
 #    (--profile-out), so multi-threaded span recording is exercised under
-#    the byte-identity contract too.
-# 5. Runs the 4-worker rack again with the LP-ownership sanitizer armed
+#    the byte-identity contract too. The =1 and =8 runs also write
+#    --trace-out and the packet-lifecycle trace JSONL must byte-match: the
+#    trace ring records from every worker and serializes in canonical
+#    (t, stream, seq) order.
+# 5. Runs the 8-worker rack again with the LP-ownership sanitizer armed
 #    (--lp-checks) and asserts the metrics JSON matches run 4's — the
 #    common/lp_ownership.h contract that the sanitizer observes, never
 #    perturbs.
 
-set(FLAGS rack --servers=4 --offered=150000 --duration=0.2 --seed=1234
+# 8 servers so the --sim-threads=8 leg gets 8 real workers (the simulator
+# clamps workers to the LP count, and a clamp surfaces as
+# sim_threads_effective in the JSON, which would break the byte-diff).
+set(FLAGS rack --servers=8 --offered=150000 --duration=0.2 --seed=1234
     --metrics-interval=0.05 --check-invariants=0.02 --write-ratio=0.1)
 
 foreach(run a b)
@@ -112,11 +118,17 @@ if(NOT diff_rc EQUAL 0)
       "(${WORK_DIR}/determinism_a.json vs determinism_noburst.json)")
 endif()
 
-# Parallel DES: 1 worker vs 4 workers over the identical partitioned
-# schedule, invariant checkers on, metrics JSON byte-identical.
-foreach(nthreads 1 4)
+# Parallel DES: 1, 4 and 8 workers over the identical partitioned schedule,
+# invariant checkers on, metrics JSON byte-identical. The 1- and 8-worker
+# runs also record the packet-lifecycle trace, which must byte-match too.
+foreach(nthreads 1 4 8)
+  if(nthreads EQUAL 4)
+    set(trace_flag)
+  else()
+    set(trace_flag --trace-out=${WORK_DIR}/determinism_trace_${nthreads}.jsonl)
+  endif()
   execute_process(
-    COMMAND ${SIM} ${FLAGS} --sim-threads=${nthreads}
+    COMMAND ${SIM} ${FLAGS} --sim-threads=${nthreads} ${trace_flag}
             --profile-out=${WORK_DIR}/determinism_prof_simthreads_${nthreads}.json
             --metrics-out=${WORK_DIR}/determinism_simthreads_${nthreads}.json
     RESULT_VARIABLE rc
@@ -127,23 +139,38 @@ foreach(nthreads 1 4)
   endif()
 endforeach()
 
+foreach(nthreads 4 8)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/determinism_simthreads_1.json
+            ${WORK_DIR}/determinism_simthreads_${nthreads}.json
+    RESULT_VARIABLE diff_rc)
+  if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "--sim-threads=1 and --sim-threads=${nthreads} produced different "
+        "metrics JSON (${WORK_DIR}/determinism_simthreads_1.json vs "
+        "determinism_simthreads_${nthreads}.json)")
+  endif()
+endforeach()
+
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E compare_files
-          ${WORK_DIR}/determinism_simthreads_1.json
-          ${WORK_DIR}/determinism_simthreads_4.json
+          ${WORK_DIR}/determinism_trace_1.jsonl
+          ${WORK_DIR}/determinism_trace_8.jsonl
   RESULT_VARIABLE diff_rc)
 if(NOT diff_rc EQUAL 0)
   message(FATAL_ERROR
-      "--sim-threads=1 and --sim-threads=4 produced different metrics JSON "
-      "(${WORK_DIR}/determinism_simthreads_1.json vs determinism_simthreads_4.json)")
+      "--sim-threads=1 and --sim-threads=8 produced different trace JSONL: "
+      "multi-worker span recording must serialize canonically "
+      "(${WORK_DIR}/determinism_trace_1.jsonl vs determinism_trace_8.jsonl)")
 endif()
 
 # LP-ownership sanitizer (--lp-checks, common/lp_ownership.h): the runtime
-# checks are read-only assertions, so a checked 4-worker run must stay
+# checks are read-only assertions, so a checked 8-worker run must stay
 # byte-identical to the unchecked partitioned runs above — and must pass,
 # proving the production node/link/pool paths contain no cross-LP touches.
 execute_process(
-  COMMAND ${SIM} ${FLAGS} --sim-threads=4 --lp-checks
+  COMMAND ${SIM} ${FLAGS} --sim-threads=8 --lp-checks
           --metrics-out=${WORK_DIR}/determinism_lpchecks.json
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE out
@@ -154,12 +181,12 @@ endif()
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E compare_files
-          ${WORK_DIR}/determinism_simthreads_4.json
+          ${WORK_DIR}/determinism_simthreads_8.json
           ${WORK_DIR}/determinism_lpchecks.json
   RESULT_VARIABLE diff_rc)
 if(NOT diff_rc EQUAL 0)
   message(FATAL_ERROR
       "--lp-checks changed the metrics JSON: the ownership sanitizer must "
       "observe, never perturb "
-      "(${WORK_DIR}/determinism_simthreads_4.json vs determinism_lpchecks.json)")
+      "(${WORK_DIR}/determinism_simthreads_8.json vs determinism_lpchecks.json)")
 endif()

@@ -212,5 +212,55 @@ TEST(ParallelSimTest, PartitionedRunMatchesSerialSchedule) {
   EXPECT_EQ(serial.first, par1.first);
 }
 
+TEST(ParallelSimTest, IdleLpSkipsRoundsAndBusyLpsMergeWindows) {
+  // Adaptive rounds: an LP with no pending work and no inbound mail must not
+  // be forced into rounds at all (no stall spins), and a busy LP whose
+  // neighbors are quiet gets a horizon wider than the legacy global
+  // min(T0) + lookahead window.
+  //
+  // Topology: a (LP1) -- 400ns --> b (LP2) -- 400ns --> c (LP3). All traffic
+  // is a -> b; c idles for the whole run.
+  Simulator sim;
+  SinkNode a("a");
+  SinkNode b("b");
+  SinkNode c("c");
+  a.set_lp(1);
+  b.set_lp(2);
+  c.set_lp(3);
+  LinkConfig cfg;
+  cfg.bandwidth_gbps = 8.0;
+  cfg.propagation = 400;
+  Link ab(&sim, cfg);
+  ab.Connect(&a, 0, &b, 0);
+  Link bc(&sim, cfg);
+  bc.Connect(&b, 1, &c, 0);
+  ASSERT_TRUE(sim.ConfigurePartitions(3, 2));
+
+  Packet pkt = MakeGet(1, 2, Key::FromUint64(1), 1);
+  constexpr int kPackets = 50;
+  for (int i = 0; i < kPackets; ++i) {
+    // Spaced far wider than the 400ns lookahead: legacy fixed windows would
+    // burn ~12 empty windows between sends; adaptive rounds must not.
+    sim.ScheduleAtFor(&a, static_cast<SimTime>(i) * 5000, [&a, pkt] {
+      Packet p = pkt;
+      a.Send(0, p);
+    });
+  }
+  sim.RunAll();
+
+  EXPECT_EQ(b.received.size(), static_cast<size_t>(kPackets));
+  EXPECT_TRUE(c.received.empty());
+  // The idle LP never participated: a skipped round costs nothing, a forced
+  // one would have counted a stall.
+  EXPECT_EQ(sim.lp_window_stalls(3), 0u);
+  // a's horizon is bounded by its own send->reply cycle (800ns) and by b's
+  // clock, not by the 400ns link lookahead: windows merged.
+  EXPECT_GT(sim.lp_windows_merged(1), 0u);
+  // Adaptive rounds stay event-bound, not lookahead-bound: the run spans
+  // 250us, which would be >600 fixed 400ns windows even if fully idle ones
+  // were free.
+  EXPECT_LT(sim.windows_run(), 4u * kPackets);
+}
+
 }  // namespace
 }  // namespace netcache

@@ -170,18 +170,10 @@ int RunRack(ArgParser& args) {
   size_t profile_limit = static_cast<size_t>(args.GetInt("profile-limit", 1 << 18));
   size_t sim_threads_requested = static_cast<size_t>(args.GetInt("sim-threads", 0));
   cfg.sim_threads = sim_threads_requested;
-  if (!trace_out.empty() && cfg.sim_threads > 1) {
-    // The trace ring is mutex-guarded (common/trace_recorder.h), so a
-    // multi-worker run would be SAFE — but the interleaving of events from
-    // concurrent windows is schedule-dependent, and traces must stay
-    // byte-identical for a fixed seed. Keep the windowed schedule (results
-    // match the requested thread count) but execute it on one thread.
-    std::fprintf(stderr,
-                 "warning: --trace-out forces --sim-threads=1 (concurrent "
-                 "workers would interleave trace events nondeterministically); "
-                 "the schedule is unchanged\n");
-    cfg.sim_threads = 1;
-  }
+  // --trace-out no longer constrains --sim-threads: every record carries a
+  // (stream, seq) stamp and WriteJsonl sorts by (t, stream, seq), so the
+  // serialized trace is byte-identical at any worker count as long as the
+  // ring did not wrap (checked after the run).
   size_t trace_limit = static_cast<size_t>(args.GetInt("trace-limit", 65536));
   double check_interval_s = 0;
   bool check_invariants = ParseCheckInvariants(args, &check_interval_s);
@@ -205,10 +197,9 @@ int RunRack(ArgParser& args) {
   // Burst coalescing must produce byte-identical output (determinism_test leg
   // 3 diffs this against the default); the flag exists to prove it.
   rack.sim().set_burst_coalescing(!args.GetBool("no-burst", false));
-  // The effective worker count can differ from the request: --trace-out
-  // forces 1 (above) and a zero-lookahead topology falls back to the serial
-  // dispatcher. Recorded in the metrics JSON when they differ so downstream
-  // comparisons see what actually ran.
+  // The effective worker count can differ from the request: a zero-lookahead
+  // topology falls back to the serial dispatcher. Recorded in the metrics
+  // JSON when they differ so downstream comparisons see what actually ran.
   size_t sim_threads_effective =
       rack.sim().partitioned() ? rack.sim().sim_threads() : 0;
   if (!profile_out.empty()) {
@@ -339,6 +330,12 @@ int RunRack(ArgParser& args) {
       std::printf("trace           %llu events to %s (%llu overwritten)\n",
                   static_cast<unsigned long long>(tracer->size()), trace_out.c_str(),
                   static_cast<unsigned long long>(tracer->dropped()));
+      if (tracer->dropped() > 0 && cfg.sim_threads > 1) {
+        std::fprintf(stderr,
+                     "warning: trace ring wrapped under a multi-worker run; "
+                     "WHICH events survived is schedule-dependent — raise "
+                     "--trace-limit for a byte-stable trace\n");
+      }
     }
   }
   if (profiler != nullptr) {
@@ -367,9 +364,9 @@ int RunRack(ArgParser& args) {
       w.Field("command", "rack");
       // Execution config that affects comparability. `schedule` says which
       // dispatcher actually ran; `sim_threads_effective` appears only when
-      // it differs from the requested --sim-threads (--trace-out forcing,
-      // zero-lookahead fallback) — an unconditional field would break the
-      // determinism legs that byte-diff --sim-threads=1 against =4.
+      // it differs from the requested --sim-threads (zero-lookahead
+      // fallback) — an unconditional field would break the determinism legs
+      // that byte-diff --sim-threads=1 against =4.
       w.Name("config");
       w.BeginObject();
       w.Field("schedule", rack.sim().partitioned() ? "windowed" : "serial");

@@ -10,8 +10,9 @@ aggregates).
 
 Default mode prints:
   * per-lane wall-clock attribution: what fraction of each recording thread's
-    active extent went to window execution, barrier waits, staged-event merge,
-    and serial fences (the four buckets that partition a DES worker's life);
+    active extent went to round execution, barrier waits, inbound-mail merge,
+    serial fences, and round-boundary coordination (the five buckets that
+    partition a DES worker's life);
   * the switch-pipeline breakdown (digest / match+peek / value-serve), which
     nests *inside* lp_execute spans and is therefore reported as a
     within-execute breakdown, never added to the lane buckets;
@@ -23,13 +24,18 @@ Modes:
   --validate         structural validation only (for CI): checks the trace is
                      well-formed and self-consistent, exit 0/1.
   --min-attributed=F fail (exit 1) unless the DES-active lanes' attributed
-                     fraction (execute+barrier+merge+fence over lane extents)
-                     is at least F (e.g. 0.9).
+                     fraction (execute+barrier+merge+fence+coordinate over
+                     lane extents) is at least F (e.g. 0.9).
+  --scaling-baseline=BASE.json
+                     also print a scaling-efficiency line: this profile's
+                     events/s against the (typically 1-worker) baseline
+                     profile's, and the per-worker parallel efficiency.
 
 Usage:
   tools/profile_report.py PROFILE.json
   tools/profile_report.py --validate PROFILE.json
   tools/profile_report.py --min-attributed=0.9 PROFILE.json
+  tools/profile_report.py --scaling-baseline=prof_1worker.json prof_8worker.json
 """
 
 import argparse
@@ -41,7 +47,7 @@ import sys
 signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 
 # Must match ProfCat / ProfCatName in src/common/profiler.h.
-DES_CATS = ("lp_execute", "barrier_wait", "merge", "serial_fence")
+DES_CATS = ("lp_execute", "barrier_wait", "merge", "serial_fence", "coordinate")
 SWITCH_CATS = ("switch_digest", "switch_match_peek", "switch_value_serve")
 ALL_CATS = DES_CATS + SWITCH_CATS
 
@@ -159,6 +165,42 @@ def bin_label(k: int) -> str:
     return str(lo) if lo == hi else f"{lo}-{hi}"
 
 
+def des_throughput(doc: dict):
+    """(events, extent_ns, des_lanes) for a profile's DES work.
+
+    Events counts everything dispatched by the scheduler: per-LP round
+    execution (lp_execute arg) plus global-stream serial instants
+    (serial_fence arg).  Extent is the union of the DES lanes' activity.
+    """
+    lanes = doc["netcache"]["lanes"]
+    des = [l for l in lanes if any(l["cats"][c]["count"] > 0 for c in DES_CATS)]
+    if not des:
+        return 0, 0, 0
+    events = sum(l["cats"]["lp_execute"]["arg"] + l["cats"]["serial_fence"]["arg"]
+                 for l in des)
+    extent = max(l["last_ns"] for l in des) - min(l["first_ns"] for l in des)
+    return events, extent, len(des)
+
+
+def scaling_report(doc: dict, baseline: dict) -> None:
+    ev, ext, workers = des_throughput(doc)
+    bev, bext, bworkers = des_throughput(baseline)
+    if ext == 0 or bext == 0 or bworkers == 0:
+        print("\nscaling: baseline or profile has no DES activity; skipping")
+        return
+    rate = ev / (ext / 1e9)
+    brate = bev / (bext / 1e9)
+    speedup = rate / brate if brate else 0.0
+    # Per-worker efficiency: how much of the ideal linear speedup over the
+    # baseline's worker count this run achieved.
+    eff = speedup / (workers / bworkers) if workers else 0.0
+    print(f"\nScaling vs baseline ({bworkers} lane(s), {brate:,.0f} events/s)")
+    print(f"  this profile: {workers} lane(s), {rate:,.0f} events/s "
+          f"({rate / workers:,.0f} per lane)")
+    print(f"  speedup {speedup:.2f}x over baseline -> "
+          f"{100.0 * eff:.1f}% per-worker scaling efficiency")
+
+
 def report(doc: dict, min_attributed: float) -> int:
     nc = doc["netcache"]
     lanes = nc["lanes"]
@@ -167,14 +209,14 @@ def report(doc: dict, min_attributed: float) -> int:
         print(f"note: {dropped} timeline spans dropped (buffer full); "
               "aggregates below are still exact\n")
 
-    # A lane participates in DES attribution when it recorded any of the four
+    # A lane participates in DES attribution when it recorded any of the five
     # scheduler buckets; a hypothetical switch-only thread would not.
     des_lanes = [l for l in lanes
                  if any(l["cats"][c]["count"] > 0 for c in DES_CATS)]
 
     print("Per-lane wall-clock attribution (extent = first span start .. last span end)")
     hdr = (f"  {'lane':<6} {'extent_ms':>10} {'execute':>8} {'barrier':>8} "
-           f"{'merge':>8} {'fence':>8} {'other':>8} {'attributed':>11}")
+           f"{'merge':>8} {'fence':>8} {'coord':>8} {'other':>8} {'attributed':>11}")
     print(hdr)
     total_extent = 0
     total_attr = 0
@@ -193,11 +235,12 @@ def report(doc: dict, min_attributed: float) -> int:
               f"{pct(bucket_ns['barrier_wait'], extent):>8} "
               f"{pct(bucket_ns['merge'], extent):>8} "
               f"{pct(bucket_ns['serial_fence'], extent):>8} "
+              f"{pct(bucket_ns['coordinate'], extent):>8} "
               f"{pct(other, extent):>8} "
               f"{pct(attr, extent) if in_des else '  (no DES)':>11}")
     overall = total_attr / total_extent if total_extent else 0.0
     print(f"  overall: {100.0 * overall:.1f}% of DES-lane wall-clock attributed "
-          f"to execute+barrier+merge+fence ({len(des_lanes)} lane(s))")
+          f"to execute+barrier+merge+fence+coordinate ({len(des_lanes)} lane(s))")
 
     # Switch pipeline: nested inside lp_execute, reported as a breakdown of it.
     switch_total = sum(l["cats"][c]["ns"] for l in lanes for c in SWITCH_CATS)
@@ -257,6 +300,9 @@ def main() -> int:
                     help="structural validation only; exit 0/1 (for CI)")
     ap.add_argument("--min-attributed", type=float, default=None, metavar="F",
                     help="fail unless DES lanes' attributed fraction >= F")
+    ap.add_argument("--scaling-baseline", default=None, metavar="BASE.json",
+                    help="print events/s scaling efficiency vs this "
+                         "(typically 1-worker) baseline profile")
     args = ap.parse_args()
 
     doc = load(args.profile)
@@ -271,7 +317,16 @@ def main() -> int:
         print(f"OK: {n_spans} spans in {len(nc['lanes'])} lane(s), "
               f"{len(nc.get('lps', []))} LPs, {nc.get('spans_dropped', 0)} dropped")
         return 0
-    return report(doc, args.min_attributed)
+    rc = report(doc, args.min_attributed)
+    if args.scaling_baseline is not None:
+        base = load(args.scaling_baseline)
+        base_problems = validate(base)
+        if base_problems:
+            for p in base_problems:
+                print(f"profile_report: invalid baseline: {p}", file=sys.stderr)
+            return 1
+        scaling_report(doc, base)
+    return rc
 
 
 if __name__ == "__main__":
