@@ -23,6 +23,7 @@
 #include "common/hash.h"
 #include "core/rack.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/zipf.h"
 #include "dataplane/netcache_switch.h"
 #include "dataplane/value_store.h"
@@ -58,6 +59,80 @@ void BM_BloomTestAndSet(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_BloomTestAndSet);
+
+// --- SIMD batch kernels (common/simd.h dispatch) vs their scalar twins ---
+//
+// The burst pipeline feeds whole Get-runs through UpdateBatch /
+// TestAndSetBatch / the grouped table probe; these benches measure the batch
+// kernels in isolation at the native dispatch level and forced-scalar
+// (ScopedScalarSimd), over the per-arg batch size. The harness trial groups
+// below gate the same kernels in CI with bit-equivalence NC_CHECKs.
+
+void BM_CountMinUpdateBatch(benchmark::State& state) {
+  size_t batch = static_cast<size_t>(state.range(0));
+  CountMinSketch cms(4, 64 * 1024, 1);
+  Rng rng(1);
+  std::vector<KeyDigest> digests(batch);
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      digests[i] = KeyDigest::Of(Key::FromUint64(rng.NextBounded(1 << 20)));
+    }
+    cms.UpdateBatch(digests.data(), batch, nullptr);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_CountMinUpdateBatch)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_CountMinUpdateBatch_Scalar(benchmark::State& state) {
+  ScopedScalarSimd scalar;
+  size_t batch = static_cast<size_t>(state.range(0));
+  CountMinSketch cms(4, 64 * 1024, 1);
+  Rng rng(1);
+  std::vector<KeyDigest> digests(batch);
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      digests[i] = KeyDigest::Of(Key::FromUint64(rng.NextBounded(1 << 20)));
+    }
+    cms.UpdateBatch(digests.data(), batch, nullptr);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_CountMinUpdateBatch_Scalar)->Arg(32);
+
+void BM_BloomTestAndSetBatch(benchmark::State& state) {
+  size_t batch = static_cast<size_t>(state.range(0));
+  BloomFilter bf(3, 256 * 1024, 2);
+  Rng rng(2);
+  std::vector<KeyDigest> digests(batch);
+  bool already[64];  // max Arg below
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      digests[i] = KeyDigest::Of(Key::FromUint64(rng.NextBounded(1 << 20)));
+    }
+    bf.TestAndSetBatch(digests.data(), batch, already);
+    benchmark::DoNotOptimize(already);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_BloomTestAndSetBatch)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_DigestBatch16(benchmark::State& state) {
+  Rng rng(3);
+  constexpr size_t kBatch = 64;
+  std::vector<uint8_t> key_bytes(kBatch * kKeySize);
+  for (uint8_t& b : key_bytes) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  std::vector<uint64_t> h1(kBatch);
+  std::vector<uint64_t> h2(kBatch);
+  for (auto _ : state) {
+    simd::DigestBatch16(key_bytes.data(), kBatch, h1.data(), h2.data());
+    benchmark::DoNotOptimize(h1);
+    benchmark::DoNotOptimize(h2);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_DigestBatch16);
 
 // --- Sketch hashing: per-probe seeded hashes vs one digest + KM probes ---
 //
@@ -126,6 +201,25 @@ void BM_FlatTableFind(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FlatTableFind);
+
+// Same probe workload near the 7/8 growth ceiling (~87% load), where the
+// robin-hood chains are long enough that the load-aware dispatch in
+// FlatTable::Locate switches to the 16-way grouped control-byte scan when a
+// SIMD level is active. BM_FlatTableFind above sits at 50% load and takes the
+// scalar walk in both modes; this is the regime the grouped probe exists for.
+void BM_FlatTableFindHighLoad(benchmark::State& state) {
+  FlatTable<Key, uint64_t, KeyHasher> table;
+  constexpr uint64_t kKeys = 57000;  // 65536-slot table, no growth past it
+  for (uint64_t i = 0; i < kKeys; ++i) {
+    table.Upsert(Key::FromUint64(i), i);
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Find(Key::FromUint64(rng.NextBounded(kKeys))));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FlatTableFindHighLoad);
 
 void BM_StdUnorderedMapFind(benchmark::State& state) {
   std::unordered_map<Key, uint64_t, KeyHasher> table;
@@ -446,6 +540,104 @@ void RunBurstTrials(bench::BenchHarness& harness) {
   }
 }
 
+// --- SketchBatch / TableGroupProbe trials: the SIMD batch kernels at the
+// native dispatch level vs forced-scalar (ScopedScalarSimd). Both legs run
+// the identical workload and must produce the identical checksum — the
+// bit-equivalence contract of common/simd.h, NC_CHECKed on every run. The
+// wall_ms/events pair feeds the --perf gate; on hosts without AVX2 the
+// "simd" leg degenerates to a second scalar run (the checksum still pins
+// determinism) and the JSON's config.simd_level records that, so
+// bench_regress.py refuses cross-host apples-to-oranges comparisons.
+
+constexpr size_t kBatchTrialKeys = 1'000'000;
+constexpr size_t kBatchTrialBurst = 32;
+
+uint64_t RunSketchBatchPass(bench::TrialRecord& trial) {
+  CountMinSketch cms(4, 64 * 1024, 1);
+  BloomFilter bf(3, 256 * 1024, 2);
+  Rng rng(41);
+  std::vector<KeyDigest> digests(kBatchTrialBurst);
+  std::vector<uint32_t> est(kBatchTrialBurst);
+  bool already[kBatchTrialBurst];
+  uint64_t acc = 0;
+  bench::TrialTimer timer(&trial);
+  for (size_t base = 0; base < kBatchTrialKeys; base += kBatchTrialBurst) {
+    for (size_t i = 0; i < kBatchTrialBurst; ++i) {
+      digests[i] = KeyDigest::Of(Key::FromUint64(rng.NextBounded(1 << 16)));
+    }
+    cms.UpdateBatch(digests.data(), kBatchTrialBurst, est.data());
+    bf.TestAndSetBatch(digests.data(), kBatchTrialBurst, already);
+    for (size_t i = 0; i < kBatchTrialBurst; ++i) {
+      acc += est[i] + (already[i] ? 1 : 0);
+    }
+  }
+  timer.SetEvents(kBatchTrialKeys);
+  return acc;
+}
+
+void RunSketchBatchTrials(bench::BenchHarness& harness) {
+  uint64_t scalar_acc = 0;
+  uint64_t simd_acc = 0;
+  {
+    auto& trial = harness.AddTrial("SketchBatch/scalar");
+    trial.Config("keys", static_cast<double>(kBatchTrialKeys))
+        .Config("burst", static_cast<double>(kBatchTrialBurst));
+    ScopedScalarSimd scalar;
+    scalar_acc = RunSketchBatchPass(trial);
+    trial.Metric("checksum", static_cast<double>(scalar_acc & 0xffffffff));
+  }
+  {
+    auto& trial = harness.AddTrial("SketchBatch/simd");
+    trial.Config("keys", static_cast<double>(kBatchTrialKeys))
+        .Config("burst", static_cast<double>(kBatchTrialBurst));
+    simd_acc = RunSketchBatchPass(trial);
+    trial.Metric("checksum", static_cast<double>(simd_acc & 0xffffffff));
+  }
+  NC_CHECK(scalar_acc == simd_acc);
+}
+
+constexpr size_t kProbeTrialEntries = 50'000;
+constexpr size_t kProbeTrialLookups = 2'000'000;
+
+uint64_t RunTableProbePass(bench::TrialRecord& trial) {
+  FlatTable<Key, uint32_t, KeyHasher> t;
+  for (uint64_t i = 0; i < kProbeTrialEntries; ++i) {
+    t.Upsert(Key::FromUint64(i), static_cast<uint32_t>(i));
+  }
+  Rng rng(43);
+  uint64_t acc = 0;
+  bench::TrialTimer timer(&trial);
+  for (size_t i = 0; i < kProbeTrialLookups; ++i) {
+    // ~20% misses so the group scan's empty-termination path is exercised.
+    uint64_t id = rng.NextBounded(kProbeTrialEntries * 5 / 4);
+    const uint32_t* v = t.Find(Key::FromUint64(id));
+    acc += v != nullptr ? *v + 1 : 0;
+  }
+  timer.SetEvents(kProbeTrialLookups);
+  return acc;
+}
+
+void RunTableGroupProbeTrials(bench::BenchHarness& harness) {
+  uint64_t scalar_acc = 0;
+  uint64_t simd_acc = 0;
+  {
+    auto& trial = harness.AddTrial("TableGroupProbe/scalar");
+    trial.Config("entries", static_cast<double>(kProbeTrialEntries))
+        .Config("lookups", static_cast<double>(kProbeTrialLookups));
+    ScopedScalarSimd scalar;
+    scalar_acc = RunTableProbePass(trial);
+    trial.Metric("checksum", static_cast<double>(scalar_acc & 0xffffffff));
+  }
+  {
+    auto& trial = harness.AddTrial("TableGroupProbe/simd");
+    trial.Config("entries", static_cast<double>(kProbeTrialEntries))
+        .Config("lookups", static_cast<double>(kProbeTrialLookups));
+    simd_acc = RunTableProbePass(trial);
+    trial.Metric("checksum", static_cast<double>(simd_acc & 0xffffffff));
+  }
+  NC_CHECK(scalar_acc == simd_acc);
+}
+
 // --- ParallelDes trials: one rack workload under the windowed partitioned
 // schedule with 1, 4 and 8 workers. The runs execute the exact same event
 // schedule by construction (staging and merge are used uniformly for every
@@ -555,6 +747,8 @@ int main(int argc, char** argv) {
   netcache::bench::BenchHarness harness(argc, argv, "micro_datastructures");
   netcache::RunSketchHashTrials(harness);
   netcache::RunBurstTrials(harness);
+  netcache::RunSketchBatchTrials(harness);
+  netcache::RunTableGroupProbeTrials(harness);
   netcache::RunParallelDesTrials(harness);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -24,13 +24,15 @@ is a regression. Wall-clock numbers (wall_ms, events_per_sec) vary with the
 machine and are only compared when --perf is given, against the looser
 --perf-tolerance, and only in the slower direction (faster is never flagged).
 
-Both documents may carry a top-level "config" object recording the threading
-setup of the run ({"threads", "sim_threads", "serial"}, written by
-bench_harness). When both sides have one and they disagree, the comparison is
-refused outright: wall-clock numbers are meaningless across threading setups,
-and --sim-threads>=1 runs a different (windowed) event schedule than the
-legacy serial dispatcher, so even model metrics need not match. Re-run the
-candidate with the baseline's flags instead.
+Both documents may carry a top-level "config" object recording the run setup
+({"threads", "sim_threads", "sim_threads_effective", "serial", "simd_level"},
+written by bench_harness). When both sides have one and they disagree, the
+comparison is refused outright: wall-clock numbers are meaningless across
+threading setups, --sim-threads>=1 runs a different (windowed) event schedule
+than the legacy serial dispatcher, and a "scalar" simd_level run exercises a
+different codepath than an "avx2" one (batched digests/sketch probes and
+grouped table scans are bypassed entirely), so even perf deltas would be
+apples to oranges. Re-run the candidate with the baseline's flags instead.
 
 Exit status: 0 when everything matches, 1 on any regression, missing trial,
 or missing metric. New trials/metrics present only in the candidate are
@@ -156,11 +158,12 @@ def main():
     cand_cfg = cand_doc.get("config")
     if base_cfg is not None and cand_cfg is not None and base_cfg != cand_cfg:
         sys.exit(
-            "bench_regress: threading configs differ — refusing to compare.\n"
+            "bench_regress: run configs differ — refusing to compare.\n"
             f"  baseline  {args.baseline}: {json.dumps(base_cfg, sort_keys=True)}\n"
             f"  candidate {args.candidate}: {json.dumps(cand_cfg, sort_keys=True)}\n"
             "  Re-run the candidate with the baseline's --threads/--sim-threads/"
-            "--serial flags.")
+            "--serial/--no-simd flags (simd_level must match: scalar and AVX2 "
+            "runs are different codepaths).")
     if base_doc.get("bench") != cand_doc.get("bench"):
         print(f"note: comparing different benches: {base_doc.get('bench')!r} "
               f"vs {cand_doc.get('bench')!r}")

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/profiler.h"
+#include "common/simd.h"
 #include "common/trace_recorder.h"
 
 namespace netcache {
@@ -30,6 +31,17 @@ NetCacheSwitch::NetCacheSwitch(Simulator* sim, std::string name, const SwitchCon
   for (size_t i = config.cache_capacity; i > 0; --i) {
     free_key_indexes_.push_back(static_cast<uint32_t>(i - 1));
   }
+  // Reserve the burst scratch once so the steady-state burst path never
+  // allocates (a run larger than this just grows the vectors one time).
+  constexpr size_t kExpectedBurst = 64;
+  staged_.reserve(kExpectedBurst);
+  batch_key_ptrs_.reserve(kExpectedBurst);
+  batch_h1_.reserve(kExpectedBurst);
+  batch_h2_.reserve(kExpectedBurst);
+  batch_pos_.reserve(kExpectedBurst);
+  batch_miss_digests_.reserve(kExpectedBurst);
+  batch_miss_keys_.reserve(kExpectedBurst);
+  batch_miss_pos_.reserve(kExpectedBurst);
 }
 
 // ---------------------------------------------------------------------------
@@ -113,9 +125,7 @@ void NetCacheSwitch::ProcessPacket(const Packet& pkt, uint32_t in_port,
 
   // Parser: only packets on the reserved L4 port run the NetCache modules;
   // everything else is plain L2/L3 traffic (§4.1).
-  bool is_nc = pkt.is_netcache &&
-               (pkt.l4.dst_port == kNetCachePort || pkt.l4.src_port == kNetCachePort);
-  if (!is_nc) {
+  if (!IsNetCacheQuery(pkt)) {
     ForwardByDst(Packet(pkt), out);
     ApplySnakeForward(in_port, out, first_emit);
     return;
@@ -151,11 +161,7 @@ void NetCacheSwitch::ProcessPacket(const Packet& pkt, uint32_t in_port,
 void NetCacheSwitch::ProcessBurst(std::span<BurstArrival> arrivals, EmitSink& sink) {
   size_t i = 0;
   while (i < arrivals.size()) {
-    const Packet& p = *arrivals[i].pkt;
-    bool is_get = p.is_netcache &&
-                  (p.l4.dst_port == kNetCachePort || p.l4.src_port == kNetCachePort) &&
-                  p.nc.op == OpCode::kGet;
-    if (!is_get) {
+    if (!IsNetCacheGet(*arrivals[i].pkt)) {
       // Barrier packet (write, cache update, reply, plain L3): ordinary
       // single-packet pipeline at its in-order turn.
       scratch_emits_.clear();
@@ -167,13 +173,7 @@ void NetCacheSwitch::ProcessBurst(std::span<BurstArrival> arrivals, EmitSink& si
       continue;
     }
     size_t j = i + 1;
-    while (j < arrivals.size()) {
-      const Packet& q = *arrivals[j].pkt;
-      if (!(q.is_netcache &&
-            (q.l4.dst_port == kNetCachePort || q.l4.src_port == kNetCachePort) &&
-            q.nc.op == OpCode::kGet)) {
-        break;
-      }
+    while (j < arrivals.size() && IsNetCacheGet(*arrivals[j].pkt)) {
       ++j;
     }
     ProcessGetRun(arrivals.subspan(i, j - i), sink);
@@ -182,17 +182,29 @@ void NetCacheSwitch::ProcessBurst(std::span<BurstArrival> arrivals, EmitSink& si
 }
 
 void NetCacheSwitch::ProcessGetRun(std::span<BurstArrival> run, EmitSink& sink) {
+  // The SIMD fast path batches stage 1's digests and stage 2.5's cold-miss
+  // statistics; forcing the scalar level (--no-simd / NETCACHE_SIMD=OFF)
+  // runs the original per-packet pipeline. Both produce byte-identical
+  // output — the batched forms are proven order-equivalent (common/simd.h,
+  // sketch/count_min.h, sketch/heavy_hitter.h) and determinism_test diffs
+  // the two end to end.
+  const bool use_simd = ActiveSimdLevel() != SimdLevel::kScalar;
+
   // Stage 1 (ingress hash + match dispatch): digest every key once and warm
   // the lookup table's home buckets.
   {
     ProfScope prof(ProfCat::kSwitchDigest);
     prof.set_arg(run.size());
-    for (BurstArrival& a : run) {
-      Packet& p = *a.pkt;
-      if (p.digest.Empty()) {
-        p.digest = KeyDigest::Of(p.nc.key);
+    if (use_simd) {
+      BatchDigestRun(run);
+    } else {
+      for (BurstArrival& a : run) {
+        Packet& p = *a.pkt;
+        if (p.digest.Empty()) {
+          p.digest = KeyDigest::Of(p.nc.key);
+        }
+        lookup_.Prefetch(static_cast<size_t>(p.digest.h1));
       }
-      lookup_.Prefetch(static_cast<size_t>(p.digest.h1));
     }
   }
 
@@ -207,13 +219,7 @@ void NetCacheSwitch::ProcessGetRun(std::span<BurstArrival> run, EmitSink& sink) 
     for (BurstArrival& a : run) {
       Packet& p = *a.pkt;
       StagedGet s;
-      const CacheAction* action =
-          lookup_.PeekWithHash(p.nc.key, static_cast<size_t>(p.digest.h1));
-      s.found = action != nullptr;
-      if (action != nullptr) {
-        s.action = *action;
-        s.valid = status_.Read(action->key_index) != 0;
-      }
+      RestageGet(p, &s);
       if (s.found && s.valid) {
         stats_.PrefetchCounter(s.action.key_index);
         pipes_[s.action.pipe].values.Prefetch(s.action.bitmap, s.action.value_index);
@@ -222,6 +228,19 @@ void NetCacheSwitch::ProcessGetRun(std::span<BurstArrival> run, EmitSink& sink) 
       }
       staged_.push_back(s);
     }
+  }
+
+  // Stage 2.5 (batched cold misses): run the vectorized query-statistics
+  // pass over the run's staged misses and commit the provably-cold prefix —
+  // every miss whose sketch estimate cannot reach the hot threshold even if
+  // all of the run's updates landed on its counters. Those packets provably
+  // do not report (so no hot-report handler fires before them and their
+  // stage-2 classification is final); the first potentially-hot miss and
+  // everything after it stays on the exact per-packet path below, including
+  // its re-peek machinery. Skipped entirely when the sampler draws RNG per
+  // query (draw order must be preserved) or at the scalar level.
+  if (use_simd && stats_.CanBatchUncached()) {
+    BatchColdMissRun(run);
   }
 
   // Stage 3 (stats + value + emit), strictly in arrival order: every
@@ -244,14 +263,7 @@ void NetCacheSwitch::ProcessGetRun(std::span<BurstArrival> run, EmitSink& sink) 
       // have mutated the cache (unit-test controllers insert inline; the
       // rack controller defers to a later event). Re-peek so this packet
       // sees the same table state it would have sequentially.
-      const CacheAction* action =
-          lookup_.PeekWithHash(p.nc.key, static_cast<size_t>(p.digest.h1));
-      s.found = action != nullptr;
-      s.valid = false;
-      if (action != nullptr) {
-        s.action = *action;
-        s.valid = status_.Read(action->key_index) != 0;
-      }
+      RestageGetCold(p, &s);
     }
     lookup_.CountMatch(s.found);
     if (s.found && s.valid) {
@@ -278,7 +290,9 @@ void NetCacheSwitch::ProcessGetRun(std::span<BurstArrival> run, EmitSink& sink) 
         TraceSpan(s.found ? TraceEvent::kSwitchInvalid : TraceEvent::kSwitchMiss,
                   TraceQueryId(p), sim_ != nullptr ? sim_->Now() : 0, config_.switch_ip);
       }
-      if (stats_.OnUncachedRead(p.nc.key, p.digest)) {
+      // stats_done: this miss's statistics pass was committed by the batched
+      // cold prefix in stage 2.5 (provably no report).
+      if (!s.stats_done && stats_.OnUncachedRead(p.nc.key, p.digest)) {
         ++counters_.hot_reports;
         if (hot_report_) {
           hot_report_(p.nc.key, stats_.SketchEstimate(p.nc.key));
@@ -288,6 +302,64 @@ void NetCacheSwitch::ProcessGetRun(std::span<BurstArrival> run, EmitSink& sink) 
     }
     ForwardBurstPacket(a, sink);
   }
+}
+
+// Burst stage 1, SIMD leg: collect pointers at the keys still needing a
+// digest (the vector loads gather straight out of the packets), run the
+// FNV/Mix64 lanes, then scatter the results and warm the table in one merged
+// pass — batch_pos_ is ascending, so a single cursor re-pairs lanes with
+// packets.
+__attribute__((noinline)) void NetCacheSwitch::BatchDigestRun(std::span<BurstArrival> run) {
+  batch_key_ptrs_.clear();
+  batch_pos_.clear();
+  for (size_t idx = 0; idx < run.size(); ++idx) {
+    Packet& p = *run[idx].pkt;
+    if (p.digest.Empty()) {
+      batch_key_ptrs_.push_back(p.nc.key.bytes.data());
+      batch_pos_.push_back(idx);
+    }
+  }
+  if (!batch_pos_.empty()) {
+    batch_h1_.resize(batch_pos_.size());
+    batch_h2_.resize(batch_pos_.size());
+    simd::DigestGather16(batch_key_ptrs_.data(), batch_pos_.size(), batch_h1_.data(),
+                         batch_h2_.data());
+  }
+  size_t m = 0;
+  for (size_t idx = 0; idx < run.size(); ++idx) {
+    Packet& p = *run[idx].pkt;
+    if (m < batch_pos_.size() && batch_pos_[m] == idx) {
+      p.digest = KeyDigest{batch_h1_[m], batch_h2_[m]};
+      ++m;
+    }
+    lookup_.Prefetch(static_cast<size_t>(p.digest.h1));
+  }
+}
+
+// Burst stage 2.5: gather the run's staged misses and commit the provably-
+// cold prefix through the vectorized query-statistics pass.
+__attribute__((noinline)) void NetCacheSwitch::BatchColdMissRun(std::span<BurstArrival> run) {
+  batch_miss_digests_.clear();
+  batch_miss_keys_.clear();
+  batch_miss_pos_.clear();
+  for (size_t idx = 0; idx < run.size(); ++idx) {
+    const StagedGet& s = staged_[idx];
+    if (!(s.found && s.valid)) {
+      Packet& p = *run[idx].pkt;
+      batch_miss_digests_.push_back(p.digest);
+      batch_miss_keys_.push_back(&p.nc.key);
+      batch_miss_pos_.push_back(idx);
+    }
+  }
+  size_t committed = stats_.OnUncachedReadBatchColdPrefix(
+      batch_miss_keys_.data(), batch_miss_digests_.data(), batch_miss_digests_.size());
+  for (size_t m = 0; m < committed; ++m) {
+    staged_[batch_miss_pos_[m]].stats_done = true;
+  }
+}
+
+__attribute__((noinline)) void NetCacheSwitch::RestageGetCold(const Packet& p, StagedGet* s) {
+  RestageGet(p, s);
 }
 
 void NetCacheSwitch::ForwardBurstPacket(BurstArrival& arrival, EmitSink& sink) {

@@ -270,12 +270,52 @@ class NetCacheSwitch : public Node {
   size_t PipeOfPort(uint32_t port) const { return port / config_.ports_per_pipe; }
 
   // Snapshot of one Get's stage-2 state in a burst: the matched action and
-  // validity, peeked ahead of the in-order stage-3 pass.
+  // validity, peeked ahead of the in-order stage-3 pass. stats_done marks a
+  // miss whose query-statistics pass was committed by the batched cold-prefix
+  // path (stage 2.5), so stage 3 must not feed it to the sketch again.
   struct StagedGet {
     CacheAction action;
     bool found = false;
     bool valid = false;
+    bool stats_done = false;
   };
+
+  // Parser predicate (§4.1): only packets on the reserved L4 port run the
+  // NetCache modules.
+  static bool IsNetCacheQuery(const Packet& p) {
+    return p.is_netcache &&
+           (p.l4.dst_port == kNetCachePort || p.l4.src_port == kNetCachePort);
+  }
+  // Run predicate for the staged burst pipeline: a NetCache Get query.
+  static bool IsNetCacheGet(const Packet& p) {
+    return IsNetCacheQuery(p) && p.nc.op == OpCode::kGet;
+  }
+
+  // Once-per-run SIMD batch stages (burst stage 1's digest gather and stage
+  // 2.5's cold-miss statistics prefix), outlined and pinned noinline so the
+  // per-packet loops in ProcessGetRun stay small enough for the front end —
+  // inlining them once doubled the function and cost the scalar path ~10%.
+  void BatchDigestRun(std::span<BurstArrival> run);
+  void BatchColdMissRun(std::span<BurstArrival> run);
+
+  // Noinline twin of RestageGet for the stage-3 re-peek, which only runs
+  // after a hot report mutated the table mid-run (rare); keeps the second
+  // copy of the probe out of the serve loop's instruction footprint.
+  void RestageGetCold(const Packet& p, StagedGet* s);
+
+  // (Re)derives one Get's staged match state from the current lookup table
+  // and cache-status registers; leaves stats_done alone. Defined here so the
+  // stage-2 peek loop inlines it.
+  void RestageGet(const Packet& p, StagedGet* s) {
+    const CacheAction* action =
+        lookup_.PeekWithHash(p.nc.key, static_cast<size_t>(p.digest.h1));
+    s->found = action != nullptr;
+    s->valid = false;
+    if (action != nullptr) {
+      s->action = *action;
+      s->valid = status_.Read(action->key_index) != 0;
+    }
+  }
 
   // Schedules one pooled output packet through the per-pipe rate bound and
   // the pipeline-latency delay (the emit half of HandlePacket). Takes
@@ -339,6 +379,18 @@ class NetCacheSwitch : public Node {
   // steady state allocates nothing per packet or burst.
   NC_LP_OWNED std::vector<Emit> scratch_emits_;
   NC_LP_OWNED std::vector<StagedGet> staged_;
+  // SIMD burst scratch (stage-1 digest batching and the stage-2.5 cold-miss
+  // batch), reserved once in the constructor: pointers at the packets'
+  // in-place key bytes for simd::DigestGather16, the resulting (h1, h2)
+  // lanes, the run positions they scatter back to, and the run's staged
+  // misses for the cold-prefix statistics pass.
+  NC_LP_OWNED std::vector<const uint8_t*> batch_key_ptrs_;
+  NC_LP_OWNED std::vector<uint64_t> batch_h1_;
+  NC_LP_OWNED std::vector<uint64_t> batch_h2_;
+  NC_LP_OWNED std::vector<size_t> batch_pos_;
+  NC_LP_OWNED std::vector<KeyDigest> batch_miss_digests_;
+  NC_LP_OWNED std::vector<const Key*> batch_miss_keys_;
+  NC_LP_OWNED std::vector<size_t> batch_miss_pos_;
 };
 
 }  // namespace netcache

@@ -3,10 +3,12 @@
 
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "kvstore/flat_table.h"
 #include "kvstore/hash_table.h"
 #include "proto/key.h"
@@ -133,6 +135,120 @@ TEST_P(FlatTablePropertyTest, MatchesReferenceUnderRandomOps) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FlatTablePropertyTest, ::testing::Values(1, 2, 3, 4));
+
+// ------------------------------------------------- group-probe equivalence
+//
+// The 16-way control-byte group scan (common/simd.h) dispatches at call time,
+// so the SAME table can be probed through the grouped path (native level) and
+// the original scalar loop (ScopedScalarSimd). Both must land on the same
+// slot — the tests compare the returned value pointers, which encode slot
+// identity exactly.
+
+// Identity hash pins home slots so tests can build adversarial layouts
+// (wrap-around clusters) deterministically.
+struct IdentityHash {
+  size_t operator()(uint64_t v) const { return static_cast<size_t>(v); }
+};
+
+// Probes `t` for `key` through both dispatch paths and asserts they agree;
+// returns the (common) result.
+template <typename Table, typename KeyT>
+auto* FindBothPaths(Table& t, const KeyT& key) {
+  auto* grouped = t.Find(key);
+  ScopedScalarSimd scalar;
+  auto* legacy = t.Find(key);
+  EXPECT_EQ(grouped, legacy);
+  return grouped;
+}
+
+TEST(FlatTableGroupProbeTest, WrapAroundClusterFound) {
+  FlatTable<uint64_t, int, IdentityHash> t;
+  t.set_group_probe_min_load(0);  // cover the grouped path at any fill
+  // Capacity starts at 16; keep load below growth (14 slots max). Build a
+  // probe cluster that starts near the top and wraps: homes 13, 14, 15 plus
+  // colliders that spill across the wrap point.
+  std::vector<uint64_t> keys = {13, 14, 15, 15 + 16, 15 + 32, 14 + 16};
+  for (uint64_t k : keys) {
+    t.Upsert(k, static_cast<int>(k));
+  }
+  ASSERT_EQ(t.capacity(), 16u);
+  for (uint64_t k : keys) {
+    auto* v = FindBothPaths(t, k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, static_cast<int>(k));
+  }
+  // Absent keys that hash into the cluster: both paths must agree on miss.
+  for (uint64_t k : {uint64_t{13 + 16}, uint64_t{15 + 48}, uint64_t{12}}) {
+    EXPECT_EQ(FindBothPaths(t, k), nullptr) << k;
+  }
+}
+
+TEST(FlatTableGroupProbeTest, DeletionChurnKeepsPathsEquivalent) {
+  FlatTable<uint64_t, uint64_t, IdentityHash> t;
+  t.set_group_probe_min_load(0);  // cover the grouped path at any fill
+  Rng rng(0xc4u);
+  std::unordered_map<uint64_t, uint64_t> ref;
+  // Heavy insert/erase churn exercises backward-shift deletion's control-byte
+  // maintenance; identity hashing over a narrow keyspace makes dense probe
+  // clusters the 16-byte groups must scan across.
+  for (int op = 0; op < 60000; ++op) {
+    uint64_t k = rng.NextBounded(512);
+    if (rng.NextBounded(3) == 0) {
+      EXPECT_EQ(t.Erase(k), ref.erase(k) > 0) << "op " << op;
+    } else {
+      uint64_t v = rng.Next();
+      t.Upsert(k, v);
+      ref[k] = v;
+    }
+    if (op % 997 == 0) {
+      for (uint64_t probe = 0; probe < 512; ++probe) {
+        auto* v = FindBothPaths(t, probe);
+        auto it = ref.find(probe);
+        if (it == ref.end()) {
+          ASSERT_EQ(v, nullptr) << "op " << op << " key " << probe;
+        } else {
+          ASSERT_NE(v, nullptr) << "op " << op << " key " << probe;
+          ASSERT_EQ(*v, it->second);
+        }
+      }
+    }
+  }
+}
+
+TEST(FlatTableGroupProbeTest, NearFullTableFound) {
+  // Fill right up to the 7/8 growth threshold so group scans cross long
+  // occupied runs with only a few empties to terminate on.
+  FlatTable<uint64_t, int, IdentityHash> t;
+  t.set_group_probe_min_load(0);  // cover the grouped path at any fill
+  uint64_t k = 0;
+  while ((t.size() + 1) * 8 <= t.capacity() * 7) {
+    t.Upsert(k * 7919, static_cast<int>(k));  // spread homes via odd stride
+    ++k;
+  }
+  for (uint64_t i = 0; i < k; ++i) {
+    auto* v = FindBothPaths(t, i * 7919);
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, static_cast<int>(i));
+  }
+  EXPECT_EQ(FindBothPaths(t, k * 7919 + 1), nullptr);
+}
+
+TEST(FlatTableGroupProbeTest, KeyHashedTableAgreesAfterGrowth) {
+  FlatTable<Key, uint64_t, KeyHasher> t;
+  t.set_group_probe_min_load(0);  // cover the grouped path at any fill
+  for (uint64_t i = 0; i < 20000; ++i) {
+    t.Upsert(Key::FromUint64(i), i);
+  }
+  for (uint64_t i = 0; i < 25000; ++i) {
+    auto* v = FindBothPaths(t, Key::FromUint64(i));
+    if (i < 20000) {
+      ASSERT_NE(v, nullptr) << i;
+      ASSERT_EQ(*v, i);
+    } else {
+      ASSERT_EQ(v, nullptr) << i;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace netcache

@@ -1,0 +1,10 @@
+// Fixture: the allowlisted dispatch layer MAY use raw intrinsics — this file
+// pins the src/common/simd* carve-out so a lint change that starts flagging
+// the sanctioned home of the intrinsics fails the selftest.
+#include <immintrin.h>
+namespace netcache::simd {
+void Kernel(uint64_t* h) {
+  __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(h), v);
+}
+}  // namespace netcache::simd

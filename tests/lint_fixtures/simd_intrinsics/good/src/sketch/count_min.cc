@@ -1,0 +1,8 @@
+// Fixture: fast-path code using the dispatched SIMD layer (simd-intrinsics
+// compliant twin) — kernels come from common/simd.h, no raw intrinsics.
+namespace netcache {
+void EstimateAll(const KeyDigest* digests, size_t n, uint32_t* out) {
+  simd::ProbeIndexBatch(reinterpret_cast<const uint64_t*>(digests), n, 0,
+                        1023, scratch);
+}
+}  // namespace netcache

@@ -10,7 +10,8 @@
 
 set(RULES
     determinism-rng determinism-clock no-naked-assert include-guards
-    no-stdio-logging no-using-namespace metric-naming digest-fast-path)
+    no-stdio-logging no-using-namespace metric-naming digest-fast-path
+    simd-intrinsics)
 
 execute_process(
   COMMAND ${PYTHON} ${LINT} --list-rules

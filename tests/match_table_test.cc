@@ -1,7 +1,11 @@
 // Tests for the exact-match match-action table.
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
+#include "common/simd.h"
 #include "dataplane/match_table.h"
 
 namespace netcache {
@@ -71,6 +75,64 @@ TEST(MatchTableTest, ForEachEntryVisitsAll) {
   int sum = 0;
   t.ForEachEntry([&sum](const Key&, const TestAction& a) { sum += a.port; });
   EXPECT_EQ(sum, 10);
+}
+
+// The match table's FlatTable substrate dispatches between the grouped
+// control-byte probe and the scalar loop at call time (common/simd.h), so
+// the same table can be queried through both and must return the same entry
+// pointer — including through insert/remove churn (backward-shift deletion)
+// and the burst path's hash-carrying peek.
+TEST(MatchTableGroupProbeTest, PeekAgreesAcrossDispatchPathsUnderChurn) {
+  ExactMatchTable<TestAction> t(4096);
+  t.set_group_probe_min_load(0);  // cover the grouped path at any fill
+  Rng rng(0x6e);
+  std::vector<bool> present(2048, false);
+  for (int op = 0; op < 30000; ++op) {
+    uint64_t id = rng.NextBounded(2048);
+    if (rng.NextBounded(4) == 0) {
+      Status st = t.RemoveEntry(K(id));
+      EXPECT_EQ(st.ok(), static_cast<bool>(present[id])) << op;
+      present[id] = false;
+    } else {
+      t.InsertEntry(K(id), TestAction{static_cast<int>(id)});
+      present[id] = true;
+    }
+    if (op % 499 == 0) {
+      for (uint64_t probe = 0; probe < 2048; ++probe) {
+        Key k = K(probe);
+        size_t h = KeyHasher()(k);
+        const TestAction* grouped = t.PeekWithHash(k, h);
+        const TestAction* legacy;
+        {
+          ScopedScalarSimd scalar;
+          legacy = t.PeekWithHash(k, h);
+        }
+        ASSERT_EQ(grouped, legacy) << "op " << op << " key " << probe;
+        ASSERT_EQ(grouped != nullptr, static_cast<bool>(present[probe]))
+            << "op " << op << " key " << probe;
+      }
+    }
+  }
+}
+
+TEST(MatchTableGroupProbeTest, FullTableAgreesAcrossDispatchPaths) {
+  constexpr size_t kCapacity = 4096;
+  ExactMatchTable<TestAction> t(kCapacity);
+  t.set_group_probe_min_load(0);  // cover the grouped path at any fill
+  for (uint64_t i = 0; i < kCapacity; ++i) {
+    ASSERT_TRUE(t.InsertEntry(K(i), TestAction{static_cast<int>(i)}).ok()) << i;
+  }
+  ASSERT_EQ(t.size(), kCapacity);
+  for (uint64_t i = 0; i < kCapacity + 512; ++i) {
+    const TestAction* grouped = t.Match(K(i));
+    const TestAction* legacy;
+    {
+      ScopedScalarSimd scalar;
+      legacy = t.Match(K(i));
+    }
+    ASSERT_EQ(grouped, legacy) << i;
+    ASSERT_EQ(grouped != nullptr, i < kCapacity) << i;
+  }
 }
 
 }  // namespace

@@ -41,6 +41,13 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
                       Kirsch-Mitzenmacher probe. A new seeded hash there
                       silently reintroduces the per-probe cost the digest
                       removed.
+  simd-intrinsics     No raw x86 intrinsics (_mm*_..., __m128/__m256 types)
+                      outside src/common/simd*. Everything else calls the
+                      dispatched kernels in common/simd.h, which keep a
+                      bit-identical scalar twin for every vector path and
+                      honour NETCACHE_SIMD=OFF / --no-simd; a stray intrinsic
+                      elsewhere silently breaks the scalar-equivalence
+                      contract and the non-AVX2 build.
 
 Usage: python3 tools/netcache_lint.py [--root DIR] [--only RULE] [--list-rules]
 Prints findings as `path:line: [rule] message` and exits 1 if any.
@@ -70,6 +77,8 @@ RULES = {
         "metric names are lowercase dotted snake_case, unique per file",
     "digest-fast-path":
         "no per-probe SeededHash on the switch fast path; use KeyDigest",
+    "simd-intrinsics":
+        "no raw x86 intrinsics outside src/common/simd*; use common/simd.h",
 }
 
 RNG_PATTERN = re.compile(
@@ -94,6 +103,18 @@ STDIO_PATTERN = re.compile(
 USING_NAMESPACE_STD = re.compile(r"using\s+namespace\s+std\s*;")
 
 SEEDED_HASH_PATTERN = re.compile(r"(?<![\w.])SeededHash(?:Bytes)?\s*\(")
+
+# Raw x86 SIMD surface: intrinsic calls (_mm_/_mm256_/_mm512_), vector types
+# (__m128/__m256/__m512 and their i/d variants), and the intrinsic headers.
+SIMD_INTRINSIC_PATTERN = re.compile(
+    r"(?<!\w)_mm\d*_\w+\s*\("
+    r"|(?<!\w)__m\d{3}[id]?\b"
+    r"|#\s*include\s*<(?:immintrin|emmintrin|smmintrin|tmmintrin|xmmintrin"
+    r"|avxintrin|avx2intrin|x86intrin)\.h>"
+)
+
+# The only files allowed to touch intrinsics: the dispatch layer itself.
+SIMD_ALLOWED_PREFIX = "src/common/simd"
 
 METRIC_REGISTER_PATTERN = re.compile(
     r"(?:AddCounter|AddGauge|AddHistogram|RegisterMetrics)\s*\(")
@@ -301,6 +322,14 @@ def check_file(path, rel, findings):
                     (rel, num, "digest-fast-path",
                      "per-probe seeded hash on the switch fast path; derive "
                      "the index from the packet's KeyDigest instead"))
+
+    if not rel.startswith(SIMD_ALLOWED_PREFIX):
+        for num, text in lines:
+            if SIMD_INTRINSIC_PATTERN.search(text):
+                findings.append(
+                    (rel, num, "simd-intrinsics",
+                     "raw x86 intrinsic outside src/common/simd*; call the "
+                     "dispatched kernels in common/simd.h"))
 
     for num, text in lines:
         if USING_NAMESPACE_STD.search(text):

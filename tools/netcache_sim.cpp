@@ -39,6 +39,7 @@
 #include "common/lp_ownership.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
+#include "common/simd.h"
 #include "common/trace_recorder.h"
 #include "core/multirack.h"
 #include "core/rack.h"
@@ -83,6 +84,9 @@ int Usage(const char* program) {
                "                                     with an attributed diagnostic if any\n"
                "                                     event touches state owned by another\n"
                "                                     logical process (parallel DES)\n"
+               "           --no-simd                 force the scalar SIMD level (same as\n"
+               "                                     NETCACHE_SIMD=OFF); output is\n"
+               "                                     byte-identical either way\n"
                "rack only: --metrics-interval=SECS   time-series sampling bin (default 0.1)\n"
                "           --trace-out=FILE.jsonl    packet-lifecycle span events\n"
                "           --trace-limit=N           trace ring-buffer capacity (default 65536)\n"
@@ -373,6 +377,10 @@ int RunRack(ArgParser& args) {
       if (sim_threads_effective != sim_threads_requested) {
         w.Field("sim_threads_effective", static_cast<uint64_t>(sim_threads_effective));
       }
+      // "avx2" | "scalar". The determinism leg that diffs --no-simd against
+      // a native run strips this line before comparing (it is the one
+      // intended difference).
+      w.Field("simd_level", ActiveSimdLevelName());
       w.EndObject();
       w.Field("sim_time_ns", static_cast<uint64_t>(rack.sim().Now()));
       w.Field("duration_s", duration_s);
@@ -887,6 +895,9 @@ int Main(int argc, char** argv) {
     return Usage(argv[0]);
   }
   const std::string& command = args.positional()[0];
+  if (args.GetBool("no-simd", false)) {
+    ForceScalarSimd();
+  }
   if (args.GetBool("lp-checks", false)) {
 #if NETCACHE_LP_CHECKS
     lp::SetChecksEnabled(true);
