@@ -29,6 +29,7 @@
 #include "dataplane/value_store.h"
 #include "kvstore/flat_table.h"
 #include "kvstore/hash_table.h"
+#include "kvstore/kv_store.h"
 #include "net/packet_pool.h"
 #include "net/simulator.h"
 #include "proto/key_digest.h"
@@ -596,6 +597,142 @@ void RunSketchBatchTrials(bench::BenchHarness& harness) {
   NC_CHECK(scalar_acc == simd_acc);
 }
 
+// --- ServeStage / ServerBurst trials: the fig09 burst-serving kernels.
+//
+// ServeStage drives ValueStore::StageGather + simd::GatherValueSlots exactly
+// the way the switch's ProcessGetRun does — pointer pairs accumulated across
+// a 32-packet Get-run, one kernel call over the whole run — across the fig09
+// value-size sweep (32/64/96/128 B). ServerBurst drives the storage server's
+// ingress stages: simd::DigestGather16 over the burst's keys, digest-derived
+// core steering, the one-sweep bucket prefetch, then in-order KvStore::GetInto.
+// Each group runs a forced-scalar leg and a native-dispatch leg over the
+// identical stream; the checksums must agree bit-for-bit (NC_CHECKed every
+// run), and wall_ms/events feed the --perf gate.
+
+constexpr size_t kServeTrialIndexes = 8 * 1024;
+constexpr size_t kServeTrialReads = 1'000'000;
+constexpr size_t kServeTrialBurst = 32;
+
+uint64_t RunServeStagePass(bench::TrialRecord& trial) {
+  ValueStore vs(8, kServeTrialIndexes);
+  // fig09 size sweep: 2/4/6/8 units (32..128 B), contiguous bitmaps.
+  std::vector<uint32_t> bitmaps(kServeTrialIndexes);
+  std::vector<size_t> sizes(kServeTrialIndexes);
+  for (size_t i = 0; i < kServeTrialIndexes; ++i) {
+    size_t units = 2 * (1 + (i % 4));
+    sizes[i] = units * kValueUnitSize;
+    bitmaps[i] = (1u << units) - 1;
+    vs.WriteValue(bitmaps[i], i, Value::Filler(0xabc + i, sizes[i]));
+  }
+  Rng rng(51);
+  const uint8_t* srcs[kServeTrialBurst * 8];
+  uint8_t* dsts[kServeTrialBurst * 8];
+  Value out[kServeTrialBurst];
+  uint64_t acc = 0;
+  bench::TrialTimer timer(&trial);
+  for (size_t base = 0; base < kServeTrialReads; base += kServeTrialBurst) {
+    size_t cursor = 0;
+    for (size_t i = 0; i < kServeTrialBurst; ++i) {
+      size_t idx = rng.NextBounded(kServeTrialIndexes);
+      out[i].set_size(sizes[idx]);
+      cursor = vs.StageGather(bitmaps[idx], idx, sizes[idx], out[i].data(), srcs, dsts, cursor);
+    }
+    simd::GatherValueSlots(srcs, dsts, cursor);
+    for (size_t i = 0; i < kServeTrialBurst; ++i) {
+      const uint8_t* bytes = out[i].data();
+      for (size_t b = 0; b < out[i].size(); b += kValueUnitSize) {
+        acc += bytes[b];
+      }
+      acc += out[i].size();
+    }
+  }
+  timer.SetEvents(kServeTrialReads);
+  return acc;
+}
+
+void RunServeStageTrials(bench::BenchHarness& harness) {
+  uint64_t scalar_acc = 0;
+  uint64_t simd_acc = 0;
+  {
+    auto& trial = harness.AddTrial("ServeStage/scalar");
+    trial.Config("reads", static_cast<double>(kServeTrialReads))
+        .Config("burst", static_cast<double>(kServeTrialBurst));
+    ScopedScalarSimd scalar;
+    scalar_acc = RunServeStagePass(trial);
+    trial.Metric("checksum", static_cast<double>(scalar_acc & 0xffffffff));
+  }
+  {
+    auto& trial = harness.AddTrial("ServeStage/simd");
+    trial.Config("reads", static_cast<double>(kServeTrialReads))
+        .Config("burst", static_cast<double>(kServeTrialBurst));
+    simd_acc = RunServeStagePass(trial);
+    trial.Metric("checksum", static_cast<double>(simd_acc & 0xffffffff));
+  }
+  NC_CHECK(scalar_acc == simd_acc);
+}
+
+constexpr size_t kServerTrialKeys = 64 * 1024;
+constexpr size_t kServerTrialReads = 1'000'000;
+constexpr size_t kServerTrialCores = 8;
+constexpr uint64_t kServerTrialCoreSeed = 7;
+
+uint64_t RunServerBurstPass(bench::TrialRecord& trial) {
+  KvStore store;
+  for (uint64_t i = 0; i < kServerTrialKeys; ++i) {
+    store.Put(Key::FromUint64(i), WorkloadGenerator::ValueFor(i, 128));
+  }
+  Rng rng(52);
+  Key keys[kServeTrialBurst];
+  const uint8_t* key_ptrs[kServeTrialBurst];
+  uint64_t h1[kServeTrialBurst];
+  uint64_t h2[kServeTrialBurst];
+  Value value;
+  uint64_t acc = 0;
+  bench::TrialTimer timer(&trial);
+  for (size_t base = 0; base < kServerTrialReads; base += kServeTrialBurst) {
+    for (size_t i = 0; i < kServeTrialBurst; ++i) {
+      keys[i] = Key::FromUint64(rng.NextBounded(kServerTrialKeys));
+      key_ptrs[i] = keys[i].bytes.data();
+    }
+    simd::DigestGather16(key_ptrs, kServeTrialBurst, h1, h2);
+    // The one-sweep bucket warm, then in-order steering + lookups — the shape
+    // of StorageServer::HandleBurst stages 1.5 and 2.
+    for (size_t i = 0; i < kServeTrialBurst; ++i) {
+      store.Prefetch(h1[i]);
+    }
+    for (size_t i = 0; i < kServeTrialBurst; ++i) {
+      KeyDigest d{h1[i], h2[i]};
+      acc += d.Probe(kServerTrialCoreSeed) % kServerTrialCores;
+      bool hit = store.GetInto(keys[i], h1[i], &value);
+      NC_CHECK(hit);
+      acc += value.data()[0] + value.size();
+    }
+  }
+  timer.SetEvents(kServerTrialReads);
+  return acc;
+}
+
+void RunServerBurstTrials(bench::BenchHarness& harness) {
+  uint64_t scalar_acc = 0;
+  uint64_t simd_acc = 0;
+  {
+    auto& trial = harness.AddTrial("ServerBurst/scalar");
+    trial.Config("reads", static_cast<double>(kServerTrialReads))
+        .Config("burst", static_cast<double>(kServeTrialBurst));
+    ScopedScalarSimd scalar;
+    scalar_acc = RunServerBurstPass(trial);
+    trial.Metric("checksum", static_cast<double>(scalar_acc & 0xffffffff));
+  }
+  {
+    auto& trial = harness.AddTrial("ServerBurst/simd");
+    trial.Config("reads", static_cast<double>(kServerTrialReads))
+        .Config("burst", static_cast<double>(kServeTrialBurst));
+    simd_acc = RunServerBurstPass(trial);
+    trial.Metric("checksum", static_cast<double>(simd_acc & 0xffffffff));
+  }
+  NC_CHECK(scalar_acc == simd_acc);
+}
+
 constexpr size_t kProbeTrialEntries = 50'000;
 constexpr size_t kProbeTrialLookups = 2'000'000;
 
@@ -748,6 +885,8 @@ int main(int argc, char** argv) {
   netcache::RunSketchHashTrials(harness);
   netcache::RunBurstTrials(harness);
   netcache::RunSketchBatchTrials(harness);
+  netcache::RunServeStageTrials(harness);
+  netcache::RunServerBurstTrials(harness);
   netcache::RunTableGroupProbeTrials(harness);
   netcache::RunParallelDesTrials(harness);
   benchmark::Initialize(&argc, argv);

@@ -38,6 +38,12 @@ const char* ProfCatName(ProfCat cat) {
       return "switch_match_peek";
     case ProfCat::kSwitchValueServe:
       return "switch_value_serve";
+    case ProfCat::kServerLookup:
+      return "server_lookup";
+    case ProfCat::kServerReply:
+      return "server_reply";
+    case ProfCat::kEgressFlush:
+      return "egress_flush";
   }
   return "unknown";
 }

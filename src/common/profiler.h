@@ -63,8 +63,11 @@ enum class ProfCat : uint8_t {
   kSwitchDigest = 5,      // burst stage 1: key digest + match prefetch
   kSwitchMatchPeek = 6,   // burst stage 2: match/peek + stats/value prefetch
   kSwitchValueServe = 7,  // burst stage 3: stats + value read + emit
+  kServerLookup = 8,      // server service: store lookup under the store mutex
+  kServerReply = 9,       // server service: in-place reply rewrite + send
+  kEgressFlush = 10,      // link: transmit-group close + delivery scheduling
 };
-inline constexpr size_t kNumProfCats = 8;
+inline constexpr size_t kNumProfCats = 11;
 
 // Stable names used in the JSON output ("lp_execute", "barrier_wait", ...).
 const char* ProfCatName(ProfCat cat);

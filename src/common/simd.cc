@@ -25,6 +25,7 @@ void DigestGather16(const uint8_t* const* keys, size_t n, uint64_t* h1, uint64_t
 void ProbeIndexBatch(const uint64_t* digests, size_t n, uint64_t seed, uint64_t mask,
                      uint32_t* idx);
 void GatherU16(const uint16_t* row, const uint32_t* idx, size_t n, uint16_t* out);
+void GatherValueSlots(const uint8_t* const* srcs, uint8_t* const* dsts, size_t n);
 }  // namespace simd_avx2
 #endif
 
@@ -109,6 +110,12 @@ void GatherU16Scalar(const uint16_t* row, const uint32_t* idx, size_t n, uint16_
   }
 }
 
+void GatherValueSlotsScalar(const uint8_t* const* srcs, uint8_t* const* dsts, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    std::memcpy(dsts[i], srcs[i], 16);
+  }
+}
+
 }  // namespace
 
 void DigestBatch16(const uint8_t* keys, size_t n, uint64_t* h1, uint64_t* h2) {
@@ -150,6 +157,16 @@ void GatherU16(const uint16_t* row, const uint32_t* idx, size_t n, uint16_t* out
   }
 #endif
   GatherU16Scalar(row, idx, n, out);
+}
+
+void GatherValueSlots(const uint8_t* const* srcs, uint8_t* const* dsts, size_t n) {
+#if NETCACHE_HAVE_AVX2
+  if (ActiveSimdLevel() == SimdLevel::kAvx2) {
+    simd_avx2::GatherValueSlots(srcs, dsts, n);
+    return;
+  }
+#endif
+  GatherValueSlotsScalar(srcs, dsts, n);
 }
 
 }  // namespace simd

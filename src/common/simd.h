@@ -106,6 +106,17 @@ void ProbeIndexBatch(const uint64_t* digests, size_t n, uint64_t seed, uint64_t 
 // its rows; see count_min.cc).
 void GatherU16(const uint16_t* row, const uint32_t* idx, size_t n, uint16_t* out);
 
+// Streams one 16-byte value unit per pair: dsts[i][0..15] = srcs[i][0..15].
+// The burst serve stage resolves a whole Get run's bitmap-selected register
+// slots (dataplane/value_store.h) into these pointer pairs and moves every
+// value 16 bytes a lane instead of a per-packet stage loop. Both sides must
+// have 16 readable/writable bytes — callers copy WHOLE units; a value's tail
+// bytes past its exact size land in Value scratch that nothing observes
+// (Value::operator== and the wire codec stop at size()). Pairs may alias in
+// program order (dsts never overlap srcs in practice: register slots vs
+// packet value fields).
+void GatherValueSlots(const uint8_t* const* srcs, uint8_t* const* dsts, size_t n);
+
 // ---- 16-way control-byte group scan (inline; SSE2 is x86-64 baseline) ----
 
 // Width of one FlatTable control-byte group; the table mirrors

@@ -234,5 +234,27 @@ void GatherU16(const uint16_t* row, const uint32_t* idx, size_t n, uint16_t* out
   }
 }
 
+void GatherValueSlots(const uint8_t* const* srcs, uint8_t* const* dsts, size_t n) {
+  // One 16-byte copy per pair is a single xmm load/store — identical bytes to
+  // the scalar memcpy by construction. The win is the 4-deep unroll: four
+  // independent load/store chains in flight cover the pointer-chase latency
+  // the per-packet stage loop serialized.
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(srcs[i]));
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(srcs[i + 1]));
+    __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(srcs[i + 2]));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(srcs[i + 3]));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dsts[i]), a);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dsts[i + 1]), b);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dsts[i + 2]), c);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dsts[i + 3]), d);
+  }
+  for (; i < n; ++i) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dsts[i]),
+                     _mm_loadu_si128(reinterpret_cast<const __m128i*>(srcs[i])));
+  }
+}
+
 }  // namespace simd_avx2
 }  // namespace netcache

@@ -63,6 +63,15 @@ class ExactMatchTable {
     }
   }
 
+  // Bulk twin for the burst pipeline's report-safe prefix: books `lookups`
+  // packets of which `hits` matched, in one add each — total-identical to
+  // that many CountMatch calls (the counters are plain sums, so per-packet
+  // ordering is not observable).
+  void CountMatchRun(uint64_t lookups, uint64_t hits) const {
+    lookups_ += lookups;
+    hits_ += hits;
+  }
+
   // Warms the home bucket for a later *WithHash lookup.
   void Prefetch(size_t h) const { entries_.PrefetchHash(h); }
 

@@ -42,6 +42,9 @@ NetCacheSwitch::NetCacheSwitch(Simulator* sim, std::string name, const SwitchCon
   batch_miss_digests_.reserve(kExpectedBurst);
   batch_miss_keys_.reserve(kExpectedBurst);
   batch_miss_pos_.reserve(kExpectedBurst);
+  // Up to 8 units per served value.
+  batch_serve_srcs_.resize(kExpectedBurst * (kMaxValueSize / kValueUnitSize));
+  batch_serve_dsts_.resize(kExpectedBurst * (kMaxValueSize / kValueUnitSize));
 }
 
 // ---------------------------------------------------------------------------
@@ -222,6 +225,7 @@ void NetCacheSwitch::ProcessGetRun(std::span<BurstArrival> run, EmitSink& sink) 
       RestageGet(p, &s);
       if (s.found && s.valid) {
         stats_.PrefetchCounter(s.action.key_index);
+        value_size_.Prefetch(s.action.key_index);
         pipes_[s.action.pipe].values.Prefetch(s.action.bitmap, s.action.value_index);
       } else {
         stats_.PrefetchUncached(p.digest);
@@ -247,11 +251,81 @@ void NetCacheSwitch::ProcessGetRun(std::span<BurstArrival> run, EmitSink& sink) 
   // observable side effect — counters, the sampler's RNG draws, traces, hot
   // reports, emit scheduling — happens at exactly the position it would in
   // the sequential schedule, which is what keeps burst output byte-identical
-  // to single-packet processing.
+  // to single-packet processing. The profiler scope also covers stage 2.75,
+  // which is serve work.
   ProfScope serve_prof(ProfCat::kSwitchValueServe);
   serve_prof.set_arg(run.size());
+
+  // Stage 2.75 (batched value serve): find the report-safe prefix — every
+  // packet before the first one that could fire a hot report (a miss whose
+  // statistics were NOT pre-committed by stage 2.5; no handler can mutate
+  // the lookup table before the prefix's stage-3 turns, so its stage-2
+  // classification is final) — and assemble its hits' values with one SIMD
+  // pass over the run's register slots. The scalar level keeps the
+  // per-packet ReadValueInto in stage 3 — that loop IS the semantics, and
+  // determinism_test holds the two end to end.
+  size_t serve_end;
+  if (use_simd) {
+    serve_end = BatchValueServeRun(run);
+  } else {
+    serve_end = run.size();
+    for (size_t idx = 0; idx < run.size(); ++idx) {
+      const StagedGet& s = staged_[idx];
+      if (!(s.found && s.valid) && !s.stats_done) {
+        serve_end = idx;
+        break;
+      }
+    }
+  }
+  // Report-safe prefix first: the table cannot change under these packets,
+  // so the loop drops the re-peek branch; batched-served hits skip the value
+  // movement too and only book their in-order side effects. Pure-sum
+  // counters (packets/queries/reads, lookup totals, hits) are booked in bulk
+  // after the loop — per-packet ordering of a plain add is not observable.
+  const bool tracing = TraceEnabled();
+  uint64_t prefix_hits = 0;
+  size_t idx = 0;
+  for (; idx < serve_end; ++idx) {
+    BurstArrival& a = run[idx];
+    Packet& p = *a.pkt;
+    const StagedGet& s = staged_[idx];
+    if (s.found && s.valid) {
+      ++prefix_hits;
+      if (tracing) {
+        TraceSpan(TraceEvent::kSwitchHit, TraceQueryId(p), sim_ != nullptr ? sim_->Now() : 0,
+                  config_.switch_ip);
+      }
+      stats_.OnCachedRead(s.action.key_index);
+      ++pipe_value_reads_[s.action.pipe];
+      if (!s.served) {
+        size_t size = value_size_.Read(s.action.key_index);
+        pipes_[s.action.pipe].values.ReadValueInto(s.action.bitmap, s.action.value_index, size,
+                                                   &p.nc.value);
+      }
+      p.nc.has_value = true;
+      p.nc.op = OpCode::kGetReply;
+      p.SwapSrcDst();
+    } else {
+      // A stage-2.5-committed miss: provably no report, statistics done.
+      if (s.found) {
+        ++counters_.cache_invalid;
+      } else {
+        ++counters_.cache_misses;
+      }
+      if (tracing) {
+        TraceSpan(s.found ? TraceEvent::kSwitchInvalid : TraceEvent::kSwitchMiss,
+                  TraceQueryId(p), sim_ != nullptr ? sim_->Now() : 0, config_.switch_ip);
+      }
+    }
+    ForwardBurstPacket(a, sink);
+  }
+  counters_.packets += serve_end;
+  counters_.netcache_queries += serve_end;
+  counters_.reads += serve_end;
+  counters_.cache_hits += prefix_hits;
+  lookup_.CountMatchRun(serve_end, prefix_hits);
   bool table_may_have_changed = false;
-  for (size_t idx = 0; idx < run.size(); ++idx) {
+  for (; idx < run.size(); ++idx) {
     BurstArrival& a = run[idx];
     Packet& p = *a.pkt;
     StagedGet s = staged_[idx];
@@ -358,13 +432,61 @@ __attribute__((noinline)) void NetCacheSwitch::BatchColdMissRun(std::span<BurstA
   }
 }
 
+// Burst stage 2.75: one pass finds the report-safe prefix end and stages
+// every prefix hit's units. The staging books exactly the counted stage
+// reads ReadValueInto would (StageGather calls RegisterArray::Read per
+// participating unit), then a single simd::GatherValueSlots streams all
+// units 16 bytes a lane. Whole-unit copies may write past value.size()
+// inside the 128-byte buffer — that tail is unobservable (Value::operator==
+// and SerializePacket stop at size).
+__attribute__((noinline)) size_t NetCacheSwitch::BatchValueServeRun(std::span<BurstArrival> run) {
+  size_t max_units = run.size() * (kMaxValueSize / kValueUnitSize);
+  if (batch_serve_srcs_.size() < max_units) {
+    batch_serve_srcs_.resize(max_units);
+    batch_serve_dsts_.resize(max_units);
+  }
+  const uint8_t** srcs = batch_serve_srcs_.data();
+  uint8_t** dsts = batch_serve_dsts_.data();
+  size_t units = 0;
+  size_t serve_end = run.size();
+  for (size_t idx = 0; idx < run.size(); ++idx) {
+    StagedGet& s = staged_[idx];
+    if (!(s.found && s.valid)) {
+      if (!s.stats_done) {
+        serve_end = idx;
+        break;
+      }
+      continue;
+    }
+    Packet& p = *run[idx].pkt;
+    size_t size = value_size_.Read(s.action.key_index);
+    units = pipes_[s.action.pipe].values.StageGather(s.action.bitmap, s.action.value_index, size,
+                                                     p.nc.value.data(), srcs, dsts, units);
+    p.nc.value.set_size(size);
+    s.served = true;
+  }
+  if (units != 0) {
+    simd::GatherValueSlots(srcs, dsts, units);
+  }
+  return serve_end;
+}
+
 __attribute__((noinline)) void NetCacheSwitch::RestageGetCold(const Packet& p, StagedGet* s) {
   RestageGet(p, s);
 }
 
 void NetCacheSwitch::ForwardBurstPacket(BurstArrival& arrival, EmitSink& sink) {
   Packet& p = *arrival.pkt;
-  const uint32_t* port = routes_.Find(p.ip.dst);
+  const uint32_t* port;
+  if (route_memo_port_ != nullptr && p.ip.dst == route_memo_dst_) {
+    port = route_memo_port_;
+  } else {
+    port = routes_.Find(p.ip.dst);
+    if (port != nullptr) {
+      route_memo_dst_ = p.ip.dst;
+      route_memo_port_ = port;
+    }
+  }
   if (port == nullptr) {
     ++counters_.unroutable;
     NC_LOG(DEBUG) << name() << ": no route for " << p.ip.dst;
@@ -575,6 +697,7 @@ Status NetCacheSwitch::AddRoute(IpAddress ip, uint32_t port) {
     return Status::InvalidArgument("port beyond switch radix");
   }
   routes_.Upsert(ip, port);
+  route_memo_port_ = nullptr;  // upsert may displace entries (robin-hood)
   return Status::Ok();
 }
 

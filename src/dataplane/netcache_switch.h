@@ -273,11 +273,14 @@ class NetCacheSwitch : public Node {
   // validity, peeked ahead of the in-order stage-3 pass. stats_done marks a
   // miss whose query-statistics pass was committed by the batched cold-prefix
   // path (stage 2.5), so stage 3 must not feed it to the sketch again.
+  // served marks a valid hit whose value was already assembled by the batched
+  // serve pass (stage 2.75), so stage 3 only books its counters and emits.
   struct StagedGet {
     CacheAction action;
     bool found = false;
     bool valid = false;
     bool stats_done = false;
+    bool served = false;
   };
 
   // Parser predicate (§4.1): only packets on the reserved L4 port run the
@@ -297,6 +300,13 @@ class NetCacheSwitch : public Node {
   // inlining them once doubled the function and cost the scalar path ~10%.
   void BatchDigestRun(std::span<BurstArrival> run);
   void BatchColdMissRun(std::span<BurstArrival> run);
+  // Stage 2.75: scans for the report-safe prefix end — the first staged miss
+  // whose statistics were NOT pre-committed by stage 2.5, i.e. the first
+  // packet that could fire a hot-report handler and mutate the table — and
+  // assembles the value of every valid hit before it straight into its
+  // packet via one simd::GatherValueSlots pass over the whole run's register
+  // slots, marking those entries served. Returns the prefix end.
+  size_t BatchValueServeRun(std::span<BurstArrival> run);
 
   // Noinline twin of RestageGet for the stage-3 re-peek, which only runs
   // after a hot report mutated the table mid-run (rare); keeps the second
@@ -364,6 +374,12 @@ class NetCacheSwitch : public Node {
   // and flat probing on the Mix64-spread address beats the chained
   // unordered_map there (see micro_datastructures BM_*RouteLookup).
   NC_LP_OWNED FlatTable<IpAddress, uint32_t, UintHasher> routes_;
+  // One-entry route memo for the burst forward path: a run's replies
+  // overwhelmingly share a destination (one client, or one server for the
+  // miss side), so the repeated probe folds into a compare. nullptr port =
+  // memo empty; AddRoute invalidates (robin-hood upserts may move entries).
+  NC_LP_OWNED IpAddress route_memo_dst_ = 0;
+  NC_LP_OWNED const uint32_t* route_memo_port_ = nullptr;
   struct SnakeHop {
     uint32_t out_port = 0;
     bool strip_value = false;
@@ -391,6 +407,10 @@ class NetCacheSwitch : public Node {
   NC_LP_OWNED std::vector<KeyDigest> batch_miss_digests_;
   NC_LP_OWNED std::vector<const Key*> batch_miss_keys_;
   NC_LP_OWNED std::vector<size_t> batch_miss_pos_;
+  // Stage-2.75 batched-serve scratch: one (register slot, packet value
+  // offset) pointer pair per 16-byte unit served this run.
+  NC_LP_OWNED std::vector<const uint8_t*> batch_serve_srcs_;
+  NC_LP_OWNED std::vector<uint8_t*> batch_serve_dsts_;
 };
 
 }  // namespace netcache

@@ -63,6 +63,25 @@ class HashDyn {
     return node != nullptr ? &node->value : nullptr;
   }
 
+  // Precomputed-hash twin of Find: callers that already carry the key's hash
+  // — a packet digest's h1 equals Key::Hash() by construction (see
+  // proto/key_digest.h) — skip the hash pass over the key bytes. `h` MUST
+  // equal Hash()(key) or lookups miss silently.
+  const V* FindWithHash(size_t h, const K& key) const {
+    const Node* node = const_cast<HashDyn*>(this)->FindNode(h, key);
+    return node != nullptr ? &node->value : nullptr;
+  }
+
+  // Warms the chain head of the bucket `h` selects ahead of a FindWithHash
+  // (the storage server's burst-ingress prefetch stage). Pure: no counters,
+  // no node contents read.
+  void Prefetch(size_t h) const {
+    const Node* head = buckets_[h & (buckets_.size() - 1)].get();
+    if (head != nullptr) {
+      __builtin_prefetch(head);
+    }
+  }
+
   bool Contains(const K& key) const { return Find(key) != nullptr; }
 
   // Removes the key. Returns true if it was present.

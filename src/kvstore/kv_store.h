@@ -25,6 +25,26 @@ class KvStore {
   // Returns the value or kNotFound.
   Result<Value> Get(const Key& key) const;
 
+  // Digest-aware read that assembles straight into *out instead of returning
+  // a Result<Value> copy: `h1` must be the key's Hash() — a packet digest's
+  // h1 qualifies (proto/key_digest.h). Books the same gets/hits counters as
+  // Get, so the two are observably interchangeable; *out is untouched on a
+  // miss. Returns true on hit.
+  bool GetInto(const Key& key, uint64_t h1, Value* out) const {
+    ++stats_.gets;
+    const Value* v = table_.FindWithHash(static_cast<size_t>(h1), key);
+    if (v == nullptr) {
+      return false;
+    }
+    ++stats_.hits;
+    *out = *v;
+    return true;
+  }
+
+  // Warms the hash bucket `h1` selects ahead of a GetInto (the server's
+  // burst-ingress prefetch stage). Counter-free.
+  void Prefetch(uint64_t h1) const { table_.Prefetch(static_cast<size_t>(h1)); }
+
   // Same lookup without touching the gets/hits counters. For observers
   // (invariant checkers, test assertions) that must not perturb the
   // metrics a run exports.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 
 namespace netcache {
 
@@ -59,20 +60,79 @@ void Link::Transmit(int from_end, const Packet& pkt) {
   // matter how long the back-to-back chain gets.
   SimTime tx_done = static_cast<SimTime>((tx_done_ps + 999) / 1000);
 
-  Endpoint to = ends_[1 - from_end];
-  // Serialization finishes: free queue space. Node-affine so the transmitter
-  // state stays in the sending node's partition under parallel DES. Delivery
-  // after propagation.
-  sim_->ScheduleAtFor(ends_[from_end].node, tx_done,
-                      [this, from_end, bytes] { dirs_[from_end].queued_bytes -= bytes; });
-  // The in-flight copy lives in the simulator's packet pool; the delivery is
-  // a typed event so the dispatcher can coalesce same-instant arrivals into
-  // a burst. Delivery accounting happens in Link::AccountDelivery.
+  // The in-flight copy lives in the simulator's packet pool. Every
+  // transmission accepted within one instant joins the direction's open
+  // transmit group; the whole group is delivered together at the LAST
+  // member's serialization end plus propagation (the far NIC raises one
+  // interrupt for the back-to-back train). Delivery accounting happens in
+  // Link::AccountDelivery.
   Packet* in_flight = sim_->packet_pool().Acquire(pkt);
-  sim_->ScheduleDeliveryAt(
-      tx_done + config_.propagation,
-      Simulator::DeliveryRec{to.node, to.port, in_flight, this, from_end,
-                             static_cast<uint32_t>(bytes)});
+  SimTime now = sim_->Now();
+  if (dir.group != nullptr && dir.group->open_time == now) {
+    // Join the open group. The deadline chain is monotone, so this member's
+    // tx_done is the group's new serialization end. Queue-free stays a plain
+    // node-affine closure (the first member's closure flushes the group).
+    dir.group->entries.emplace_back(in_flight, static_cast<uint32_t>(bytes));
+    dir.group->last_tx_done = tx_done;
+    sim_->ScheduleAtFor(ends_[from_end].node, tx_done,
+                        [this, from_end, bytes] { dirs_[from_end].queued_bytes -= bytes; });
+    return;
+  }
+  EgressBurst* g = sim_->AcquireEgressBurst();
+  g->open_time = now;
+  g->last_tx_done = tx_done;
+  g->entries.emplace_back(in_flight, static_cast<uint32_t>(bytes));
+  dir.group = g;
+  // The first member's queue-free closure also closes and flushes the group.
+  // Its tx_done lands strictly after the open instant on the ns grid
+  // (bytes >= 1, ps_per_byte >= 1), so every same-instant transmit has
+  // already joined by the time it runs; the guard handles a group already
+  // displaced by a later instant's opener. Node-affine so the transmitter
+  // state stays in the sending node's partition under parallel DES.
+  sim_->ScheduleAtFor(ends_[from_end].node, tx_done, [this, from_end, bytes, g] {
+    Direction& d = dirs_[from_end];
+    d.queued_bytes -= bytes;
+    if (d.group == g) {
+      d.group = nullptr;
+    }
+    FlushGroup(g, from_end);
+  });
+}
+
+void Link::FlushGroup(EgressBurst* g, int from_end) {
+  ProfScope prof(ProfCat::kEgressFlush);
+  prof.set_arg(g->entries.size());
+  Endpoint to = ends_[1 - from_end];
+  SimTime deliver_at = g->last_tx_done + config_.propagation;
+  if (g->entries.size() == 1) {
+    // Degenerate group: one plain record, identical to the pre-group model.
+    auto [pkt, bytes] = g->entries[0];
+    sim_->ScheduleDeliveryAt(deliver_at,
+                             Simulator::DeliveryRec{to.node, to.port, pkt, this, from_end, bytes});
+    sim_->ReleaseEgressBurst(g);
+    return;
+  }
+  if (sim_->egress_burst_records()) {
+    // The group rides as one record; the dispatcher weighs it as
+    // entries.size() events and the receiver releases the buffer.
+    uint32_t total = 0;
+    for (const auto& [pkt, bytes] : g->entries) {
+      total += bytes;
+    }
+    sim_->ScheduleDeliveryAt(
+        deliver_at,
+        Simulator::DeliveryRec{to.node, to.port, nullptr, this, from_end, total, g});
+    return;
+  }
+  // Equivalence leg (--no-egress-batch): per-packet records at the group's
+  // shared instant. Scheduled back-to-back from one stream, their keys are
+  // consecutive, so the dispatcher coalesces them into exactly the burst the
+  // single record would have produced.
+  for (const auto& [pkt, bytes] : g->entries) {
+    sim_->ScheduleDeliveryAt(deliver_at,
+                             Simulator::DeliveryRec{to.node, to.port, pkt, this, from_end, bytes});
+  }
+  sim_->ReleaseEgressBurst(g);
 }
 
 }  // namespace netcache

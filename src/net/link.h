@@ -50,18 +50,20 @@ class Link {
   // Transmits from end `from_end` (0 or 1) toward the other end.
   void Transmit(int from_end, const Packet& pkt);
 
-  // Books one completed delivery on direction `from_end`. Called by the
-  // simulator's delivery dispatcher (the accounting the delivery closure
-  // used to do inline before deliveries became typed events). Runs in the
-  // RECEIVING node's partition under parallel DES, which is why `in_flight`
-  // is the one atomic field (see DirectionStats).
-  void AccountDelivery(int from_end, uint32_t bytes) {
+  // Books `count` completed deliveries totalling `bytes` on direction
+  // `from_end`. Called by the simulator's delivery dispatcher (the accounting
+  // the delivery closure used to do inline before deliveries became typed
+  // events); a burst record books its whole transmit group in one call —
+  // same totals at the same instant as its per-packet twin records. Runs in
+  // the RECEIVING node's partition under parallel DES, which is why
+  // `in_flight` is the one atomic field (see DirectionStats).
+  void AccountDelivery(int from_end, uint32_t bytes, uint32_t count = 1) {
     // Delivery accounting belongs to the receiving end's partition (the
     // dispatcher books it alongside handler dispatch).
     NC_LP_CHECK("Link::AccountDelivery", ends_[1 - from_end].node->name().c_str(),
                 ends_[1 - from_end].node->lp());
-    dirs_[from_end].stats.in_flight.fetch_sub(1, std::memory_order_relaxed);
-    ++dirs_[from_end].stats.delivered;
+    dirs_[from_end].stats.in_flight.fetch_sub(count, std::memory_order_relaxed);
+    dirs_[from_end].stats.delivered += count;
     dirs_[from_end].stats.bytes += bytes;
   }
 
@@ -102,8 +104,21 @@ class Link {
   struct Direction {
     uint64_t busy_until_ps = 0;  // transmitter deadline, integer picoseconds
     size_t queued_bytes = 0;
+    // The transmit group currently accepting members: every transmission
+    // accepted at the group's open instant joins it; the first member's
+    // queue-free closure (strictly after the open instant on the ns grid)
+    // closes and flushes it. Owned by the sending end's LP like the rest of
+    // the transmitter state.
+    EgressBurst* group = nullptr;
     DirectionStats stats;
   };
+
+  // Ships a closed transmit group: one burst delivery record when the
+  // simulator allows them, else adjacent per-packet records — both at the
+  // group's shared delivery instant (last member's serialization end +
+  // propagation). Runs in the sending end's partition (from the first
+  // member's queue-free closure).
+  void FlushGroup(EgressBurst* g, int from_end);
 
   NC_LP_SHARED Simulator* sim_;
   NC_LP_SHARED LinkConfig config_;

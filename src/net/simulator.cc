@@ -10,6 +10,19 @@
 
 namespace netcache {
 
+namespace {
+
+// A delivery record's event weight: a burst record stands for its whole
+// transmit group, so it counts as entries.size() events everywhere the
+// per-packet record format would have counted N (events_processed, pending
+// counts, queue peaks, link delivery accounting). Keeping the weights equal
+// is what makes the egress-batch legs byte-identical in exported metrics.
+inline uint64_t RecWeight(const Simulator::DeliveryRec& r) {
+  return r.burst != nullptr ? r.burst->entries.size() : 1;
+}
+
+}  // namespace
+
 thread_local Simulator::Ctx* Simulator::tls_ctx_ = nullptr;
 
 Simulator::Simulator(size_t reserve_events) {
@@ -79,7 +92,7 @@ void Simulator::Route(Ctx& from, Ctx& to, Event ev) {
   // its content set — which is also why --sim-threads=1 and =N produce
   // byte-identical schedules.
   if (!in_window_ || &from == &to) {
-    PushHeap(to.heap, std::move(ev));
+    PushHeap(to, std::move(ev));
     return;
   }
   OutBucket& bucket = from.out[to.index];
@@ -203,7 +216,7 @@ void Simulator::RunUntil(SimTime until) {
       SamplePeak(c);
     }
     // Move the event out before running so the handler may schedule freely.
-    Event ev = PopHeap(c.heap);
+    Event ev = PopHeap(c);
     c.now = ev.time;
     ++c.events;
     DispatchIn(c, ev, coalesce_);
@@ -223,7 +236,7 @@ void Simulator::RunAll() {
     if (c.heap.front().time != c.now) {
       SamplePeak(c);
     }
-    Event ev = PopHeap(c.heap);
+    Event ev = PopHeap(c);
     c.now = ev.time;
     ++c.events;
     DispatchIn(c, ev, coalesce_);
@@ -331,7 +344,7 @@ void Simulator::CollectOutboxes() {
               << " ns; LP-context global schedules must carry at least the "
                  "global lookahead (SetGlobalLookahead / control-plane "
                  "latency), or run with --sim-threads=0";
-          PushHeap(ctxs_[0].heap, std::move(ev));
+          PushHeap(ctxs_[0], std::move(ev));
         }
         side.clear();
       } else if (mail_min_[dest] == kNeverTime ||
@@ -425,7 +438,7 @@ void Simulator::DrainAllMail() {
               << " ns; cross-partition schedules must carry at least the "
                  "link-path propagation distance (run with --sim-threads=0 "
                  "if the workload cannot)";
-          PushHeap(to.heap, std::move(ev));
+          PushHeap(to, std::move(ev));
         }
         side.clear();
       }
@@ -459,7 +472,7 @@ void Simulator::RunSerialInstant(SimTime t) {
     if (best->now != t) {
       SamplePeak(*best);
     }
-    Event ev = PopHeap(best->heap);
+    Event ev = PopHeap(*best);
     best->now = t;
     ++best->events;
     ++executed;
@@ -531,7 +544,7 @@ void Simulator::RunLpWindow(Ctx& lp) {
       if (lp.heap.front().time != lp.now) {
         SamplePeak(lp);
       }
-      Event ev = PopHeap(lp.heap);
+      Event ev = PopHeap(lp);
       lp.now = ev.time;
       ++lp.events;
       DispatchIn(lp, ev, coalesce_);
@@ -567,7 +580,7 @@ void Simulator::DrainInbox(Ctx& lp) {
              "link-path propagation distance (run with --sim-threads=0 if "
              "the workload cannot)";
       ++merged;
-      PushHeap(lp.heap, std::move(ev));
+      PushHeap(lp, std::move(ev));
     }
     mail.clear();
   }
@@ -662,6 +675,9 @@ void Simulator::WorkerMain(size_t slot) {
 void Simulator::RunDelivery(Ctx& c, const DeliveryRec& first, bool coalesce) {
   c.batch.clear();
   c.batch.push_back(first);
+  // The pop site counted this record as one event; a burst record stands for
+  // its whole transmit group, so top up to the per-packet weight.
+  c.events += RecWeight(first) - 1;
   if (coalesce) {
     // Extend the burst only while the stream's next event is a delivery to
     // the same node at the same instant. Anything else — a closure event, a
@@ -674,8 +690,8 @@ void Simulator::RunDelivery(Ctx& c, const DeliveryRec& first, bool coalesce) {
       if (!front.is_delivery || front.time != c.now || front.del.node != first.node) {
         break;
       }
-      Event next = PopHeap(c.heap);
-      ++c.events;  // each coalesced delivery is still one event
+      Event next = PopHeap(c);
+      c.events += RecWeight(next.del);  // each coalesced delivery still counts
       c.batch.push_back(next.del);
     }
   }
@@ -687,24 +703,47 @@ void Simulator::RunDelivery(Ctx& c, const DeliveryRec& first, bool coalesce) {
   // Book the link-side delivery accounting for the whole batch up front.
   // Safe for the batch > 1 case: no other event runs between these
   // deliveries in the sequential schedule either, so nothing can observe
-  // the intermediate stat states this reorders across.
+  // the intermediate stat states this reorders across. A burst record books
+  // its whole group in one call (same totals, same instant).
   for (const DeliveryRec& r : c.batch) {
     if (r.link != nullptr) {
-      r.link->AccountDelivery(r.from_end, r.bytes);
+      r.link->AccountDelivery(r.from_end, r.bytes, static_cast<uint32_t>(RecWeight(r)));
     }
   }
-  if (c.batch.size() == 1) {
-    const DeliveryRec& r = c.batch[0];
-    r.node->HandlePacket(*r.pkt, r.port);
-    c.pool.Release(r.pkt);
+  // Expand records into arrivals in record order — a burst record's entries
+  // sit exactly where its per-packet twin records would have — and retire
+  // consumed group buffers into this context's freelist (buffers migrate
+  // across partitions like PacketPool payloads; the delivery event itself
+  // orders the handoff).
+  c.arrivals.clear();
+  for (const DeliveryRec& r : c.batch) {
+    if (r.burst != nullptr) {
+      for (const auto& [pkt, bytes] : r.burst->entries) {
+        c.arrivals.push_back(BurstArrival{pkt, r.port});
+      }
+      c.burst_free.push_back(r.burst);
+    } else {
+      c.arrivals.push_back(BurstArrival{r.pkt, r.port});
+    }
+  }
+  if (c.arrivals.size() == 1) {
+    const BurstArrival& a = c.arrivals[0];
+    first.node->HandlePacket(*a.pkt, a.port);
+    c.pool.Release(a.pkt);
+    return;
+  }
+  if (!coalesce) {
+    // Reference schedule (--no-burst): dispatch per packet, in order. A
+    // burst record reaching here still unrolls one HandlePacket per entry —
+    // exactly the schedule its per-packet twin records would have produced.
+    for (const BurstArrival& a : c.arrivals) {
+      first.node->HandlePacket(*a.pkt, a.port);
+      c.pool.Release(a.pkt);
+    }
     return;
   }
   ++c.bursts;
-  c.burst_pkts += c.batch.size();
-  c.arrivals.clear();
-  for (const DeliveryRec& r : c.batch) {
-    c.arrivals.push_back(BurstArrival{r.pkt, r.port});
-  }
+  c.burst_pkts += c.arrivals.size();
   first.node->HandleBurst(c.arrivals.data(), c.arrivals.size());
   // A handler may steal a packet (rewrite and re-schedule it) by nulling the
   // pointer; everything still here goes back to the pool.
@@ -718,9 +757,15 @@ void Simulator::RunDelivery(Ctx& c, const DeliveryRec& first, bool coalesce) {
 size_t Simulator::PendingEvents() const {
   size_t n = 0;
   for (const Ctx& c : ctxs_) {
-    n += c.heap.size();
+    n += c.heap.size() + c.heap_extra;
     for (const OutBucket& bucket : c.out) {
-      n += bucket.ev[0].size() + bucket.ev[1].size();
+      // Outbox mail is rare enough to weigh per event (burst records count
+      // as their group size, matching the heap accounting above).
+      for (const std::vector<Event>& side : bucket.ev) {
+        for (const Event& ev : side) {
+          n += ev.is_delivery ? RecWeight(ev.del) : 1;
+        }
+      }
     }
   }
   return n;
@@ -758,7 +803,11 @@ uint64_t Simulator::event_queue_peak() const {
   return peak;
 }
 
-void Simulator::PushHeap(std::vector<Event>& q, Event ev) {
+void Simulator::PushHeap(Ctx& c, Event ev) {
+  if (ev.is_delivery && ev.del.burst != nullptr) {
+    c.heap_extra += ev.del.burst->entries.size() - 1;
+  }
+  std::vector<Event>& q = c.heap;
   // Hole-style sift-up: one move per level instead of the three a swap costs.
   // Most new events land at a leaf (later timestamps), so test once before
   // paying for the temporary.
@@ -776,8 +825,12 @@ void Simulator::PushHeap(std::vector<Event>& q, Event ev) {
   q[hole] = std::move(tmp);
 }
 
-Simulator::Event Simulator::PopHeap(std::vector<Event>& q) {
+Simulator::Event Simulator::PopHeap(Ctx& c) {
+  std::vector<Event>& q = c.heap;
   Event top = std::move(q.front());
+  if (top.is_delivery && top.del.burst != nullptr) {
+    c.heap_extra -= top.del.burst->entries.size() - 1;
+  }
   size_t n = q.size() - 1;
   if (n == 0) {
     q.pop_back();

@@ -119,6 +119,23 @@ namespace netcache {
 
 class Link;
 
+// One link direction's transmit group: every transmission ACCEPTED by that
+// direction within one simulated instant. The transmitter serializes the
+// group back-to-back and the far NIC raises one interrupt for the lot —
+// the whole group is delivered at the LAST member's serialization end plus
+// propagation (interrupt-coalescing analogue; see Link::Transmit). With
+// egress batching on, a multi-packet group travels as ONE delivery record
+// carrying these entries; off, it becomes adjacent per-packet records at the
+// same instant — the timing model is shared, so the two modes are
+// byte-identical end to end (determinism_test holds them together).
+// Buffers are pooled per simulator context and migrate between contexts the
+// way PacketPool payloads do.
+struct EgressBurst {
+  SimTime open_time = 0;     // the instant whose accepted transmits joined
+  SimTime last_tx_done = 0;  // latest member's serialization end (ns grid)
+  std::vector<std::pair<Packet*, uint32_t>> entries;  // (payload, wire bytes)
+};
+
 class Simulator {
  public:
   // Closure type for scheduled events. Captures larger than
@@ -137,7 +154,13 @@ class Simulator {
     Packet* pkt = nullptr;  // owned by a packet pool shard; released after dispatch
     Link* link = nullptr;
     int from_end = 0;
-    uint32_t bytes = 0;
+    uint32_t bytes = 0;  // wire bytes; for a burst record, the group total
+    // Non-null: this record carries a whole multi-packet transmit group
+    // (egress batching); `pkt` is null and the payloads ride in
+    // burst->entries. The dispatcher weighs the record as entries.size()
+    // events so events_processed and queue-peak metrics stay identical to
+    // the per-packet record format.
+    EgressBurst* burst = nullptr;
   };
 
   // Topology-installed predicate deciding which deliveries must run in the
@@ -237,6 +260,36 @@ class Simulator {
   // the reference schedule the determinism test compares bursts against.
   void set_burst_coalescing(bool on) { coalesce_ = on; }
   bool burst_coalescing() const { return coalesce_; }
+
+  // Toggles egress burst records (on by default): whether Link::FlushGroup
+  // ships a multi-packet transmit group as one burst delivery record or as
+  // adjacent per-packet records. Either way the group's delivery time and
+  // every observable counter are identical — the flag only changes the
+  // record format (--no-egress-batch is the equivalence leg).
+  void set_egress_batching(bool on) { egress_batch_ = on; }
+  bool egress_batching() const { return egress_batch_; }
+  // Whether FlushGroup may emit burst records right now. A delivery
+  // classifier decides per PACKET, so burst records are suppressed while one
+  // is installed in parallel mode (it would otherwise judge a whole group by
+  // its first packet).
+  bool egress_burst_records() const {
+    return egress_batch_ && !(partitioned_ && classifier_);
+  }
+
+  // Transmit-group buffer pool, sharded like packet_pool(): acquire in the
+  // sending LP, release wherever the group is consumed (buffers migrate).
+  EgressBurst* AcquireEgressBurst() {
+    Ctx* c = cur();
+    if (c->burst_free.empty()) {
+      c->burst_arena.emplace_back();
+      return &c->burst_arena.back();
+    }
+    EgressBurst* g = c->burst_free.back();
+    c->burst_free.pop_back();
+    g->entries.clear();
+    return g;
+  }
+  void ReleaseEgressBurst(EgressBurst* g) { cur()->burst_free.push_back(g); }
 
   // Grows the global event heap to hold at least `capacity` pending events
   // without reallocating mid-run.
@@ -385,6 +438,19 @@ class Simulator {
     NC_LP_OWNED std::vector<DeliveryRec> batch;
     NC_LP_OWNED std::vector<BurstArrival> arrivals;
     NC_LP_OWNED PacketPool pool;
+    // Extra event weight carried by burst records currently in `heap`
+    // (entries.size() - 1 each): heap.size() + heap_extra is the pending
+    // count the per-packet record format would have, which keeps
+    // event_queue_peak and PendingEvents identical across the egress-batch
+    // legs. Maintained by PushHeap/PopHeap.
+    NC_LP_OWNED uint64_t heap_extra = 0;
+    // Transmit-group buffer pool shard (see AcquireEgressBurst). The arena
+    // owns storage — pointer-stable, freed wholesale at destruction, so a
+    // group still sitting in a queue at teardown leaks nothing. The freelist
+    // holds recycled buffers; like PacketPool payloads, buffers migrate to
+    // the consuming context's freelist.
+    NC_LP_OWNED std::deque<EgressBurst> burst_arena;
+    NC_LP_OWNED std::vector<EgressBurst*> burst_free;
   };
 
   // Sense-reversing tree barrier node (arity kBarrierArity), padded to a
@@ -396,8 +462,10 @@ class Simulator {
     uint32_t expect = 0;
   };
 
-  static void PushHeap(std::vector<Event>& q, Event ev);
-  static Event PopHeap(std::vector<Event>& q);
+  // Heap primitives operate on c.heap and keep c.heap_extra in sync with the
+  // burst records passing through (see Ctx::heap_extra).
+  static void PushHeap(Ctx& c, Event ev);
+  static Event PopHeap(Ctx& c);
 
   // The executing context: the global stream unless a round worker or a
   // serial-instant dispatch installed an LP on this thread. The sim match
@@ -434,12 +502,14 @@ class Simulator {
   void WorkerMain(size_t slot);
   void BarrierArrive(size_t worker, uint64_t epoch);
   void SamplePeak(Ctx& c) {
-    if (c.heap.size() > c.peak) {
-      c.peak = c.heap.size();
+    size_t sz = c.heap.size() + c.heap_extra;
+    if (sz > c.peak) {
+      c.peak = sz;
     }
   }
 
   NC_LP_SHARED bool coalesce_ = true;   // set before running, read-only after
+  NC_LP_SHARED bool egress_batch_ = true;  // set before running, read-only after
   NC_LP_SHARED bool partitioned_ = false;
   // True only between a round's kick and its barrier; cross-partition
   // schedules are staged into outbox buckets instead of pushed while set.

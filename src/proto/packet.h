@@ -136,6 +136,18 @@ inline uint64_t TraceQueryId(const Packet& pkt) {
 // op/seq/key preserved, and no value payload. Callers set the reply op.
 // Avoids copying the (up to 128-byte) request value into a reply that would
 // immediately discard it.
+//
+// In-place alternative (the server/cache hot paths): when the request is a
+// mutable pool-owned packet, call pkt.SwapSrcDst() and rewrite it into the
+// reply with no copy at all. Contract for such rewrites — fields that
+// survive from the request and must remain valid for the reply:
+//   - eth/ip/l4 (swapped), is_netcache, nc.seq, nc.key: same as this shell.
+//   - digest: MAY be retained even though this shell clears it. The digest
+//     is a pure function of nc.key (proto/key_digest.h), so a retained
+//     digest is bit-identical to what any switch ingress would recompute.
+//   - nc.op and nc.has_value MUST be set explicitly. A miss reply may keep
+//     the request's nc.value bytes: has_value=false excludes them from
+//     WireSize/Serialize, so the wire image matches a cleared value.
 Packet MakeReplyShell(const Packet& req);
 Packet MakeGet(IpAddress client, IpAddress server, const Key& key, uint32_t seq);
 Packet MakePut(IpAddress client, IpAddress server, const Key& key, const Value& value,

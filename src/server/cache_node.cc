@@ -55,28 +55,30 @@ void CacheNode::StartNextIfIdle() {
   });
 }
 
-void CacheNode::Process(const Packet& pkt) {
+void CacheNode::Process(Packet& pkt) {
+  // The pooled in-service packet is rewritten in place on every path (hit
+  // reply, miss forward, relay, write pass-through) instead of copied; the
+  // pool releases it right after this returns.
   switch (pkt.nc.op) {
     case OpCode::kGet: {
       auto it = index_.find(pkt.nc.key);
       if (it != index_.end()) {
         ++stats_.hits;
         Touch(pkt.nc.key);
-        Packet reply = MakeReplyShell(pkt);
-        reply.ip.src = config_.ip;  // answered by the cache node itself
-        reply.nc.op = OpCode::kGetReply;
-        reply.nc.has_value = true;
-        reply.nc.value = it->second.value;
-        Send(0, reply);
+        pkt.SwapSrcDst();
+        pkt.ip.src = config_.ip;  // answered by the cache node itself
+        pkt.nc.op = OpCode::kGetReply;
+        pkt.nc.has_value = true;
+        pkt.nc.value = it->second.value;
+        Send(0, pkt);
         return;
       }
       ++stats_.misses;
       // Forward to the owner; remember who asked so the reply can be relayed.
       pending_[pkt.nc.seq] = pkt.ip.src;
-      Packet fwd = pkt;
-      fwd.ip.src = config_.ip;
-      fwd.ip.dst = owner_of_(pkt.nc.key);
-      Send(0, fwd);
+      pkt.ip.src = config_.ip;
+      pkt.ip.dst = owner_of_(pkt.nc.key);
+      Send(0, pkt);
       return;
     }
     case OpCode::kGetReply: {
@@ -91,10 +93,9 @@ void CacheNode::Process(const Packet& pkt) {
         CacheInsert(pkt.nc.key, pkt.nc.value);
       }
       ++stats_.relayed;
-      Packet reply = pkt;
-      reply.ip.src = config_.ip;
-      reply.ip.dst = client;
-      Send(0, reply);
+      pkt.ip.src = config_.ip;
+      pkt.ip.dst = client;
+      Send(0, pkt);
       return;
     }
     case OpCode::kPut:
@@ -112,9 +113,8 @@ void CacheNode::Process(const Packet& pkt) {
           index_.erase(it);
         }
       }
-      Packet fwd = pkt;
-      fwd.ip.dst = owner_of_(pkt.nc.key);
-      Send(0, fwd);
+      pkt.ip.dst = owner_of_(pkt.nc.key);
+      Send(0, pkt);
       return;
     }
     default:

@@ -71,7 +71,10 @@ class CacheNode : public Node {
   SimDuration ServiceTime() const;
   void EnqueueOrDrop(const Packet& pkt);
   void StartNextIfIdle();
-  void Process(const Packet& pkt);
+  // The in-service packet is pool-owned and mutable: hits rewrite it into
+  // the reply in place, misses/writes into the forwarded copy (see the
+  // MakeReplyShell contract note in proto/packet.h).
+  void Process(Packet& pkt);
 
   void CacheInsert(const Key& key, const Value& value);
   void Touch(const Key& key);

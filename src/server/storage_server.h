@@ -178,10 +178,15 @@ class StorageServer : public Node {
   SimDuration ServiceTime() const;
   size_t CoreOfDigest(const KeyDigest& digest) const;
   void EnqueueOrDrop(const Packet& pkt, bool front = false);
+  // Admission with the RSS core already chosen (the burst path steers a whole
+  // window up front; EnqueueOrDrop computes the core and delegates here).
+  void EnqueueSteered(const Packet& pkt, size_t core_index, bool front = false);
   void StartNextIfIdle(size_t core);
-  void Process(const Packet& pkt);
+  // The in-service packet is pool-owned and mutable: reads rewrite it into
+  // the reply in place (see proto/packet.h, MakeReplyShell contract note).
+  void Process(Packet& pkt);
 
-  void ProcessRead(const Packet& pkt);
+  void ProcessRead(Packet& pkt);
   void ProcessWrite(const Packet& pkt);
   void HandleUpdateAck(const Packet& pkt);
   void HandleUpdateReject(const Packet& pkt);
@@ -211,6 +216,14 @@ class StorageServer : public Node {
   NC_LP_SHARED UpdateRejectHandler update_reject_;  // installed at wiring time
   NC_LP_OWNED ServerStats stats_;
   NC_LP_OWNED uint64_t burst_packets_received_ = 0;
+
+  // Burst-window scratch (HandleBurst stage 1), reserved on first use and
+  // reused every window so the steady-state receive path never allocates.
+  NC_LP_OWNED std::vector<const uint8_t*> burst_key_ptrs_;  // keys needing a digest
+  NC_LP_OWNED std::vector<uint32_t> burst_pos_;             // their arrival indices
+  NC_LP_OWNED std::vector<uint64_t> burst_dh1_, burst_dh2_; // SIMD digest lanes
+  NC_LP_OWNED std::vector<uint32_t> burst_core_;  // per-arrival core, kBurstNotData if non-data
+  NC_LP_OWNED std::vector<uint64_t> burst_h1_;    // per-arrival key hash (data packets only)
 };
 
 }  // namespace netcache

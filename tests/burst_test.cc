@@ -14,6 +14,7 @@
 
 #include "common/simd.h"
 #include "dataplane/netcache_switch.h"
+#include "net/link.h"
 #include "net/simulator.h"
 
 namespace netcache {
@@ -444,6 +445,131 @@ TEST(SimulatorBurstTest, CoalescingOffDispatchesSingly) {
   EXPECT_EQ(node.single_calls_, 2u);
   EXPECT_EQ(node.seqs_, (std::vector<uint32_t>{0, 1}));
   EXPECT_EQ(sim.bursts_dispatched(), 0u);
+}
+
+// ------------------------------------------------- link egress coalescing
+//
+// Same-instant transmissions on one link direction form a transmit group
+// delivered as one burst at the LAST member's serialization end plus
+// propagation (the far NIC raises one interrupt for the back-to-back train).
+// With --no-egress-batch the group ships as adjacent per-packet records that
+// the dispatcher re-coalesces — every observable (arrival order, times,
+// burst shape, link accounting, event totals) must be identical.
+
+class NullTx : public Node {
+ public:
+  NullTx() : Node("tx") {}
+  void HandlePacket(const Packet&, uint32_t) override {}
+};
+
+class TimedRx : public Node {
+ public:
+  explicit TimedRx(Simulator* sim) : Node("rx"), sim_(sim) {}
+  void HandlePacket(const Packet& pkt, uint32_t port) override {
+    ++single_calls_;
+    Record(pkt, port);
+  }
+  void HandleBurst(BurstArrival* arrivals, size_t count) override {
+    ++burst_calls_;
+    last_burst_size_ = count;
+    for (size_t i = 0; i < count; ++i) {
+      Record(*arrivals[i].pkt, arrivals[i].port);
+    }
+  }
+  void Record(const Packet& pkt, uint32_t port) {
+    seqs_.push_back(pkt.nc.seq);
+    ports_.push_back(port);
+    times_.push_back(sim_->Now());
+  }
+
+  Simulator* sim_;
+  std::vector<uint32_t> seqs_;
+  std::vector<uint32_t> ports_;
+  std::vector<SimTime> times_;
+  size_t single_calls_ = 0;
+  size_t burst_calls_ = 0;
+  size_t last_burst_size_ = 0;
+};
+
+struct EgressLeg {
+  std::vector<uint32_t> seqs;
+  std::vector<SimTime> times;
+  size_t burst_calls = 0;
+  size_t single_calls = 0;
+  size_t last_burst_size = 0;
+  uint64_t delivered = 0;
+  uint64_t bytes = 0;
+  uint64_t events = 0;
+};
+
+EgressLeg RunEgressLeg(bool egress_batch, uint32_t packets) {
+  Simulator sim;
+  sim.set_egress_batching(egress_batch);
+  NullTx tx;
+  TimedRx rx(&sim);
+  Link link(&sim, LinkConfig{});
+  link.Connect(&tx, 0, &rx, 0);
+  sim.ScheduleAt(10, [&] {
+    for (uint32_t i = 0; i < packets; ++i) {
+      link.Transmit(0, MakeGet(kClient, kServerA, K(i), i));
+    }
+  });
+  sim.RunAll();
+  return EgressLeg{rx.seqs_,
+                   rx.times_,
+                   rx.burst_calls_,
+                   rx.single_calls_,
+                   rx.last_burst_size_,
+                   link.stats(0).delivered,
+                   link.stats(0).bytes,
+                   sim.events_processed()};
+}
+
+TEST(EgressCoalescingTest, SameInstantTrainDeliversAsOneBurst) {
+  EgressLeg leg = RunEgressLeg(/*egress_batch=*/true, 5);
+  EXPECT_EQ(leg.burst_calls, 1u);
+  EXPECT_EQ(leg.single_calls, 0u);
+  EXPECT_EQ(leg.last_burst_size, 5u);
+  EXPECT_EQ(leg.seqs, (std::vector<uint32_t>{0, 1, 2, 3, 4}));  // transmit order
+  ASSERT_EQ(leg.times.size(), 5u);
+  for (SimTime t : leg.times) {
+    EXPECT_EQ(t, leg.times.front());  // one shared delivery instant
+  }
+  EXPECT_EQ(leg.delivered, 5u);
+}
+
+TEST(EgressCoalescingTest, NoEgressBatchLegIsObservationallyIdentical) {
+  EgressLeg batched = RunEgressLeg(/*egress_batch=*/true, 6);
+  EgressLeg unbatched = RunEgressLeg(/*egress_batch=*/false, 6);
+  EXPECT_EQ(batched.seqs, unbatched.seqs);
+  EXPECT_EQ(batched.times, unbatched.times);
+  EXPECT_EQ(batched.burst_calls, unbatched.burst_calls);
+  EXPECT_EQ(batched.single_calls, unbatched.single_calls);
+  EXPECT_EQ(batched.last_burst_size, unbatched.last_burst_size);
+  EXPECT_EQ(batched.delivered, unbatched.delivered);
+  EXPECT_EQ(batched.bytes, unbatched.bytes);
+  // A burst record weighs its member count, so event totals agree too.
+  EXPECT_EQ(batched.events, unbatched.events);
+  EXPECT_EQ(batched.burst_calls, 1u);  // and the burst actually happened
+}
+
+TEST(EgressCoalescingTest, DistinctInstantsFormDistinctGroups) {
+  Simulator sim;
+  NullTx tx;
+  TimedRx rx(&sim);
+  Link link(&sim, LinkConfig{});
+  link.Connect(&tx, 0, &rx, 0);
+  // Two transmissions accepted at different instants: the second queues
+  // behind the first but opens its own group, so they deliver separately at
+  // their own serialization ends.
+  sim.ScheduleAt(10, [&] { link.Transmit(0, MakeGet(kClient, kServerA, K(0), 0)); });
+  sim.ScheduleAt(11, [&] { link.Transmit(0, MakeGet(kClient, kServerA, K(1), 1)); });
+  sim.RunAll();
+  EXPECT_EQ(rx.burst_calls_, 0u);
+  EXPECT_EQ(rx.single_calls_, 2u);
+  EXPECT_EQ(rx.seqs_, (std::vector<uint32_t>{0, 1}));
+  ASSERT_EQ(rx.times_.size(), 2u);
+  EXPECT_LT(rx.times_[0], rx.times_[1]);
 }
 
 }  // namespace

@@ -32,6 +32,10 @@
 #    run 1's after stripping the config's "simd_level" field (the one
 #    intended difference) — the common/simd.h contract that the vectorized
 #    burst kernels are bit-identical to the scalar path.
+# 7. Runs the rack once with --no-egress-batch and asserts the metrics JSON
+#    matches run 1's — the net/link.h contract that shipping a transmit group
+#    as one burst delivery record (vs adjacent per-packet records) changes
+#    record format only, never results.
 
 # 8 servers so the --sim-threads=8 leg gets 8 real workers (the simulator
 # clamps workers to the LP count, and a clamp surfaces as
@@ -228,4 +232,29 @@ if(NOT diff_rc EQUAL 0)
       "--no-simd changed the metrics JSON beyond config.simd_level: the "
       "vectorized burst kernels must be bit-identical to the scalar path "
       "(${WORK_DIR}/determinism_a_nolevel.json vs determinism_nosimd_nolevel.json)")
+endif()
+
+# Egress burst records vs per-packet delivery records (--no-egress-batch,
+# net/link.h): both legs share the transmit-group timing model — the flag
+# only switches the record format a closed group ships as — so the runs must
+# be byte-identical, including every deterministic event/burst counter.
+execute_process(
+  COMMAND ${SIM} ${FLAGS} --no-egress-batch
+          --metrics-out=${WORK_DIR}/determinism_noegress.json
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--no-egress-batch run exited ${rc}:\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/determinism_a.json ${WORK_DIR}/determinism_noegress.json
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+      "--no-egress-batch changed the metrics JSON: burst delivery records "
+      "must be observationally identical to per-packet records "
+      "(${WORK_DIR}/determinism_a.json vs determinism_noegress.json)")
 endif()

@@ -1,0 +1,7 @@
+#include "net/link.h"
+
+void Link::FlushGroup(EgressBurst* g, int from_end) {
+  std::vector<uint32_t> sizes;  // per-flush heap allocation on the transmit path
+  for (const auto& [pkt, bytes] : g->entries) sizes.push_back(bytes);
+  Deliver(g, sizes.data(), sizes.size());
+}

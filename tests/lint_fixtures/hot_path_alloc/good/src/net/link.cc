@@ -1,0 +1,10 @@
+#include "net/link.h"
+
+void Link::FlushGroup(EgressBurst* g, int from_end) {
+  // Scratch is a member reserved once at construction; a reference keeps the
+  // fast path allocation-free.
+  std::vector<uint32_t>& sizes = flush_scratch_;
+  sizes.clear();
+  for (const auto& [pkt, bytes] : g->entries) sizes.push_back(bytes);
+  Deliver(g, sizes.data(), sizes.size());
+}

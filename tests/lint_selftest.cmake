@@ -11,7 +11,7 @@
 set(RULES
     determinism-rng determinism-clock no-naked-assert include-guards
     no-stdio-logging no-using-namespace metric-naming digest-fast-path
-    simd-intrinsics)
+    simd-intrinsics hot-path-alloc)
 
 execute_process(
   COMMAND ${PYTHON} ${LINT} --list-rules

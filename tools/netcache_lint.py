@@ -48,6 +48,16 @@ Rules (see docs/STATIC_ANALYSIS.md for the rationale):
                       honour NETCACHE_SIMD=OFF / --no-simd; a stray intrinsic
                       elsewhere silently breaks the scalar-equivalence
                       contract and the non-AVX2 build.
+  hot-path-alloc      No heap-allocating constructs (new expressions,
+                      make_unique/make_shared, std::string objects,
+                      std::to_string, std::vector object declarations) in
+                      the fast-path allowlist TUs: the SIMD kernels, the
+                      value store, the link transmit/flush path, and the
+                      simulator dispatch loop. Those files run per packet or
+                      per event; state lives in members or pooled scratch
+                      reserved once (references to vectors are fine). A new
+                      allocation there is a silent per-packet malloc that
+                      the serve-stage profile has to rediscover the hard way.
 
 Usage: python3 tools/netcache_lint.py [--root DIR] [--only RULE] [--list-rules]
 Prints findings as `path:line: [rule] message` and exits 1 if any.
@@ -79,6 +89,8 @@ RULES = {
         "no per-probe SeededHash on the switch fast path; use KeyDigest",
     "simd-intrinsics":
         "no raw x86 intrinsics outside src/common/simd*; use common/simd.h",
+    "hot-path-alloc":
+        "no heap allocation in the fast-path TUs; use members/pooled scratch",
 }
 
 RNG_PATTERN = re.compile(
@@ -115,6 +127,31 @@ SIMD_INTRINSIC_PATTERN = re.compile(
 
 # The only files allowed to touch intrinsics: the dispatch layer itself.
 SIMD_ALLOWED_PREFIX = "src/common/simd"
+
+# Fast-path TUs held to the no-heap-allocation rule: every function in these
+# files runs per packet, per event, or per transmit — cold setup lives in the
+# classes' headers/other TUs, so the whole file can be held to the bar.
+HOT_PATH_ALLOC_FILES = (
+    "src/common/simd.cc",
+    "src/common/simd_avx2.cc",
+    "src/dataplane/value_store.cc",
+    "src/net/link.cc",
+    "src/net/simulator.cc",
+)
+
+# Allocating constructs: new expressions (incl. placement-free operator new),
+# the make_* wrappers, std::string objects/temporaries, std::to_string, and
+# std::vector OBJECT declarations. `std::vector<T>&` references to member
+# scratch are the sanctioned idiom and do not match (the `>` must be followed
+# by whitespace and an identifier, not `&`/`*`).
+HOT_PATH_ALLOC_PATTERN = re.compile(
+    r"(?<!\w)new\s+[A-Za-z_:(]"
+    r"|std::make_unique\b"
+    r"|std::make_shared\b"
+    r"|std::string\b"
+    r"|std::to_string\s*\("
+    r"|std::vector<[^;]*>\s+[A-Za-z_]"
+)
 
 METRIC_REGISTER_PATTERN = re.compile(
     r"(?:AddCounter|AddGauge|AddHistogram|RegisterMetrics)\s*\(")
@@ -330,6 +367,14 @@ def check_file(path, rel, findings):
                     (rel, num, "simd-intrinsics",
                      "raw x86 intrinsic outside src/common/simd*; call the "
                      "dispatched kernels in common/simd.h"))
+
+    if rel in HOT_PATH_ALLOC_FILES:
+        for num, text in lines:
+            if HOT_PATH_ALLOC_PATTERN.search(text):
+                findings.append(
+                    (rel, num, "hot-path-alloc",
+                     "heap-allocating construct in a fast-path TU; keep "
+                     "state in members or pooled scratch reserved once"))
 
     for num, text in lines:
         if USING_NAMESPACE_STD.search(text):

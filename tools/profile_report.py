@@ -49,7 +49,11 @@ signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 # Must match ProfCat / ProfCatName in src/common/profiler.h.
 DES_CATS = ("lp_execute", "barrier_wait", "merge", "serial_fence", "coordinate")
 SWITCH_CATS = ("switch_digest", "switch_match_peek", "switch_value_serve")
-ALL_CATS = DES_CATS + SWITCH_CATS
+# Server service stages and link egress-flush; nested inside lp_execute like
+# the switch stages (service completions and transmit-group flushes dispatch
+# from LP events), so they are a breakdown of execute, never an extra bucket.
+SERVER_CATS = ("server_lookup", "server_reply", "egress_flush")
+ALL_CATS = DES_CATS + SWITCH_CATS + SERVER_CATS
 
 
 def fail(msg: str) -> "NoReturn":
@@ -255,6 +259,21 @@ def report(doc: dict, min_attributed: float) -> int:
             per_pkt = f"{ns_sum / pkts:>10.0f}" if pkts else f"{'-':>10}"
             print(f"  {cat:<20} {ms(ns_sum):>9.2f} {count:>10} {pkts:>12} {per_pkt}")
         print(f"  switch stages cover {pct(switch_total, exec_total).strip()} "
+              "of execute time")
+
+    # Server service + egress flush: same nesting as the switch stages.
+    server_total = sum(l["cats"][c]["ns"] for l in lanes for c in SERVER_CATS)
+    if server_total > 0:
+        exec_total = sum(l["cats"]["lp_execute"]["ns"] for l in lanes)
+        print("\nServer & egress stages (nested inside execute; not an extra bucket)")
+        print(f"  {'stage':<20} {'ms':>9} {'spans':>10} {'packets':>12} {'ns/packet':>10}")
+        for cat in SERVER_CATS:
+            ns_sum = sum(l["cats"][cat]["ns"] for l in lanes)
+            count = sum(l["cats"][cat]["count"] for l in lanes)
+            pkts = sum(l["cats"][cat]["arg"] for l in lanes)
+            per_pkt = f"{ns_sum / pkts:>10.0f}" if pkts else f"{'-':>10}"
+            print(f"  {cat:<20} {ms(ns_sum):>9.2f} {count:>10} {pkts:>12} {per_pkt}")
+        print(f"  server/egress stages cover {pct(server_total, exec_total).strip()} "
               "of execute time")
 
     lps = nc.get("lps", [])
